@@ -1,0 +1,113 @@
+// Command corpusgen generates a synthetic news dataset and reports its
+// statistics; with -dump it prints sample documents, and with -wordnet it
+// writes the synthetic WordNet database files (index.noun / data.noun) to
+// a directory, exercising the real-file-format code path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/lang"
+	"repro/internal/newsgen"
+	"repro/internal/ontology"
+	"repro/internal/textdb"
+	"repro/internal/wordnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	docs := flag.Int("docs", 1000, "number of documents")
+	profile := flag.String("profile", "SNYT", "dataset profile (SNYT, SNB, MNYT)")
+	seed := flag.Uint64("seed", 42, "seed")
+	dump := flag.Int("dump", 0, "print the first N documents")
+	wordnetDir := flag.String("wordnet", "", "write WordNet database files to this directory")
+	storeDir := flag.String("store", "", "persist the corpus into a segment store at this directory and read it back")
+	flag.Parse()
+
+	kb, err := ontology.Build(ontology.Config{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Knowledge base: %d concepts (%d facet terms, %d entities, %d roots)\n",
+		kb.Len(), len(kb.FacetTerms()), len(kb.Entities()), len(kb.Roots()))
+
+	if *wordnetDir != "" {
+		if err := wordnet.WriteFiles(*wordnetDir, ontology.WordNetLexicon(kb)); err != nil {
+			log.Fatal(err)
+		}
+		db, err := wordnet.LoadFiles(*wordnetDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("WordNet files written to %s and parsed back: %d synsets\n", *wordnetDir, db.Size())
+	}
+
+	var p newsgen.Profile
+	switch *profile {
+	case "SNYT":
+		p = newsgen.SNYT
+	case "SNB":
+		p = newsgen.SNB
+	case "MNYT":
+		p = newsgen.MNYT
+	default:
+		log.Fatalf("unknown profile %q", *profile)
+	}
+	ds, err := newsgen.Generate(kb, p.WithDocs(*docs), *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tokens int
+	sources := map[string]bool{}
+	facetSet := map[ontology.ConceptID]bool{}
+	for i := 0; i < ds.Corpus.Len(); i++ {
+		d := ds.Corpus.Doc(textdb.DocID(i))
+		tokens += len(lang.Tokenize(d.Text))
+		sources[d.Source] = true
+		for _, f := range ds.Traces[i].Facets {
+			facetSet[f] = true
+		}
+	}
+	fmt.Printf("Dataset %s: %d documents, %d sources, %.0f tokens/doc, %d distinct ground-truth facets\n",
+		*profile, ds.Corpus.Len(), len(sources), float64(tokens)/float64(ds.Corpus.Len()), len(facetSet))
+
+	if *storeDir != "" {
+		store, err := textdb.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Persist in segments of up to 1,000 documents.
+		const segSize = 1000
+		for start := 0; start < ds.Corpus.Len(); start += segSize {
+			end := min(start+segSize, ds.Corpus.Len())
+			batch := make([]*textdb.Document, 0, end-start)
+			for i := start; i < end; i++ {
+				batch = append(batch, ds.Corpus.Doc(textdb.DocID(i)))
+			}
+			if err := store.Append(batch); err != nil {
+				log.Fatal(err)
+			}
+		}
+		reloaded, err := store.LoadAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Segment store at %s: %d segments, %d documents persisted and read back\n",
+			*storeDir, store.Segments(), reloaded.Len())
+	}
+
+	for i := 0; i < *dump && i < ds.Corpus.Len(); i++ {
+		d := ds.Corpus.Doc(textdb.DocID(i))
+		fmt.Printf("\n--- [%s, %s] %s ---\n%s\n", d.Source, d.Date.Format("2006-01-02"), d.Title, d.Text)
+		fmt.Print("ground-truth facets: ")
+		for j, f := range ds.Traces[i].Facets {
+			if j > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(kb.Concept(f).Name)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,227 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section V) plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|hierarchy]
+//	            [-full] [-seed N] [-out FILE]
+//
+// By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
+// 5000 documents) so a full regeneration finishes in minutes on a laptop;
+// -full uses the paper's sizes (1000 / 17000 / 30000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/newsgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, hierarchy)")
+	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
+	seed := flag.Uint64("seed", 42, "master seed")
+	out := flag.String("out", "", "also write output to this file")
+	csvDir := flag.String("csvdir", "", "also write each recall/precision table as CSV into this directory")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	if err := runAll(w, *run, *full, *seed, *csvDir); err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+}
+
+// writeCSV stores a table as CSV under dir (no-op when dir is empty).
+func writeCSV(dir, name string, table *eval.Table) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(table.CSV()), 0o644)
+}
+
+func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) error {
+	start := time.Now()
+	lab, err := eval.NewLab(seed)
+	if err != nil {
+		return err
+	}
+	snytDocs, snbDocs, mnytDocs := 1000, 3000, 5000
+	if full {
+		snbDocs, mnytDocs = 17000, 30000
+	}
+	profiles := map[string]newsgen.Profile{
+		"SNYT": newsgen.SNYT.WithDocs(snytDocs),
+		"SNB":  newsgen.SNB.WithDocs(snbDocs),
+		"MNYT": newsgen.MNYT.WithDocs(mnytDocs),
+	}
+	runs := map[string]*eval.DataRun{}
+	runFor := func(name string) (*eval.DataRun, error) {
+		if dr, ok := runs[name]; ok {
+			return dr, nil
+		}
+		dr, err := lab.NewDataRun(profiles[name], seed+uint64(len(name)))
+		if err != nil {
+			return nil, err
+		}
+		runs[name] = dr
+		return dr, nil
+	}
+	want := func(name string) bool { return which == "all" || which == name }
+
+	section := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n\n", title, strings.Repeat("=", len(title)))
+	}
+
+	if want("table1") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Table I — Facets identified by annotators (pilot study, SNYT)")
+		fmt.Fprintln(w, eval.PilotStudy(dr, 1000, 9, 2).Format())
+	}
+	if want("figure4") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Figure 4 — Most frequent annotator facet terms (>=2 agreement)")
+		gt := dr.Pool.BuildGroundTruth(dr.DS, dr.SampleIndices(1000))
+		fmt.Fprintln(w, strings.Join(eval.Figure4(gt, 80), ", "))
+	}
+	if want("figure5") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Figure 5 — Subsumption baseline WITHOUT expansion (generic terms)")
+		terms, _, err := eval.Figure5(dr, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, strings.Join(terms, ", "))
+	}
+	recallTables := []struct{ exp, ds string }{
+		{"table2", "SNYT"}, {"table3", "SNB"}, {"table4", "MNYT"},
+	}
+	for _, rt := range recallTables {
+		if !want(rt.exp) {
+			continue
+		}
+		dr, err := runFor(rt.ds)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("%s — Recall (%s)", strings.Title(rt.exp), rt.ds))
+		table, gt := eval.RecallTable(dr, eval.RecallConfig{})
+		fmt.Fprintln(w, table.Format())
+		if err := writeCSV(csvDir, rt.exp, table); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(ground truth: %d validated facet terms)\n", len(gt.Terms))
+		if rt.ds == "SNYT" {
+			fmt.Fprintf(w, "\nRecall by facet dimension (All x All):\n%s", eval.RecallByDimension(dr, gt).Format())
+		}
+	}
+	precTables := []struct{ exp, ds string }{
+		{"table5", "SNYT"}, {"table6", "SNB"}, {"table7", "MNYT"},
+	}
+	for _, pt := range precTables {
+		if !want(pt.exp) {
+			continue
+		}
+		dr, err := runFor(pt.ds)
+		if err != nil {
+			return err
+		}
+		section(fmt.Sprintf("%s — Precision (%s)", strings.Title(pt.exp), pt.ds))
+		table, err := eval.PrecisionTable(dr, eval.PrecisionConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, table.Format())
+		if err := writeCSV(csvDir, pt.exp, table); err != nil {
+			return err
+		}
+	}
+	if want("sensitivity") {
+		section("Sensitivity — facet terms found vs. sample size (Section V-B)")
+		for _, name := range []string{"SNYT", "SNB", "MNYT"} {
+			dr, err := runFor(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%s:\n%s\n", name, eval.FormatSensitivity(eval.Sensitivity(dr, nil)))
+		}
+	}
+	if want("efficiency") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Efficiency — per-stage costs (Section V-D)")
+		rep, err := eval.Efficiency(dr, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, rep.Format())
+	}
+	if want("userstudy") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("User study — faceted vs. keyword interaction (Section V-E)")
+		res, err := eval.UserStudy(dr, 150, seed+999)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Format())
+	}
+	if want("ablation") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Ablation — scoring statistic and shift gating (Section IV-C)")
+		res, err := eval.Ablation(dr, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Format())
+	}
+	if want("hierarchy") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Hierarchy construction comparison (Section VI/VII conjecture)")
+		res, err := eval.CompareHierarchies(dr, 100)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Format())
+	}
+	fmt.Fprintf(w, "\nTotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

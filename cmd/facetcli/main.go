@@ -1,0 +1,111 @@
+// Command facetcli runs the full facet-extraction pipeline end to end:
+// it synthesizes the resource environment and a news corpus, extracts
+// facet terms, builds the hierarchy, and prints both.
+//
+//	facetcli [-docs N] [-profile SNYT|SNB|MNYT] [-topk K] [-seed N]
+//	         [-extractors NE,Yahoo,Wikipedia] [-resources ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	facet "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	docs := flag.Int("docs", 500, "number of documents to generate")
+	profile := flag.String("profile", "SNYT", "dataset profile (SNYT, SNB, MNYT)")
+	topK := flag.Int("topk", 100, "facet terms to extract")
+	seed := flag.Uint64("seed", 42, "seed")
+	extractors := flag.String("extractors", "", "comma-separated extractor subset (default: all)")
+	resources := flag.String("resources", "", "comma-separated resource subset (default: all)")
+	dotOut := flag.String("dot", "", "write the hierarchy as Graphviz DOT to this file")
+	jsonOut := flag.String("json", "", "write the hierarchy as JSON to this file")
+	flag.Parse()
+
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := env.GenerateNewsCorpus(*profile, *docs, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := facet.Options{TopK: *topK}
+	if *extractors != "" {
+		opts.Extractors = strings.Split(*extractors, ",")
+	}
+	if *resources != "" {
+		opts.Resources = strings.Split(*resources, ",")
+	}
+	sys, err := facet.NewSystem(env, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range corpus {
+		sys.Add(d)
+	}
+	fmt.Printf("Extracting facets from %d %s documents...\n\n", sys.Len(), *profile)
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Top facet terms (%d):\n", len(res.Facets))
+	for i, f := range res.Facets {
+		if i >= 25 {
+			fmt.Printf("  ... and %d more\n", len(res.Facets)-25)
+			break
+		}
+		fmt.Printf("  %-28s score=%8.1f  df=%4d -> %4d\n", f.Term, f.Score, f.DF, f.DFC)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := res.Browser(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dotOut != "" {
+		f, err := os.Create(*dotOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.WriteDOT(f, "facets"); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nDOT graph written to %s\n", *dotOut)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := h.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("JSON hierarchy written to %s\n", *jsonOut)
+	}
+	fmt.Printf("\nFacet hierarchy (%d terms):\n", h.Size())
+	var print func(n *facet.Node, depth int)
+	print = func(n *facet.Node, depth int) {
+		fmt.Printf("%s%s (%d)\n", strings.Repeat("  ", depth+1), n.Term, b.Count(n.Term))
+		for _, c := range n.Children {
+			print(c, depth+1)
+		}
+	}
+	for i, r := range h.Roots() {
+		if i >= 12 {
+			fmt.Printf("  ... and %d more root facets\n", len(h.Roots())-12)
+			break
+		}
+		print(r, 0)
+	}
+}

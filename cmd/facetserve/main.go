@@ -1,0 +1,65 @@
+// Command facetserve builds a faceted browsing interface over a generated
+// news archive and serves it over HTTP: a server-rendered front end at /
+// and a JSON API under /api/ (facets, docs, dates, cross).
+//
+//	facetserve [-addr :8080] [-docs 600] [-profile SNYT] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	facet "repro"
+	"repro/internal/browse"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	docs := flag.Int("docs", 600, "number of documents to generate")
+	profile := flag.String("profile", "SNYT", "dataset profile")
+	seed := flag.Uint64("seed", 42, "seed")
+	topK := flag.Int("topk", 120, "facet terms to extract")
+	flag.Parse()
+
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := env.GenerateNewsCorpus(*profile, *docs, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: *topK})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range corpus {
+		sys.Add(d)
+	}
+	log.Printf("extracting facets from %d documents...", sys.Len())
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	iface, err := browseInterface(res, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", *profile, sys.Len(), len(res.Facets))
+	log.Printf("serving %s on %s", title, *addr)
+	log.Fatal(http.ListenAndServe(*addr, serve.New(iface, title)))
+}
+
+// browseInterface reaches beneath the facade for the internal browse
+// engine the HTTP server needs.
+func browseInterface(res *facet.Result, h *facet.Hierarchy) (*browse.Interface, error) {
+	return res.BrowseEngine(h)
+}

@@ -1,0 +1,67 @@
+package facet_test
+
+import (
+	"fmt"
+
+	facet "repro"
+)
+
+// The canonical end-to-end flow: simulate an environment, index a news
+// corpus, extract facet terms, build the hierarchy, and browse.
+func Example() {
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	docs, err := env.GenerateNewsCorpus("SNYT", 150, 7)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: 50})
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		panic(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		panic(err)
+	}
+	b, err := res.Browser(h)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("extracted %d facet terms over %d documents\n", len(res.Facets), sys.Len())
+	fmt.Printf("browsable root facets: %v\n", len(b.Children("", facet.Selection{})) > 0)
+	// Output:
+	// extracted 50 facet terms over 150 documents
+	// browsable root facets: true
+}
+
+// Custom domain tools plug into the same pipeline seams the built-in
+// extractors and resources use (the paper's Section VII scenario).
+func ExampleNewGlossaryExtractor() {
+	gloss, err := facet.NewGlossaryExtractor("Finance", []string{"hedge fund", "margin"})
+	if err != nil {
+		panic(err)
+	}
+	terms := gloss.Extract("The hedge fund faced margin calls.")
+	fmt.Println(terms)
+	// Output: [hedge fund margin]
+}
+
+func ExampleNewGlossaryResource() {
+	thesaurus, err := facet.NewGlossaryResource("Finance", map[string][]string{
+		"hedge fund": {"asset management", "alternative investments"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(thesaurus.Context("Hedge Fund"))
+	// Output: [alternative investments asset management]
+}

@@ -1,0 +1,106 @@
+// Multisource: the Newsblaster scenario (SNB) — one day of news from two
+// dozen outlets. The same facet hierarchy organizes stories regardless of
+// origin, and the facets make cross-source comparison trivial: for each
+// top facet, how much does each source cover it?
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	facet "repro"
+)
+
+func main() {
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := env.GenerateNewsCorpus("SNB", 800, 22)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := res.Browser(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sources := map[string]int{}
+	for i := 0; i < sys.Len(); i++ {
+		sources[sys.Document(i).Source]++
+	}
+	fmt.Printf("Corpus: %d stories from %d sources.\n\n", sys.Len(), len(sources))
+
+	roots := b.Children("", facet.Selection{})
+	if len(roots) > 5 {
+		roots = roots[:5]
+	}
+	fmt.Println("Coverage of the top facets by source (top 6 sources):")
+	type srcCount struct {
+		name string
+		n    int
+	}
+	var ranked []srcCount
+	for s, n := range sources {
+		ranked = append(ranked, srcCount{s, n})
+	}
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].n != ranked[b].n {
+			return ranked[a].n > ranked[b].n
+		}
+		return ranked[a].name < ranked[b].name
+	})
+	if len(ranked) > 6 {
+		ranked = ranked[:6]
+	}
+	fmt.Printf("%-26s", "facet \\ source")
+	for _, s := range ranked {
+		fmt.Printf("%10s", abbreviate(s.name))
+	}
+	fmt.Println()
+	for _, fc := range roots {
+		fmt.Printf("%-26s", fc.Term)
+		for _, s := range ranked {
+			n := 0
+			for _, d := range b.Docs(facet.Selection{Terms: []string{fc.Term}}) {
+				if sys.Document(d).Source == s.name {
+					n++
+				}
+			}
+			fmt.Printf("%10d", n)
+		}
+		fmt.Println()
+	}
+}
+
+func abbreviate(s string) string {
+	if len(s) <= 9 {
+		return s
+	}
+	out := ""
+	for _, w := range []byte(s) {
+		if w >= 'A' && w <= 'Z' {
+			out += string(w)
+		}
+	}
+	if out == "" {
+		return s[:9]
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+// Newsarchive: the paper's motivating scenario — a New York Times-style
+// archive made explorable. Facets are extracted once over the archive,
+// then a reader locates stories by combining facet navigation with
+// keyword search, without knowing anything about the archive's structure
+// up front.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	facet "repro"
+)
+
+func main() {
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs, err := env.GenerateNewsCorpus("SNYT", 600, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: 120})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := res.Browser(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Archive: %d stories. Extracted %d facet terms into %d-term hierarchy.\n\n",
+		sys.Len(), len(res.Facets), h.Size())
+
+	// A reader's session: start broad, narrow step by step.
+	fmt.Println("Reader session: exploring the archive")
+	sel := facet.Selection{}
+	for step := 0; step < 3; step++ {
+		options := b.Children("", sel)
+		// Also surface children of already-selected facets.
+		for _, t := range sel.Terms {
+			options = append(options, b.Children(t, sel)...)
+		}
+		// Pick the most selective facet that still keeps >= 3 stories.
+		var pick string
+		pickCount := 1 << 30
+		total := len(b.Docs(sel))
+		for _, fc := range options {
+			already := false
+			for _, t := range sel.Terms {
+				if t == fc.Term {
+					already = true
+				}
+			}
+			if already || fc.Count >= total || fc.Count < 3 {
+				continue
+			}
+			if fc.Count < pickCount {
+				pickCount = fc.Count
+				pick = fc.Term
+			}
+		}
+		if pick == "" {
+			break
+		}
+		sel.Terms = append(sel.Terms, pick)
+		fmt.Printf("  click %-26q -> %4d stories\n", pick, len(b.Docs(sel)))
+	}
+	fmt.Printf("\nSelection %v:\n", sel.Terms)
+	for i, d := range b.Docs(sel) {
+		if i >= 5 {
+			break
+		}
+		doc := sys.Document(d)
+		fmt.Printf("  [%s] %s\n", doc.Date.Format("2006-01-02"), doc.Title)
+	}
+
+	// Combine with a keyword.
+	query := "election"
+	withQuery := b.Docs(facet.Selection{Terms: sel.Terms[:1], Query: query})
+	fmt.Printf("\nFacet %q + keyword %q -> %d stories\n", sel.Terms[0], query, len(withQuery))
+	for i, d := range withQuery {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %s\n", strings.TrimSpace(sys.Document(d).Title))
+	}
+}

@@ -1,0 +1,68 @@
+// Queryfacets: dynamic faceting over search results. The paper notes the
+// facet computation is fast enough to run "dynamically over a set of
+// lengthy query results" (Section V-D): instead of building facets for
+// the whole archive, build them only for the documents matching a query,
+// so the navigation adapts to what the user searched for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	facet "repro"
+)
+
+func main() {
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	archive, err := env.GenerateNewsCorpus("MNYT", 1500, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, query := range []string{"election", "summit", "champion"} {
+		// Poor man's result set: keyword containment. (A deployment would
+		// use the index; the point here is facets over an arbitrary doc
+		// subset.)
+		var results []facet.Document
+		for _, d := range archive {
+			if strings.Contains(strings.ToLower(d.Title+" "+d.Text), query) {
+				results = append(results, d)
+			}
+		}
+		if len(results) < 20 {
+			fmt.Printf("query %q: only %d results, skipping faceting\n\n", query, len(results))
+			continue
+		}
+		sys, err := facet.NewSystem(env, facet.Options{TopK: 40})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range results {
+			sys.Add(d)
+		}
+		res, err := sys.ExtractFacets()
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := res.BuildHierarchy()
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := res.Browser(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %q: %d results — facets for narrowing:\n", query, len(results))
+		for i, fc := range b.Children("", facet.Selection{}) {
+			if i >= 8 {
+				break
+			}
+			fmt.Printf("  %-26s %4d\n", fc.Term, fc.Count)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: extract facet hierarchies from a small text database in
+// five steps — build an environment, load documents, extract facet terms,
+// build the hierarchy, browse.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	facet "repro"
+)
+
+func main() {
+	// 1. The environment holds the external resources (Wikipedia, WordNet,
+	//    web search). Here everything is synthesized from a seed.
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load documents. Any text works; we generate a small news set.
+	docs, err := env.GenerateNewsCorpus("SNYT", 200, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+
+	// 3. Extract facet terms: important terms per document, context
+	//    expansion through the external resources, comparative frequency
+	//    analysis.
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Ten most significant facet terms:")
+	for i, f := range res.Facets {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %2d. %-24s (appears in %d docs, %d after expansion)\n", i+1, f.Term, f.DF, f.DFC)
+	}
+
+	// 4. Organize the terms into browsing hierarchies (subsumption).
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Browse: counts per facet, drill-down.
+	b, err := res.Browser(h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nTop-level facets with document counts:")
+	for i, fc := range b.Children("", facet.Selection{}) {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  %-24s %d docs\n", fc.Term, fc.Count)
+	}
+}

@@ -1,0 +1,145 @@
+package facet
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+)
+
+// This file implements the paper's extension points (Section VII): custom
+// term extractors and expansion resources — the "domain-specific
+// vocabularies and ontologies (e.g., from the Taxonomy Warehouse)"
+// integration — and the evidence-combination hierarchy construction the
+// paper points to as future work (Snow, Jurafsky & Ng 2006).
+
+// TermExtractor identifies important terms in a document; plug custom
+// implementations in through Options.ExtraExtractors.
+type TermExtractor interface {
+	Name() string
+	Extract(text string) []string
+}
+
+// ContextResource returns context terms for an important term; plug
+// custom implementations in through Options.ExtraResources.
+type ContextResource interface {
+	Name() string
+	Context(term string) []string
+}
+
+// NewGlossaryExtractor builds a term extractor from a controlled
+// vocabulary: terms appearing in the glossary are marked important
+// (longest match first). Use it to run the pipeline over domain text
+// (financial filings, medical literature) with a domain glossary.
+func NewGlossaryExtractor(name string, vocabulary []string) (TermExtractor, error) {
+	return core.NewGlossaryExtractor(name, vocabulary)
+}
+
+// NewGlossaryResource builds an expansion resource from a thesaurus map
+// (term → related terms), the Section VII "financial ontologies and
+// thesauri" scenario.
+func NewGlossaryResource(name string, thesaurus map[string][]string) (ContextResource, error) {
+	return core.NewGlossaryResource(name, thesaurus)
+}
+
+// HierarchyMethod selects the hierarchy-construction algorithm.
+type HierarchyMethod int
+
+const (
+	// HierarchySubsumption is the paper's choice (Sanderson & Croft 1999).
+	HierarchySubsumption HierarchyMethod = iota
+	// HierarchyEvidence combines subsumption with WordNet-hypernym and
+	// Wikipedia-link evidence (the Snow-style improvement the paper
+	// anticipates: "newer algorithms may give even better results").
+	HierarchyEvidence
+	// HierarchyTreeMin is the Stoica–Hearst prior-work baseline: WordNet
+	// hypernym paths merged and minimized, no co-occurrence signal.
+	HierarchyTreeMin
+)
+
+// BuildHierarchyWith is BuildHierarchy with an explicit construction
+// method.
+func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) {
+	terms := r.Terms()
+	docTerms := r.assignDocTerms(terms)
+	switch method {
+	case HierarchyEvidence:
+		env := r.sys.env
+		wnEvidence := hierarchy.EvidenceFunc{
+			EvidenceName: "wordnet-hypernym",
+			Fn: func(parent, child string) float64 {
+				lemma, ok := env.wnet.Morphy(child)
+				if !ok {
+					return 0
+				}
+				for _, h := range env.wnet.Hypernyms(lemma, 6) {
+					if h == parent {
+						return 1
+					}
+				}
+				return 0
+			},
+		}
+		wikiEvidence := hierarchy.EvidenceFunc{
+			EvidenceName: "wikipedia-link",
+			Fn: func(parent, child string) float64 {
+				cp, ok := env.wiki.Resolve(child)
+				if !ok {
+					return 0
+				}
+				pp, ok := env.wiki.Resolve(parent)
+				if !ok {
+					return 0
+				}
+				for _, l := range cp.Links {
+					if l.Target == pp.ID {
+						return 1
+					}
+				}
+				return 0
+			},
+		}
+		forest, err := hierarchy.BuildWithEvidence(terms, docTerms, hierarchy.EvidenceConfig{
+			Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
+			Weights:   []float64{0.5, 0.5},
+			Threshold: 0.6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
+	case HierarchyTreeMin:
+		env := r.sys.env
+		chains := hierarchy.ChainFunc(func(term string) []string {
+			lemma, ok := env.wnet.Morphy(term)
+			if !ok {
+				return nil
+			}
+			return env.wnet.Hypernyms(lemma, 8)
+		})
+		forest := hierarchy.BuildTreeMinimization(terms, chains)
+		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
+	default:
+		th := r.sys.opts.SubsumptionThreshold
+		forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{Threshold: th})
+		if err != nil {
+			return nil, err
+		}
+		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
+	}
+}
+
+// WriteDOT renders the hierarchy as a Graphviz digraph for visualization.
+func (h *Hierarchy) WriteDOT(w io.Writer, name string) error {
+	return hierarchy.WriteDOT(w, h.forest, name)
+}
+
+// WriteJSON serializes the hierarchy (term, df, children) as JSON.
+func (h *Hierarchy) WriteJSON(w io.Writer) error {
+	return hierarchy.WriteJSON(w, h.forest)
+}
+
+// FormatTree renders the hierarchy as an indented text tree.
+func (h *Hierarchy) FormatTree() string {
+	return hierarchy.FormatTree(h.forest)
+}

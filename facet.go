@@ -1,0 +1,481 @@
+// Package facet is the public API of this repository: an implementation
+// of "Automatic Extraction of Useful Facet Hierarchies from Text
+// Databases" (Dakka & Ipeirotis, ICDE 2008).
+//
+// The library extracts, without supervision, the general terms that make
+// good browsing facets for a database of text documents — terms like
+// "Political Leaders" or "Natural Disasters" that mostly do NOT appear in
+// the documents themselves — and organizes them into per-facet hierarchies
+// that power an OLAP-style faceted browsing interface.
+//
+// # Usage
+//
+// Build an Environment (the external resources: Wikipedia, WordNet, a web
+// search engine), load documents into a System, and extract:
+//
+//	env, _ := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: 42})
+//	sys, _ := facet.NewSystem(env, facet.Options{})
+//	for _, d := range docs {
+//		sys.Add(d)
+//	}
+//	res, _ := sys.ExtractFacets()
+//	hier, _ := res.BuildHierarchy()
+//	browser, _ := res.Browser(hier)
+//
+// This module is offline and self-contained: the environment's Wikipedia,
+// WordNet and web index are synthesized from a ground-truth ontology (see
+// DESIGN.md for the substitution rationale), but every algorithm — the
+// three pipeline steps, the WordNet database file parser, the subsumption
+// hierarchy builder, the browsing engine — is the real thing and would
+// run unchanged against real resource dumps.
+package facet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/ner"
+	"repro/internal/newsgen"
+	"repro/internal/ontology"
+	"repro/internal/remote"
+	"repro/internal/textdb"
+	"repro/internal/websearch"
+	"repro/internal/wiki"
+	"repro/internal/wordnet"
+	"repro/internal/yterms"
+)
+
+// Document is one text item to index.
+type Document struct {
+	Title  string
+	Source string
+	Date   time.Time
+	Text   string
+}
+
+// EnvConfig controls the simulated environment.
+type EnvConfig struct {
+	// Seed drives the synthesized ontology, Wikipedia, and WordNet.
+	Seed uint64
+	// Scale multiplies the synthesized world's entity counts (default 1).
+	Scale float64
+	// ChargeLatency attaches the paper's virtual network latencies to the
+	// web-based services (Yahoo-style extraction, Google-style search).
+	ChargeLatency bool
+}
+
+// Environment is the set of external resources the pipeline consults.
+type Environment struct {
+	kb     *ontology.KB
+	wiki   *wiki.Wiki
+	wnet   *wordnet.DB
+	engine *websearch.Engine
+	clock  *remote.Clock
+}
+
+// NewSimulatedEnvironment synthesizes the full resource stack.
+func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
+	kb, err := ontology.Build(ontology.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	if err != nil {
+		return nil, err
+	}
+	w, err := wiki.Build(kb, wiki.Config{Seed: cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	wn, err := wordnet.FromIsa(ontology.WordNetLexicon(kb))
+	if err != nil {
+		return nil, err
+	}
+	env := &Environment{
+		kb:     kb,
+		wiki:   w,
+		wnet:   wn,
+		engine: websearch.NewEngineFromWiki(w),
+	}
+	if cfg.ChargeLatency {
+		env.clock = remote.NewClock()
+	}
+	return env, nil
+}
+
+// VirtualNetworkTime returns the accumulated simulated network latency
+// (zero unless ChargeLatency was set).
+func (e *Environment) VirtualNetworkTime() time.Duration {
+	if e.clock == nil {
+		return 0
+	}
+	return e.clock.Elapsed()
+}
+
+// GenerateNewsCorpus produces a synthetic news dataset grounded in the
+// environment's ontology: profile is one of "SNYT", "SNB", "MNYT".
+// It returns the documents; use it to drive examples and experiments.
+func (e *Environment) GenerateNewsCorpus(profile string, numDocs int, seed uint64) ([]Document, error) {
+	var p newsgen.Profile
+	switch profile {
+	case "SNYT":
+		p = newsgen.SNYT
+	case "SNB":
+		p = newsgen.SNB
+	case "MNYT":
+		p = newsgen.MNYT
+	default:
+		return nil, fmt.Errorf("facet: unknown profile %q (want SNYT, SNB, or MNYT)", profile)
+	}
+	if numDocs > 0 {
+		p = p.WithDocs(numDocs)
+	}
+	ds, err := newsgen.Generate(e.kb, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Document, ds.Corpus.Len())
+	for i := range out {
+		d := ds.Corpus.Doc(textdb.DocID(i))
+		out[i] = Document{Title: d.Title, Source: d.Source, Date: d.Date, Text: d.Text}
+	}
+	return out, nil
+}
+
+// Options configures a System.
+type Options struct {
+	// TopK bounds the number of facet terms extracted (default 200).
+	TopK int
+	// Extractors selects term extractors by name: "NE", "Yahoo",
+	// "Wikipedia". Empty selects all three.
+	Extractors []string
+	// Resources selects external resources by name: "Google",
+	// "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph".
+	// Empty selects all four.
+	Resources []string
+	// SubsumptionThreshold is θ for hierarchy construction (default 0.8).
+	SubsumptionThreshold float64
+	// ExtraExtractors and ExtraResources plug domain-specific tools into
+	// the pipeline alongside the built-in ones (Section VII of the paper;
+	// see NewGlossaryExtractor / NewGlossaryResource).
+	ExtraExtractors []TermExtractor
+	ExtraResources  []ContextResource
+}
+
+// System is a facet-extraction session over a document collection.
+type System struct {
+	env    *Environment
+	opts   Options
+	corpus *textdb.Corpus
+}
+
+// NewSystem validates options and returns an empty system.
+func NewSystem(env *Environment, opts Options) (*System, error) {
+	if env == nil {
+		return nil, fmt.Errorf("facet: nil environment")
+	}
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("facet: negative TopK")
+	}
+	for _, e := range opts.Extractors {
+		switch e {
+		case "NE", "Yahoo", "Wikipedia":
+		default:
+			return nil, fmt.Errorf("facet: unknown extractor %q", e)
+		}
+	}
+	for _, r := range opts.Resources {
+		switch r {
+		case "Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph":
+		default:
+			return nil, fmt.Errorf("facet: unknown resource %q", r)
+		}
+	}
+	return &System{env: env, opts: opts, corpus: textdb.NewCorpus()}, nil
+}
+
+// Add indexes one document and returns its position.
+func (s *System) Add(d Document) int {
+	id := s.corpus.Add(&textdb.Document{Title: d.Title, Source: d.Source, Date: d.Date, Text: d.Text})
+	return int(id)
+}
+
+// Len returns the number of indexed documents.
+func (s *System) Len() int { return s.corpus.Len() }
+
+// buildExtractors assembles the selected extractors (defaults to all).
+func (s *System) buildExtractors() []core.Extractor {
+	names := s.opts.Extractors
+	if len(names) == 0 {
+		names = []string{"NE", "Yahoo", "Wikipedia"}
+	}
+	var gaz []string
+	for _, e := range s.env.kb.Entities() {
+		gaz = append(gaz, e.Display)
+		gaz = append(gaz, e.Variants...)
+	}
+	bg := textdb.NewDFTable(s.corpus.Dict())
+	for i := 0; i < s.corpus.Len(); i++ {
+		bg.AddDoc(s.corpus.DocTerms(textdb.DocID(i)))
+	}
+	var out []core.Extractor
+	for _, n := range names {
+		switch n {
+		case "NE":
+			out = append(out, ner.New(ner.WithGazetteer(gaz)))
+		case "Yahoo":
+			out = append(out, yterms.New(bg, 12, s.env.clock))
+		case "Wikipedia":
+			out = append(out, wiki.NewTitleExtractor(s.env.wiki))
+		}
+	}
+	for _, e := range s.opts.ExtraExtractors {
+		out = append(out, e)
+	}
+	return out
+}
+
+// buildResources assembles the selected resources (defaults to all).
+func (s *System) buildResources() []core.Resource {
+	names := s.opts.Resources
+	if len(names) == 0 {
+		names = []string{"Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph"}
+	}
+	var out []core.Resource
+	for _, n := range names {
+		switch n {
+		case "Google":
+			out = append(out, websearch.NewResource(s.env.engine, 10, 10, s.env.clock))
+		case "WordNet Hypernyms":
+			out = append(out, wordnet.NewResource(s.env.wnet, 2))
+		case "Wikipedia Synonyms":
+			out = append(out, wiki.NewSynonymResource(s.env.wiki))
+		case "Wikipedia Graph":
+			out = append(out, wiki.NewGraphResource(s.env.wiki, 50))
+		}
+	}
+	for _, r := range s.opts.ExtraResources {
+		out = append(out, r)
+	}
+	return out
+}
+
+// FacetTerm is one extracted facet term with its statistical evidence.
+type FacetTerm struct {
+	Term   string
+	DF     int     // document frequency in the original database
+	DFC    int     // document frequency after context expansion
+	ShiftF int     // frequency shift
+	ShiftR int     // rank-bin shift
+	Score  float64 // Dunning log-likelihood
+}
+
+// Result is the outcome of facet extraction.
+type Result struct {
+	// Facets are the top-K facet terms, most significant first.
+	Facets []FacetTerm
+	sys    *System
+	inner  *core.Result
+}
+
+// ExtractFacets runs the three pipeline steps over the indexed documents.
+func (s *System) ExtractFacets() (*Result, error) {
+	if s.corpus.Len() == 0 {
+		return nil, fmt.Errorf("facet: no documents added")
+	}
+	p, err := core.New(core.Config{
+		Extractors: s.buildExtractors(),
+		Resources:  s.buildResources(),
+		TopK:       s.opts.TopK,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner, err := p.Run(s.corpus)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{sys: s, inner: inner}
+	for _, f := range inner.Facets {
+		res.Facets = append(res.Facets, FacetTerm{
+			Term: f.Term, DF: f.DF, DFC: f.DFC,
+			ShiftF: f.ShiftF, ShiftR: f.ShiftR, Score: f.Score,
+		})
+	}
+	return res, nil
+}
+
+// Terms returns the extracted facet terms in rank order.
+func (r *Result) Terms() []string {
+	out := make([]string, len(r.Facets))
+	for i, f := range r.Facets {
+		out[i] = f.Term
+	}
+	return out
+}
+
+// Hierarchy is a set of facet trees ready for browsing.
+type Hierarchy struct {
+	forest   *hierarchy.Forest
+	docTerms [][]string
+}
+
+// Node is one term in a facet hierarchy.
+type Node struct {
+	Term     string
+	DF       int
+	Children []*Node
+}
+
+// BuildHierarchy organizes the extracted facet terms into per-facet trees
+// with the Sanderson–Croft subsumption algorithm over the expanded
+// document collection.
+func (r *Result) BuildHierarchy() (*Hierarchy, error) {
+	return r.BuildHierarchyWith(HierarchySubsumption)
+}
+
+// assignDocTerms computes the document-to-facet assignment: terms from
+// the document text, plus context terms corroborated by at least two of
+// the document's important terms (see core.ContextVotes).
+func (r *Result) assignDocTerms(terms []string) [][]string {
+	termSet := map[string]bool{}
+	for _, t := range terms {
+		termSet[t] = true
+	}
+	corpus := r.sys.corpus
+	votes := core.ContextVotes(r.inner.Important, r.inner.Resources, nil)
+	docTerms := make([][]string, corpus.Len())
+	for d := 0; d < corpus.Len(); d++ {
+		present := map[string]bool{}
+		for _, id := range corpus.DocTerms(textdb.DocID(d)) {
+			if s := corpus.Dict().String(id); termSet[s] {
+				present[s] = true
+			}
+		}
+		need := 2
+		if len(r.inner.Important[d]) < 2 {
+			need = 1
+		}
+		for c, v := range votes[d] {
+			if v >= need && termSet[c] {
+				present[c] = true
+			}
+		}
+		for t := range present {
+			docTerms[d] = append(docTerms[d], t)
+		}
+		sort.Strings(docTerms[d])
+	}
+	return docTerms
+}
+
+// Roots returns the top-level facets.
+func (h *Hierarchy) Roots() []*Node {
+	out := make([]*Node, 0, len(h.forest.Roots))
+	for _, r := range h.forest.Roots {
+		out = append(out, convertNode(r))
+	}
+	return out
+}
+
+func convertNode(n *hierarchy.Node) *Node {
+	out := &Node{Term: n.Term, DF: n.DF}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, convertNode(c))
+	}
+	return out
+}
+
+// Size returns the number of terms in the hierarchy.
+func (h *Hierarchy) Size() int { return h.forest.Size() }
+
+// Browser is the faceted browsing engine over the collection.
+type Browser struct {
+	iface *browse.Interface
+}
+
+// Selection narrows the collection: facet terms are ANDed, the query is
+// keyword search (conjunctive), and the optional date range restricts by
+// document date (From inclusive, To exclusive; zero values mean open).
+type Selection struct {
+	Terms []string
+	Query string
+	From  time.Time
+	To    time.Time
+}
+
+// FacetCount pairs a facet term with its document count.
+type FacetCount struct {
+	Term  string
+	Count int
+}
+
+// Browser builds the browsing engine for a hierarchy.
+func (r *Result) Browser(h *Hierarchy) (*Browser, error) {
+	iface, err := r.BrowseEngine(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Browser{iface: iface}, nil
+}
+
+// BrowseEngine exposes the underlying browse.Interface for in-module
+// consumers that need the full engine (the HTTP server, the experiment
+// harness); external users work through Browser.
+func (r *Result) BrowseEngine(h *Hierarchy) (*browse.Interface, error) {
+	return browse.Build(r.sys.corpus, h.forest, h.docTerms)
+}
+
+// Count returns the number of documents under the facet term (including
+// its descendants).
+func (b *Browser) Count(term string) int { return b.iface.Count(term) }
+
+func toBrowseSel(sel Selection) browse.Selection {
+	return browse.Selection{Terms: sel.Terms, Query: sel.Query, From: sel.From, To: sel.To}
+}
+
+// Docs returns the positions of documents matching the selection.
+func (b *Browser) Docs(sel Selection) []int {
+	ids := b.iface.Docs(toBrowseSel(sel))
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Children returns the child facets of parent ("" for roots) with counts
+// under the selection, descending.
+func (b *Browser) Children(parent string, sel Selection) []FacetCount {
+	var out []FacetCount
+	for _, fc := range b.iface.Children(parent, toBrowseSel(sel)) {
+		out = append(out, FacetCount{Term: fc.Term, Count: fc.Count})
+	}
+	return out
+}
+
+// DateCount is one bucket of a date histogram.
+type DateCount struct {
+	Bucket time.Time
+	Count  int
+}
+
+// DateHistogram buckets matching documents by "day" or "month" — the time
+// facet of the interface.
+func (b *Browser) DateHistogram(sel Selection, granularity string) ([]DateCount, error) {
+	hist, err := b.iface.DateHistogram(toBrowseSel(sel), granularity)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DateCount, len(hist))
+	for i, h := range hist {
+		out[i] = DateCount{Bucket: h.Bucket, Count: h.Count}
+	}
+	return out, nil
+}
+
+// Document returns an indexed document by position.
+func (s *System) Document(i int) Document {
+	d := s.corpus.Doc(textdb.DocID(i))
+	return Document{Title: d.Title, Source: d.Source, Date: d.Date, Text: d.Text}
+}

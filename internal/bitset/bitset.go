@@ -1,0 +1,137 @@
+// Package bitset provides a dense bitset used for document-set operations
+// in the hierarchy builder (pairwise co-occurrence counts) and the faceted
+// browsing engine (drill-down intersections).
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity bitset. The zero value is an empty set of
+// capacity 0; use New.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold n bits, all clear.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	if i < 0 || i >= s.n {
+		panic("bitset: index out of range")
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns |s ∩ t| without allocating.
+func (s *Set) AndCount(t *Set) int {
+	n := min(len(s.words), len(t.words))
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return c
+}
+
+// And returns a new set s ∩ t with capacity max(s.n, t.n).
+func (s *Set) And(t *Set) *Set {
+	out := New(max(s.n, t.n))
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		out.words[i] = s.words[i] & t.words[i]
+	}
+	return out
+}
+
+// Or returns a new set s ∪ t.
+func (s *Set) Or(t *Set) *Set {
+	out := New(max(s.n, t.n))
+	for i := range out.words {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		out.words[i] = a | b
+	}
+	return out
+}
+
+// AndNot returns a new set s \ t.
+func (s *Set) AndNot(t *Set) *Set {
+	out := New(s.n)
+	for i := range s.words {
+		var b uint64
+		if i < len(t.words) {
+			b = t.words[i]
+		}
+		out.words[i] = s.words[i] &^ b
+	}
+	return out
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	out := New(s.n)
+	copy(out.words, s.words)
+	return out
+}
+
+// ForEach calls fn for every set bit in ascending order; fn returning
+// false stops the iteration.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the indices of all set bits.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,129 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in empty set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 4 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(10)
+	if s.Test(-1) || s.Test(10) {
+		t.Fatal("out-of-range Test should be false")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Set(10)
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Set(1)
+	a.Set(50)
+	a.Set(99)
+	b.Set(50)
+	b.Set(99)
+	b.Set(2)
+	if got := a.AndCount(b); got != 2 {
+		t.Fatalf("AndCount = %d", got)
+	}
+	and := a.And(b)
+	if and.Count() != 2 || !and.Test(50) || !and.Test(99) {
+		t.Fatal("And wrong")
+	}
+	or := a.Or(b)
+	if or.Count() != 4 {
+		t.Fatalf("Or count = %d", or.Count())
+	}
+	diff := a.AndNot(b)
+	if diff.Count() != 1 || !diff.Test(1) {
+		t.Fatal("AndNot wrong")
+	}
+}
+
+func TestMixedSizes(t *testing.T) {
+	a, b := New(10), New(200)
+	a.Set(3)
+	b.Set(3)
+	b.Set(150)
+	if a.AndCount(b) != 1 {
+		t.Fatal("AndCount across sizes")
+	}
+	or := a.Or(b)
+	if !or.Test(3) || !or.Test(150) {
+		t.Fatal("Or across sizes")
+	}
+}
+
+func TestForEachAndSlice(t *testing.T) {
+	s := New(300)
+	want := []int{0, 64, 128, 255, 299}
+	for _, i := range want {
+		s.Set(i)
+	}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	s.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(70)
+	a.Set(69)
+	b := a.Clone()
+	b.Clear(69)
+	if !a.Test(69) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestQuickCountMatchesSlice(t *testing.T) {
+	f := func(idx []uint16) bool {
+		s := New(1 << 16)
+		seen := map[int]bool{}
+		for _, i := range idx {
+			s.Set(int(i))
+			seen[int(i)] = true
+		}
+		return s.Count() == len(seen) && len(s.Slice()) == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package browse implements the faceted browsing engine that the
+// extracted hierarchies power: an OLAP-style view over a text database
+// (the paper repeatedly frames the faceted interface as "an OLAP-style
+// cube over the text documents" supporting slice-and-dice navigation).
+//
+// Every hierarchy node owns the set of documents annotated with its term
+// or any descendant term (roll-up). Users — real ones through the example
+// applications, simulated ones in internal/userstudy — combine facet
+// selections (conjunctive drill-down), keyword search, and per-child
+// counts exactly as in Flamenco-style faceted interfaces.
+package browse
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/hierarchy"
+	"repro/internal/textdb"
+)
+
+// Interface is a faceted browsing engine over a corpus.
+type Interface struct {
+	corpus *textdb.Corpus
+	forest *hierarchy.Forest
+	index  *textdb.Index
+
+	// docSets[term] is the roll-up document set of the node.
+	docSets map[string]*bitset.Set
+	all     *bitset.Set
+}
+
+// Build assembles the engine. docTerms lists, for every document, the
+// facet terms it is annotated with (typically: which facet terms occur in
+// the document's expanded term set).
+func Build(corpus *textdb.Corpus, forest *hierarchy.Forest, docTerms [][]string) (*Interface, error) {
+	if corpus.Len() != len(docTerms) {
+		return nil, fmt.Errorf("browse: %d docs but %d annotation rows", corpus.Len(), len(docTerms))
+	}
+	b := &Interface{
+		corpus:  corpus,
+		forest:  forest,
+		index:   textdb.BuildIndex(corpus),
+		docSets: map[string]*bitset.Set{},
+		all:     bitset.New(corpus.Len()),
+	}
+	for i := 0; i < corpus.Len(); i++ {
+		b.all.Set(i)
+	}
+	// Leaf sets: direct term occurrences.
+	direct := map[string]*bitset.Set{}
+	forest.Walk(func(n *hierarchy.Node, _ int) {
+		direct[n.Term] = bitset.New(corpus.Len())
+	})
+	for d, terms := range docTerms {
+		for _, t := range terms {
+			if s, ok := direct[t]; ok {
+				s.Set(d)
+			}
+		}
+	}
+	// Roll-up: post-order union of children.
+	var rollup func(n *hierarchy.Node) *bitset.Set
+	rollup = func(n *hierarchy.Node) *bitset.Set {
+		acc := direct[n.Term].Clone()
+		for _, c := range n.Children {
+			acc = acc.Or(rollup(c))
+		}
+		b.docSets[n.Term] = acc
+		return acc
+	}
+	for _, r := range forest.Roots {
+		rollup(r)
+	}
+	return b, nil
+}
+
+// Corpus returns the underlying corpus.
+func (b *Interface) Corpus() *textdb.Corpus { return b.corpus }
+
+// Forest returns the facet hierarchy.
+func (b *Interface) Forest() *hierarchy.Forest { return b.forest }
+
+// Count returns how many documents fall under the facet term (roll-up).
+func (b *Interface) Count(term string) int {
+	if s, ok := b.docSets[term]; ok {
+		return s.Count()
+	}
+	return 0
+}
+
+// Selection is a conjunctive facet state plus an optional keyword query
+// and an optional date range (the paper's TV-schedule example browses "by
+// time" alongside the content facets).
+type Selection struct {
+	Terms []string  // selected facet terms, combined with AND
+	Query string    // keyword query, empty = none
+	From  time.Time // inclusive lower bound; zero = unbounded
+	To    time.Time // exclusive upper bound; zero = unbounded
+}
+
+// Docs returns the documents matching the selection.
+func (b *Interface) Docs(sel Selection) []textdb.DocID {
+	set := b.resolve(sel)
+	ids := make([]textdb.DocID, 0, set.Count())
+	set.ForEach(func(i int) bool {
+		ids = append(ids, textdb.DocID(i))
+		return true
+	})
+	return ids
+}
+
+// MatchCount returns |Docs(sel)| without materializing the slice.
+func (b *Interface) MatchCount(sel Selection) int {
+	return b.resolve(sel).Count()
+}
+
+func (b *Interface) resolve(sel Selection) *bitset.Set {
+	acc := b.all
+	for _, t := range sel.Terms {
+		s, ok := b.docSets[t]
+		if !ok {
+			return bitset.New(b.corpus.Len())
+		}
+		acc = acc.And(s)
+	}
+	if sel.Query != "" {
+		qs := bitset.New(b.corpus.Len())
+		for _, h := range b.index.SearchAll(sel.Query, b.corpus.Len()) {
+			qs.Set(int(h.Doc))
+		}
+		acc = acc.And(qs)
+	}
+	if !sel.From.IsZero() || !sel.To.IsZero() {
+		ds := bitset.New(b.corpus.Len())
+		for i := 0; i < b.corpus.Len(); i++ {
+			d := b.corpus.Doc(textdb.DocID(i)).Date
+			if !sel.From.IsZero() && d.Before(sel.From) {
+				continue
+			}
+			if !sel.To.IsZero() && !d.Before(sel.To) {
+				continue
+			}
+			ds.Set(i)
+		}
+		acc = acc.And(ds)
+	}
+	if acc == b.all {
+		acc = b.all.Clone()
+	}
+	return acc
+}
+
+// DateCount is one bucket of a date histogram.
+type DateCount struct {
+	Bucket time.Time // bucket start (UTC, truncated to the granularity)
+	Count  int
+}
+
+// DateHistogram buckets the documents matching the selection by day
+// ("day") or month ("month") — the time facet of the interface.
+func (b *Interface) DateHistogram(sel Selection, granularity string) ([]DateCount, error) {
+	var trunc func(time.Time) time.Time
+	switch granularity {
+	case "day":
+		trunc = func(t time.Time) time.Time {
+			return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		}
+	case "month":
+		trunc = func(t time.Time) time.Time {
+			return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		}
+	default:
+		return nil, fmt.Errorf("browse: unknown granularity %q (want day or month)", granularity)
+	}
+	counts := map[time.Time]int{}
+	b.resolve(sel).ForEach(func(i int) bool {
+		counts[trunc(b.corpus.Doc(textdb.DocID(i)).Date.UTC())]++
+		return true
+	})
+	out := make([]DateCount, 0, len(counts))
+	for bucket, c := range counts {
+		out = append(out, DateCount{bucket, c})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Bucket.Before(out[b].Bucket) })
+	return out, nil
+}
+
+// FacetCount pairs a facet term with its count under a selection.
+type FacetCount struct {
+	Term  string `json:"term"`
+	Count int    `json:"count"`
+}
+
+// Children returns the child facet terms of parent (or the roots when
+// parent is "") with their counts restricted to the selection, omitting
+// zero-count entries — the numbers a faceted UI displays next to each
+// link. Results are sorted by count descending, then term.
+func (b *Interface) Children(parent string, sel Selection) []FacetCount {
+	var nodes []*hierarchy.Node
+	if parent == "" {
+		nodes = b.forest.Roots
+	} else if n, ok := b.forest.Find(parent); ok {
+		nodes = n.Children
+	} else {
+		return nil
+	}
+	current := b.resolve(sel)
+	var out []FacetCount
+	for _, n := range nodes {
+		c := current.AndCount(b.docSets[n.Term])
+		if c > 0 {
+			out = append(out, FacetCount{Term: n.Term, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// CrossTab computes the slice-and-dice matrix between the children of two
+// facet terms under a selection: cell [i][j] counts documents carrying
+// both childrenA[i] and childrenB[j]. This is the OLAP-style pivot the
+// paper's Section V-F describes ("show profit-margin distribution for
+// users with this type of complaints").
+type CrossTab struct {
+	RowTerms []string
+	ColTerms []string
+	Cells    [][]int
+}
+
+// Cross computes the cross-tabulation of facetA's children against
+// facetB's children, restricted to the selection.
+func (b *Interface) Cross(facetA, facetB string, sel Selection) (*CrossTab, error) {
+	na, ok := b.forest.Find(facetA)
+	if !ok {
+		return nil, fmt.Errorf("browse: unknown facet %q", facetA)
+	}
+	nb, ok := b.forest.Find(facetB)
+	if !ok {
+		return nil, fmt.Errorf("browse: unknown facet %q", facetB)
+	}
+	current := b.resolve(sel)
+	ct := &CrossTab{}
+	for _, c := range na.Children {
+		ct.RowTerms = append(ct.RowTerms, c.Term)
+	}
+	for _, c := range nb.Children {
+		ct.ColTerms = append(ct.ColTerms, c.Term)
+	}
+	ct.Cells = make([][]int, len(ct.RowTerms))
+	for i, rt := range ct.RowTerms {
+		row := make([]int, len(ct.ColTerms))
+		rSet := current.And(b.docSets[rt])
+		for j, ctm := range ct.ColTerms {
+			row[j] = rSet.AndCount(b.docSets[ctm])
+		}
+		ct.Cells[i] = row
+	}
+	return ct, nil
+}
+
+// Search runs a plain keyword search (no facet restriction, conjunctive
+// semantics) and returns up to k documents in rank order; the user-study
+// simulator uses it for the keyword-only interaction mode.
+func (b *Interface) Search(query string, k int) []textdb.DocID {
+	hits := b.index.SearchAll(query, k)
+	out := make([]textdb.DocID, len(hits))
+	for i, h := range hits {
+		out[i] = h.Doc
+	}
+	return out
+}

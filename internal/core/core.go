@@ -1,0 +1,387 @@
+// Package core implements the paper's primary contribution: the
+// unsupervised facet-term discovery pipeline of Section IV.
+//
+//  1. Identify the important terms of every document with one or more
+//     term extractors (Figure 1).
+//  2. Query one or more external resources with each important term and
+//     expand the document with the returned context terms, producing the
+//     contextualized database C(D) (Figure 2).
+//  3. Compare term distributions between D and C(D): a term is a
+//     candidate facet term when both the frequency shift
+//     Shift_f(t) = df_C(t) − df(t) and the rank-bin shift
+//     Shift_r(t) = B_D(t) − B_C(t) are positive; candidates are ranked by
+//     Dunning's log-likelihood statistic −log λ and the top k returned
+//     (Figure 3).
+//
+// Extractors and resources are interfaces; the substrates in
+// internal/{ner,yterms,wiki,wordnet,websearch} provide the paper's five
+// concrete implementations, and domain glossaries (Section VII) plug in
+// through the same seams.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/textdb"
+)
+
+// Extractor identifies the important terms of a document (Section IV-A).
+// Extract receives the document text (title and body) and returns
+// normalized terms.
+type Extractor interface {
+	Name() string
+	Extract(text string) []string
+}
+
+// Resource returns context terms for an important term (Section IV-B).
+type Resource interface {
+	Name() string
+	Context(term string) []string
+}
+
+// Config assembles a pipeline.
+type Config struct {
+	Extractors []Extractor
+	Resources  []Resource
+	// TopK bounds the number of facet terms returned; 0 means the paper's
+	// working value of 200.
+	TopK int
+	// MaxImportantPerDoc caps important terms per document (0 = no cap);
+	// extractors already bound their own output, so this is a safety net.
+	MaxImportantPerDoc int
+}
+
+// Pipeline is a configured facet-discovery run. It caches resource
+// lookups, so expanding a corpus costs one resource query per distinct
+// (resource, term) pair — the offline precomputation strategy the paper
+// describes in Section V-D.
+type Pipeline struct {
+	cfg   Config
+	cache *ResourceCache
+}
+
+// New validates the configuration and returns a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if len(cfg.Extractors) == 0 {
+		return nil, fmt.Errorf("core: no extractors configured")
+	}
+	if len(cfg.Resources) == 0 {
+		return nil, fmt.Errorf("core: no resources configured")
+	}
+	if cfg.TopK == 0 {
+		cfg.TopK = 200
+	}
+	if cfg.TopK < 0 {
+		return nil, fmt.Errorf("core: negative TopK %d", cfg.TopK)
+	}
+	return &Pipeline{cfg: cfg, cache: NewResourceCache()}, nil
+}
+
+// ResourceCache memoizes Context lookups per resource name, so that
+// evaluation harnesses sharing a cache across many pipeline
+// configurations pay for each distinct (resource, term) query once.
+type ResourceCache struct {
+	m map[string]map[string][]string
+}
+
+// NewResourceCache returns an empty cache.
+func NewResourceCache() *ResourceCache {
+	return &ResourceCache{m: map[string]map[string][]string{}}
+}
+
+// Lookup queries the resource through the cache.
+func (c *ResourceCache) Lookup(r Resource, term string) []string {
+	byTerm := c.m[r.Name()]
+	if byTerm == nil {
+		byTerm = map[string][]string{}
+		c.m[r.Name()] = byTerm
+	}
+	if ctx, ok := byTerm[term]; ok {
+		return ctx
+	}
+	ctx := r.Context(term)
+	byTerm[term] = ctx
+	return ctx
+}
+
+// FacetTerm is one discovered facet term with its evidence.
+type FacetTerm struct {
+	Term   string
+	DF     int     // document frequency in the original database
+	DFC    int     // document frequency in the contextualized database
+	ShiftF int     // DFC − DF
+	ShiftR int     // B_D − B_C
+	Score  float64 // −log λ
+}
+
+// Result carries everything a run produces.
+type Result struct {
+	// Facets are the top-k facet terms, ranked by Score descending.
+	Facets []FacetTerm
+	// Candidates are all terms passing both shift tests, ranked like
+	// Facets (Facets is its prefix).
+	Candidates []FacetTerm
+	// Important[i] lists the important terms identified in document i.
+	Important [][]string
+	// Context[i] lists the context terms added to document i.
+	Context [][]string
+	// Resources are the resources the run used; downstream consumers
+	// (hierarchy population, browsing assignment) re-query them through
+	// the shared cache.
+	Resources []Resource
+	// NumDocs is the collection size |D|.
+	NumDocs int
+}
+
+// Run executes the three steps over the corpus.
+func (p *Pipeline) Run(corpus *textdb.Corpus) (*Result, error) {
+	if corpus.Len() == 0 {
+		return nil, fmt.Errorf("core: empty corpus")
+	}
+	important := IdentifyImportant(corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc)
+	context := DeriveContext(important, p.cfg.Resources, p.cache)
+	res := Analyze(corpus, context, p.cfg.TopK)
+	res.Important = important
+	res.Context = context
+	res.Resources = p.cfg.Resources
+	return res, nil
+}
+
+// IdentifyImportant is Step 1 (Figure 1): per document, the union of all
+// extractors' terms, first-extractor-first order preserved. maxPerDoc <= 0
+// means no cap.
+//
+// Documents are sharded across GOMAXPROCS workers: extraction is
+// CPU-bound and per-document independent, and the built-in extractors are
+// read-only after construction. Output is deterministic — each worker
+// writes only its own documents' slots.
+func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc int) [][]string {
+	out := make([][]string, corpus.Len())
+	extractOne := func(i int) {
+		doc := corpus.Doc(textdb.DocID(i))
+		text := doc.Title + ". " + doc.Text
+		seen := map[string]bool{}
+		var terms []string
+		for _, ex := range extractors {
+			for _, t := range ex.Extract(text) {
+				if t == "" || seen[t] {
+					continue
+				}
+				seen[t] = true
+				terms = append(terms, t)
+			}
+		}
+		if maxPerDoc > 0 && len(terms) > maxPerDoc {
+			terms = terms[:maxPerDoc]
+		}
+		out[i] = terms
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || corpus.Len() < 2*workers {
+		for i := 0; i < corpus.Len(); i++ {
+			extractOne(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= corpus.Len() {
+					return
+				}
+				extractOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// DeriveContext is Step 2 (Figure 2): per document, the union of all
+// resources' context terms for each important term, deduplicated. A nil
+// cache allocates a private one.
+func DeriveContext(important [][]string, resources []Resource, cache *ResourceCache) [][]string {
+	if cache == nil {
+		cache = NewResourceCache()
+	}
+	out := make([][]string, len(important))
+	for i, terms := range important {
+		seen := map[string]bool{}
+		var ctx []string
+		for _, t := range terms {
+			for _, r := range resources {
+				for _, c := range cache.Lookup(r, t) {
+					if c == "" || seen[c] {
+						continue
+					}
+					seen[c] = true
+					ctx = append(ctx, c)
+				}
+			}
+		}
+		out[i] = ctx
+	}
+	return out
+}
+
+// AnalyzeOptions selects variants of Step 3 for ablation studies. The
+// zero value is the paper's algorithm: both shift tests required, ranking
+// by Dunning's log-likelihood.
+type AnalyzeOptions struct {
+	// SkipShiftF / SkipShiftR disable the respective gating test.
+	SkipShiftF bool
+	SkipShiftR bool
+	// Scorer overrides the ranking statistic; nil selects the paper's
+	// −log λ. The paper argues chi-square (stats.ChiSquare) misbehaves on
+	// Zipfian frequencies; the ablation experiment substitutes it here.
+	Scorer func(df, dfC, n int) float64
+}
+
+// ContextVotes returns, per document, how many distinct important terms
+// contributed each context term (through any resource). The pipeline's
+// Step 3 uses the flat union (DeriveContext); document-to-facet
+// ASSIGNMENT for hierarchy population and browsing uses these vote
+// counts: a facet term describes a document only when several of the
+// document's own important terms independently pull it in, which keeps
+// one stray entity mention from tagging the story with a whole unrelated
+// dimension.
+func ContextVotes(important [][]string, resources []Resource, cache *ResourceCache) []map[string]int {
+	if cache == nil {
+		cache = NewResourceCache()
+	}
+	out := make([]map[string]int, len(important))
+	for i, terms := range important {
+		votes := map[string]int{}
+		for _, t := range terms {
+			seen := map[string]bool{}
+			for _, r := range resources {
+				for _, c := range cache.Lookup(r, t) {
+					if c != "" && !seen[c] {
+						seen[c] = true
+						votes[c]++
+					}
+				}
+			}
+		}
+		out[i] = votes
+	}
+	return out
+}
+
+// Analyze is Step 3 (Figure 3): comparative term-frequency analysis over
+// the original corpus and its per-document context expansions, with the
+// paper's default options.
+func Analyze(corpus *textdb.Corpus, context [][]string, topK int) *Result {
+	return AnalyzeWith(corpus, context, topK, AnalyzeOptions{})
+}
+
+// AnalyzeWith is Analyze with explicit options.
+func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts AnalyzeOptions) *Result {
+	if topK <= 0 {
+		topK = 200
+	}
+	dict := corpus.Dict()
+	n := corpus.Len()
+
+	// df over the original database.
+	dfD := textdb.NewDFTable(dict)
+	for i := 0; i < n; i++ {
+		dfD.AddDoc(corpus.DocTerms(textdb.DocID(i)))
+	}
+
+	// df over the contextualized database: original terms plus context
+	// terms, deduplicated per document.
+	dfC := textdb.NewDFTable(dict)
+	ctxTermSet := map[textdb.TermID]bool{}
+	scratch := map[textdb.TermID]bool{}
+	for i := 0; i < n; i++ {
+		orig := corpus.DocTerms(textdb.DocID(i))
+		clear(scratch)
+		merged := make([]textdb.TermID, 0, len(orig)+len(context[i]))
+		for _, id := range orig {
+			scratch[id] = true
+			merged = append(merged, id)
+		}
+		for _, c := range context[i] {
+			id := dict.Intern(c)
+			if !scratch[id] {
+				scratch[id] = true
+				merged = append(merged, id)
+				ctxTermSet[id] = true
+			}
+		}
+		dfC.AddDoc(merged)
+	}
+
+	ranksD := dfD.Ranks()
+	ranksC := dfC.Ranks()
+
+	scorer := opts.Scorer
+	if scorer == nil {
+		scorer = stats.LogLikelihood
+	}
+	// Only terms that gained at least one contextual occurrence can pass
+	// Shift_f > 0, so candidate enumeration is restricted to ctxTermSet.
+	var cands []FacetTerm
+	for id := range ctxTermSet {
+		df := dfD.DF(id)
+		dfc := dfC.DF(id)
+		shiftF := dfc - df
+		if shiftF <= 0 && !opts.SkipShiftF {
+			continue
+		}
+		shiftR := textdb.Bin(ranksD.Rank(id)) - textdb.Bin(ranksC.Rank(id))
+		if shiftR <= 0 && !opts.SkipShiftR {
+			continue
+		}
+		cands = append(cands, FacetTerm{
+			Term:   dict.String(id),
+			DF:     df,
+			DFC:    dfc,
+			ShiftF: shiftF,
+			ShiftR: shiftR,
+			Score:  scorer(df, dfc, n),
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Score != cands[b].Score {
+			return cands[a].Score > cands[b].Score
+		}
+		return cands[a].Term < cands[b].Term
+	})
+	res := &Result{Candidates: cands, NumDocs: n}
+	if topK > len(cands) {
+		topK = len(cands)
+	}
+	res.Facets = cands[:topK]
+	return res
+}
+
+// FacetTermStrings returns just the facet term texts of the result.
+func (r *Result) FacetTermStrings() []string {
+	out := make([]string, len(r.Facets))
+	for i, f := range r.Facets {
+		out[i] = f.Term
+	}
+	return out
+}
+
+// CandidateStrings returns the texts of ALL terms that passed both shift
+// tests (the full Facet(D) set before top-k truncation).
+func (r *Result) CandidateStrings() []string {
+	out := make([]string, len(r.Candidates))
+	for i, f := range r.Candidates {
+		out[i] = f.Term
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+)
+
+// The paper's discussion section (VII) proposes plugging domain-specific
+// controlled vocabularies (e.g. from Dow Jones' Taxonomy Warehouse) into
+// the same two seams: a glossary used for term identification, and a
+// thesaurus/ontology used for term expansion. GlossaryExtractor and
+// GlossaryResource implement those, so a deployment for, say, financial
+// literature can run the identical pipeline with a finance glossary.
+
+// GlossaryExtractor marks document terms important when they appear in a
+// fixed controlled vocabulary.
+type GlossaryExtractor struct {
+	name     string
+	terms    map[string]bool
+	maxWords int
+}
+
+// NewGlossaryExtractor builds an extractor from a vocabulary; entries are
+// normalized. The name appears in experiment output.
+func NewGlossaryExtractor(name string, vocabulary []string) (*GlossaryExtractor, error) {
+	if len(vocabulary) == 0 {
+		return nil, fmt.Errorf("core: empty glossary %q", name)
+	}
+	g := &GlossaryExtractor{name: name, terms: map[string]bool{}}
+	for _, v := range vocabulary {
+		n := lang.NormalizePhrase(v)
+		if n == "" {
+			continue
+		}
+		g.terms[n] = true
+		if w := len(strings.Fields(n)); w > g.maxWords {
+			g.maxWords = w
+		}
+	}
+	if len(g.terms) == 0 {
+		return nil, fmt.Errorf("core: glossary %q normalized to nothing", name)
+	}
+	return g, nil
+}
+
+// Name implements Extractor.
+func (g *GlossaryExtractor) Name() string { return g.name }
+
+// Extract returns glossary terms found in the text, longest match first.
+func (g *GlossaryExtractor) Extract(text string) []string {
+	words := lang.Norms(lang.Tokenize(text))
+	var out []string
+	seen := map[string]bool{}
+	i := 0
+	for i < len(words) {
+		matched := 0
+		for n := min(g.maxWords, len(words)-i); n >= 1; n-- {
+			span := strings.Join(words[i:i+n], " ")
+			if g.terms[span] {
+				if !seen[span] {
+					seen[span] = true
+					out = append(out, span)
+				}
+				matched = n
+				break
+			}
+		}
+		if matched > 0 {
+			i += matched
+		} else {
+			i++
+		}
+	}
+	return out
+}
+
+// GlossaryResource expands terms through a fixed term → related-terms
+// mapping (a thesaurus or small ontology).
+type GlossaryResource struct {
+	name    string
+	related map[string][]string
+}
+
+// NewGlossaryResource builds a resource from a thesaurus map; keys and
+// values are normalized.
+func NewGlossaryResource(name string, thesaurus map[string][]string) (*GlossaryResource, error) {
+	if len(thesaurus) == 0 {
+		return nil, fmt.Errorf("core: empty thesaurus %q", name)
+	}
+	g := &GlossaryResource{name: name, related: map[string][]string{}}
+	for k, vals := range thesaurus {
+		key := lang.NormalizePhrase(k)
+		if key == "" {
+			continue
+		}
+		var norm []string
+		seen := map[string]bool{}
+		for _, v := range vals {
+			n := lang.NormalizePhrase(v)
+			if n == "" || n == key || seen[n] {
+				continue
+			}
+			seen[n] = true
+			norm = append(norm, n)
+		}
+		sort.Strings(norm)
+		g.related[key] = norm
+	}
+	return g, nil
+}
+
+// Name implements Resource.
+func (g *GlossaryResource) Name() string { return g.name }
+
+// Context returns the thesaurus expansion of the term.
+func (g *GlossaryResource) Context(term string) []string {
+	return g.related[lang.NormalizePhrase(term)]
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/mturk"
+	"repro/internal/ontology"
+)
+
+// DimensionRecall breaks the All×All recall down by facet dimension
+// (Location, People, Markets, ...): which browsing dimensions the pipeline
+// recovers well and which it misses. The paper reports only aggregate
+// recall; this diagnostic shows where the aggregate comes from.
+type DimensionRecall struct {
+	Rows []DimensionRow
+}
+
+// DimensionRow is one facet root's recall.
+type DimensionRow struct {
+	Dimension string
+	GTTerms   int
+	Found     int
+	Recall    float64
+}
+
+// RecallByDimension evaluates the All×All cell per facet root. Ground
+// truth terms that do not resolve to a facet concept (annotator noise)
+// are grouped under "(unmapped)".
+func RecallByDimension(dr *DataRun, gt *mturk.GroundTruth) *DimensionRecall {
+	result := dr.RunCell(ExtAll, ResAll, 1)
+	found := map[string]bool{}
+	for _, t := range result.CandidateStrings() {
+		found[t] = true
+	}
+	kb := dr.Lab.KB
+	type agg struct{ gt, found int }
+	byRoot := map[string]*agg{}
+	bump := func(root string, hit bool) {
+		a := byRoot[root]
+		if a == nil {
+			a = &agg{}
+			byRoot[root] = a
+		}
+		a.gt++
+		if hit {
+			a.found++
+		}
+	}
+	for _, term := range gt.Terms {
+		rootName := "(unmapped)"
+		if c, ok := kb.ByName(term); ok {
+			if root := kb.Root(c.ID); root != ontology.None {
+				rootName = kb.Concept(root).Display
+			}
+		}
+		// A GT term counts as found if any extracted candidate matches it
+		// at the stem level; reuse the GroundTruth matcher by testing the
+		// exact term against the found set via stems.
+		hit := false
+		if found[term] {
+			hit = true
+		} else {
+			for f := range found {
+				if stemEqual(f, term) {
+					hit = true
+					break
+				}
+			}
+		}
+		bump(rootName, hit)
+	}
+	out := &DimensionRecall{}
+	for name, a := range byRoot {
+		out.Rows = append(out.Rows, DimensionRow{
+			Dimension: name,
+			GTTerms:   a.gt,
+			Found:     a.found,
+			Recall:    float64(a.found) / float64(a.gt),
+		})
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].GTTerms != out.Rows[j].GTTerms {
+			return out.Rows[i].GTTerms > out.Rows[j].GTTerms
+		}
+		return out.Rows[i].Dimension < out.Rows[j].Dimension
+	})
+	return out
+}
+
+// stemEqual compares two terms at stem level (the matching rule used by
+// GroundTruth.Recall).
+func stemEqual(a, b string) bool {
+	return lang.StemPhrase(lang.NormalizePhrase(a)) == lang.StemPhrase(lang.NormalizePhrase(b))
+}
+
+// Format renders the breakdown.
+func (d *DimensionRecall) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %8s %8s %8s\n", "Dimension", "GTTerms", "Found", "Recall")
+	sb.WriteString(strings.Repeat("-", 56) + "\n")
+	for _, r := range d.Rows {
+		fmt.Fprintf(&sb, "%-28s %8d %8d %8.3f\n", r.Dimension, r.GTTerms, r.Found, r.Recall)
+	}
+	return sb.String()
+}

@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/mturk"
+)
+
+// RecallConfig parameterizes the recall experiments (Tables II–IV).
+type RecallConfig struct {
+	// SampleSize stories are annotated for ground truth (paper: 1,000).
+	SampleSize int
+	// TopK truncates each cell's ranked facet terms before measuring
+	// recall; 0 (the default) measures over every term passing both shift
+	// tests — the paper's notion of "extracted by our techniques" — which
+	// makes the All rows/columns proper unions of their parts.
+	TopK int
+}
+
+func (c *RecallConfig) defaults() {
+	if c.SampleSize == 0 {
+		c.SampleSize = 1000
+	}
+}
+
+// RecallTable reproduces one of Tables II/III/IV: the recall of every
+// (external resource × term extractor) combination against the
+// Mechanical-Turk-style ground truth, with "All" rows and columns.
+func RecallTable(dr *DataRun, cfg RecallConfig) (*Table, *mturk.GroundTruth) {
+	cfg.defaults()
+	gt := dr.Pool.BuildGroundTruth(dr.DS, dr.SampleIndices(cfg.SampleSize))
+
+	cols := append(append([]string{}, ExtractorOrder...), ExtAll)
+	rows := append(append([]string{}, ResourceOrder...), ResAll)
+	t := &Table{
+		Title:     fmt.Sprintf("Recall of extracted facets, %s data set (|GT| = %d terms)", dr.DS.Profile.Name, len(gt.Terms)),
+		RowHeader: "External Resource",
+		ColHeader: "Term Extractors",
+		Cols:      cols,
+	}
+	for _, res := range rows {
+		row := TableRow{Name: res}
+		for _, ext := range cols {
+			result := dr.RunCell(ext, res, 1)
+			terms := result.CandidateStrings()
+			if cfg.TopK > 0 && cfg.TopK < len(terms) {
+				terms = terms[:cfg.TopK]
+			}
+			row.Values = append(row.Values, gt.Recall(terms))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, gt
+}

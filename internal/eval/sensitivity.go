@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SensitivityPoint is one point of the Section V-B sensitivity test.
+type SensitivityPoint struct {
+	Stories  int
+	Terms    int     // distinct validated facet terms at this sample size
+	Fraction float64 // Terms / Terms(max sample)
+}
+
+// Sensitivity reproduces the paper's sensitivity test: how the number of
+// discovered ground-truth facet terms grows with the number of annotated
+// stories (the paper reports ~40% at 100 stories and ~80% at 500,
+// relative to the 1,000-story sample).
+func Sensitivity(dr *DataRun, sizes []int) []SensitivityPoint {
+	if len(sizes) == 0 {
+		sizes = []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	}
+	maxN := 0
+	for _, n := range sizes {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	// Annotate once at the largest size; prefixes give the smaller sizes
+	// (stories are i.i.d. in the generator, so prefixes are random
+	// samples).
+	gt := dr.Pool.BuildGroundTruth(dr.DS, dr.SampleIndices(maxN))
+	cum := map[string]bool{}
+	termsAt := make(map[int]int)
+	sizeSet := map[int]bool{}
+	for _, n := range sizes {
+		sizeSet[n] = true
+	}
+	for i, story := range gt.Stories {
+		for _, t := range story {
+			cum[t] = true
+		}
+		if sizeSet[i+1] {
+			termsAt[i+1] = len(cum)
+		}
+	}
+	total := len(cum)
+	var out []SensitivityPoint
+	for _, n := range sizes {
+		terms := termsAt[n]
+		if n >= len(gt.Stories) {
+			terms = total
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(terms) / float64(total)
+		}
+		out = append(out, SensitivityPoint{Stories: n, Terms: terms, Fraction: frac})
+	}
+	return out
+}
+
+// FormatSensitivity renders the curve as a text table.
+func FormatSensitivity(points []SensitivityPoint) string {
+	var sb strings.Builder
+	sb.WriteString("Stories   FacetTerms   Fraction\n")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%7d   %10d   %7.2f\n", p.Stories, p.Terms, p.Fraction)
+	}
+	return sb.String()
+}

@@ -1,0 +1,96 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a resources × extractors grid of metric values, formatted like
+// the paper's Tables II–VII.
+type Table struct {
+	Title     string
+	RowHeader string // "External Resource"
+	ColHeader string // "Term Extractors"
+	Cols      []string
+	Rows      []TableRow
+}
+
+// TableRow is one labeled row of values.
+type TableRow struct {
+	Name   string
+	Values []float64
+}
+
+// Cell returns the value at (rowName, colName), or (0, false).
+func (t *Table) Cell(rowName, colName string) (float64, bool) {
+	col := -1
+	for i, c := range t.Cols {
+		if c == colName {
+			col = i
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Name == rowName && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	width := 22
+	for _, r := range t.Rows {
+		if len(r.Name) > width {
+			width = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", width+2, t.RowHeader)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&sb, "%12s", c)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", width+2+12*len(t.Cols)))
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", width+2, r.Name)
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, "%12.3f", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values with a header row;
+// the experiment harness writes these next to the text tables so results
+// can be loaded into spreadsheets or plotting scripts.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(t.RowHeader))
+	for _, c := range t.Cols {
+		sb.WriteString(",")
+		sb.WriteString(csvEscape(c))
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		sb.WriteString(csvEscape(r.Name))
+		for _, v := range r.Values {
+			fmt.Fprintf(&sb, ",%.4f", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

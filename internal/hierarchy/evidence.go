@@ -1,0 +1,186 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// TaxonomicEvidence scores the hypothesis "parent is-a-broader-term-of
+// child" from one knowledge source, in [0, 1]. This is the extension the
+// paper points at ("newer algorithms [5] may give even better results",
+// citing Snow, Jurafsky & Ng 2006): instead of relying on document
+// co-occurrence alone, evidence from heterogeneous sources is combined.
+type TaxonomicEvidence interface {
+	Name() string
+	Score(parent, child string) float64
+}
+
+// EvidenceFunc adapts a function to TaxonomicEvidence.
+type EvidenceFunc struct {
+	EvidenceName string
+	Fn           func(parent, child string) float64
+}
+
+// Name implements TaxonomicEvidence.
+func (e EvidenceFunc) Name() string { return e.EvidenceName }
+
+// Score implements TaxonomicEvidence.
+func (e EvidenceFunc) Score(parent, child string) float64 { return e.Fn(parent, child) }
+
+// EvidenceConfig parameterizes BuildWithEvidence.
+type EvidenceConfig struct {
+	// SubsumptionWeight scales the co-occurrence evidence P(x|y); the
+	// remaining sources contribute with their own weights. 0 selects 1.0.
+	SubsumptionWeight float64
+	// Weights per evidence source, aligned with Sources; nil gives every
+	// source weight 1.
+	Weights []float64
+	Sources []TaxonomicEvidence
+	// Threshold is the minimum combined score for attaching a child to a
+	// parent; 0 selects 0.8 (comparable to plain subsumption's θ).
+	Threshold float64
+	// MinDF as in SubsumptionConfig.
+	MinDF int
+}
+
+// BuildWithEvidence builds a forest like BuildSubsumption but chooses each
+// term's parent by the maximum combined evidence score. A candidate must
+// still satisfy P(y|x) < 1 (directionality) and reach the threshold.
+func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) (*Forest, error) {
+	if cfg.SubsumptionWeight == 0 {
+		cfg.SubsumptionWeight = 1.0
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.8
+	}
+	if cfg.MinDF == 0 {
+		cfg.MinDF = 2
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Sources) {
+		return nil, fmt.Errorf("hierarchy: %d weights for %d sources", len(cfg.Weights), len(cfg.Sources))
+	}
+	weight := func(i int) float64 {
+		if cfg.Weights == nil {
+			return 1
+		}
+		return cfg.Weights[i]
+	}
+	totalWeight := cfg.SubsumptionWeight
+	for i := range cfg.Sources {
+		totalWeight += weight(i)
+	}
+	if totalWeight <= 0 {
+		return nil, fmt.Errorf("hierarchy: non-positive total evidence weight")
+	}
+
+	idx := make(map[string]int, len(terms))
+	uniq := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if _, dup := idx[t]; !dup {
+			idx[t] = len(uniq)
+			uniq = append(uniq, t)
+		}
+	}
+	sets := make([]*bitset.Set, len(uniq))
+	for i := range sets {
+		sets[i] = bitset.New(len(docTerms))
+	}
+	for d, ts := range docTerms {
+		for _, t := range ts {
+			if i, ok := idx[t]; ok {
+				sets[i].Set(d)
+			}
+		}
+	}
+	df := make([]int, len(uniq))
+	for i, s := range sets {
+		df[i] = s.Count()
+	}
+	var alive []int
+	for i := range uniq {
+		if df[i] >= cfg.MinDF {
+			alive = append(alive, i)
+		}
+	}
+	sort.Slice(alive, func(a, b int) bool { return uniq[alive[a]] < uniq[alive[b]] })
+
+	nodes := make(map[int]*Node, len(alive))
+	for _, i := range alive {
+		nodes[i] = &Node{Term: uniq[i], DF: df[i]}
+	}
+	parentOf := map[int]int{}
+	for _, y := range alive {
+		bestScore := 0.0
+		bestIdx := -1
+		for _, x := range alive {
+			if x == y {
+				continue
+			}
+			co := sets[x].AndCount(sets[y])
+			pyx := float64(co) / float64(df[x])
+			if pyx >= 1 {
+				continue
+			}
+			score := cfg.SubsumptionWeight * float64(co) / float64(df[y])
+			for i, src := range cfg.Sources {
+				score += weight(i) * clamp01(src.Score(uniq[x], uniq[y]))
+			}
+			score /= totalWeight
+			if score > bestScore || (score == bestScore && bestIdx >= 0 && uniq[x] < uniq[bestIdx]) {
+				bestScore = score
+				bestIdx = x
+			}
+		}
+		if bestIdx >= 0 && bestScore >= cfg.Threshold {
+			parentOf[y] = bestIdx
+		}
+	}
+	// Cycle guard as in BuildSubsumption.
+	for _, y := range alive {
+		seen := map[int]bool{y: true}
+		cur, ok := parentOf[y]
+		for ok {
+			if seen[cur] {
+				delete(parentOf, y)
+				break
+			}
+			seen[cur] = true
+			cur, ok = parentOf[cur]
+		}
+	}
+	forest := &Forest{index: map[string]*Node{}}
+	for _, i := range alive {
+		forest.index[uniq[i]] = nodes[i]
+	}
+	for _, y := range alive {
+		if p, ok := parentOf[y]; ok {
+			nodes[y].Parent = nodes[p]
+			nodes[p].Children = append(nodes[p].Children, nodes[y])
+		} else {
+			forest.Roots = append(forest.Roots, nodes[y])
+		}
+	}
+	less := func(a, b *Node) bool {
+		if a.DF != b.DF {
+			return a.DF > b.DF
+		}
+		return a.Term < b.Term
+	}
+	forest.Walk(func(n *Node, _ int) {
+		sort.Slice(n.Children, func(i, j int) bool { return less(n.Children[i], n.Children[j]) })
+	})
+	sort.Slice(forest.Roots, func(i, j int) bool { return less(forest.Roots[i], forest.Roots[j]) })
+	return forest, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

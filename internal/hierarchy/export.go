@@ -1,0 +1,121 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Export formats for the extracted hierarchies: Graphviz DOT for
+// visualization and JSON for downstream tooling — the artifacts a team
+// adopting the library would feed into their own UI.
+
+// WriteDOT renders the forest as a Graphviz digraph. Node labels carry
+// the term and its document frequency.
+func WriteDOT(w io.Writer, f *Forest, graphName string) error {
+	if graphName == "" {
+		graphName = "facets"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n", graphName); err != nil {
+		return err
+	}
+	var writeErr error
+	emit := func(format string, args ...any) {
+		if writeErr == nil {
+			_, writeErr = fmt.Fprintf(w, format, args...)
+		}
+	}
+	f.Walk(func(n *Node, _ int) {
+		emit("  %q [label=%q];\n", n.Term, fmt.Sprintf("%s (%d)", n.Term, n.DF))
+		for _, c := range n.Children {
+			emit("  %q -> %q;\n", n.Term, c.Term)
+		}
+	})
+	emit("}\n")
+	return writeErr
+}
+
+// JSONNode is the serialized form of a hierarchy node.
+type JSONNode struct {
+	Term     string      `json:"term"`
+	DF       int         `json:"df"`
+	Children []*JSONNode `json:"children,omitempty"`
+}
+
+// ToJSON converts the forest into serializable roots.
+func ToJSON(f *Forest) []*JSONNode {
+	var convert func(n *Node) *JSONNode
+	convert = func(n *Node) *JSONNode {
+		out := &JSONNode{Term: n.Term, DF: n.DF}
+		for _, c := range n.Children {
+			out.Children = append(out.Children, convert(c))
+		}
+		return out
+	}
+	roots := make([]*JSONNode, 0, len(f.Roots))
+	for _, r := range f.Roots {
+		roots = append(roots, convert(r))
+	}
+	return roots
+}
+
+// WriteJSON writes the forest as indented JSON.
+func WriteJSON(w io.Writer, f *Forest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSON(f))
+}
+
+// FromJSON reconstructs a forest from serialized roots (inverse of
+// ToJSON); used to load previously exported hierarchies.
+func FromJSON(roots []*JSONNode) (*Forest, error) {
+	f := &Forest{index: map[string]*Node{}}
+	var convert func(j *JSONNode, parent *Node) (*Node, error)
+	convert = func(j *JSONNode, parent *Node) (*Node, error) {
+		if j.Term == "" {
+			return nil, fmt.Errorf("hierarchy: empty term in JSON")
+		}
+		if _, dup := f.index[j.Term]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate term %q in JSON", j.Term)
+		}
+		n := &Node{Term: j.Term, DF: j.DF, Parent: parent}
+		f.index[j.Term] = n
+		for _, c := range j.Children {
+			child, err := convert(c, n)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		}
+		return n, nil
+	}
+	for _, r := range roots {
+		root, err := convert(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		f.Roots = append(f.Roots, root)
+	}
+	return f, nil
+}
+
+// ReadJSON parses a forest previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Forest, error) {
+	var roots []*JSONNode
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&roots); err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	return FromJSON(roots)
+}
+
+// FormatTree renders the forest as an indented text tree (the format the
+// CLI tools print).
+func FormatTree(f *Forest) string {
+	var sb strings.Builder
+	f.Walk(func(n *Node, depth int) {
+		fmt.Fprintf(&sb, "%s%s (%d)\n", strings.Repeat("  ", depth), n.Term, n.DF)
+	})
+	return sb.String()
+}

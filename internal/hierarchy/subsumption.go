@@ -1,0 +1,226 @@
+// Package hierarchy builds browsing hierarchies over extracted facet
+// terms. The primary algorithm is the subsumption method of Sanderson &
+// Croft (SIGIR 1999), which the paper uses for hierarchy construction
+// ("we used the subsumption algorithm ... that gave satisfactory
+// results"): term x subsumes term y when P(x|y) ≥ θ (θ = 0.8) and
+// P(y|x) < 1, with probabilities estimated from document co-occurrence.
+//
+// Two comparators are included: a Stoica–Hearst-style tree-minimization
+// builder over WordNet hypernym paths (the prior work the paper contrasts
+// with), and a Snow-style evidence-combination builder (the "newer
+// algorithms [5] may give even better results" note), which merges
+// subsumption evidence with taxonomy evidence from external resources.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Node is one term in a hierarchy.
+type Node struct {
+	Term     string
+	DF       int // document frequency of the term in the analyzed collection
+	Children []*Node
+	Parent   *Node
+}
+
+// Forest is a set of per-facet trees.
+type Forest struct {
+	Roots []*Node
+	index map[string]*Node
+}
+
+// Find returns the node for a term, if present.
+func (f *Forest) Find(term string) (*Node, bool) {
+	n, ok := f.index[term]
+	return n, ok
+}
+
+// Size returns the number of nodes in the forest.
+func (f *Forest) Size() int { return len(f.index) }
+
+// Walk visits every node depth-first, parents before children.
+func (f *Forest) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, d int)
+	rec = func(n *Node, d int) {
+		fn(n, d)
+		for _, c := range n.Children {
+			rec(c, d+1)
+		}
+	}
+	for _, r := range f.Roots {
+		rec(r, 0)
+	}
+}
+
+// SubsumptionConfig parameterizes BuildSubsumption.
+type SubsumptionConfig struct {
+	// Threshold is θ in P(x|y) ≥ θ; 0 selects the standard 0.8.
+	Threshold float64
+	// MinDF drops terms observed in fewer documents; co-occurrence
+	// estimates below a handful of documents are noise. 0 selects 2.
+	MinDF int
+	// MaxChildDFFraction: a term present in more than this fraction of
+	// the collection is a facet DIMENSION — it stays a root and is never
+	// attached as a child (at such densities P(x|y) ≥ θ holds against
+	// almost any x by saturation, not by meaning). 0 selects 0.6;
+	// set >= 1 to disable.
+	MaxChildDFFraction float64
+}
+
+// BuildSubsumption builds a subsumption forest over the given terms.
+// docTerms lists, for every document, which of the terms occur in it
+// (term strings must come from terms; unknown strings are ignored).
+//
+// For every term y, the chosen parent is the most specific subsumer: the
+// subsuming term x with the smallest df(x) (ties broken by higher P(x|y),
+// then lexicographically), which produces deeper, more informative trees
+// than attaching everything to the most frequent subsumer.
+func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig) (*Forest, error) {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 0.8
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("hierarchy: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	if cfg.MinDF == 0 {
+		cfg.MinDF = 2
+	}
+	if cfg.MaxChildDFFraction == 0 {
+		cfg.MaxChildDFFraction = 0.6
+	}
+	idx := make(map[string]int, len(terms))
+	uniq := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if _, dup := idx[t]; !dup {
+			idx[t] = len(uniq)
+			uniq = append(uniq, t)
+		}
+	}
+	nDocs := len(docTerms)
+	sets := make([]*bitset.Set, len(uniq))
+	for i := range sets {
+		sets[i] = bitset.New(nDocs)
+	}
+	for d, ts := range docTerms {
+		for _, t := range ts {
+			if i, ok := idx[t]; ok {
+				sets[i].Set(d)
+			}
+		}
+	}
+	df := make([]int, len(uniq))
+	for i, s := range sets {
+		df[i] = s.Count()
+	}
+
+	// Candidate terms surviving the df floor, in deterministic order.
+	var alive []int
+	for i := range uniq {
+		if df[i] >= cfg.MinDF {
+			alive = append(alive, i)
+		}
+	}
+	sort.Slice(alive, func(a, b int) bool { return uniq[alive[a]] < uniq[alive[b]] })
+
+	nodes := make(map[int]*Node, len(alive))
+	for _, i := range alive {
+		nodes[i] = &Node{Term: uniq[i], DF: df[i]}
+	}
+
+	// Parent selection. A subsumer must be strictly more general
+	// (df(x) > df(y)): with P(x|y)·df(y) = P(y|x)·df(x), this is exactly
+	// Sanderson & Croft's directionality P(x|y) > P(y|x); enforcing it on
+	// document frequencies keeps the forest layered even when the
+	// co-occurrence estimates saturate.
+	parentOf := make(map[int]int)
+	maxChildDF := int(cfg.MaxChildDFFraction * float64(nDocs))
+	for _, y := range alive {
+		if nDocs > 0 && df[y] > maxChildDF {
+			continue // saturated term: keep as a facet-dimension root
+		}
+		var best *parentCand
+		for _, x := range alive {
+			if x == y || df[x] <= df[y] {
+				continue
+			}
+			co := sets[x].AndCount(sets[y])
+			pxy := float64(co) / float64(df[y])
+			pyx := float64(co) / float64(df[x])
+			if pxy < cfg.Threshold || pyx >= 1 {
+				continue
+			}
+			cand := &parentCand{idx: x, pxy: pxy, dfx: df[x], term: uniq[x]}
+			if best == nil || moreSpecific(cand, best) {
+				best = cand
+			}
+		}
+		if best != nil {
+			parentOf[y] = best.idx
+		}
+	}
+
+	// Cycle guard: subsumption with P(y|x) < 1 cannot create 2-cycles on
+	// exact ties, but transitive chains through floating-point equalities
+	// are broken defensively by walking up and cutting back-edges.
+	for _, y := range alive {
+		seen := map[int]bool{y: true}
+		cur, ok := parentOf[y]
+		for ok {
+			if seen[cur] {
+				delete(parentOf, y) // cut: y becomes a root
+				break
+			}
+			seen[cur] = true
+			cur, ok = parentOf[cur]
+		}
+	}
+
+	forest := &Forest{index: map[string]*Node{}}
+	for _, i := range alive {
+		forest.index[uniq[i]] = nodes[i]
+	}
+	for _, y := range alive {
+		if p, ok := parentOf[y]; ok {
+			nodes[y].Parent = nodes[p]
+			nodes[p].Children = append(nodes[p].Children, nodes[y])
+		} else {
+			forest.Roots = append(forest.Roots, nodes[y])
+		}
+	}
+	// Deterministic child and root order: by descending DF then term.
+	less := func(a, b *Node) bool {
+		if a.DF != b.DF {
+			return a.DF > b.DF
+		}
+		return a.Term < b.Term
+	}
+	forest.Walk(func(n *Node, _ int) {
+		sort.Slice(n.Children, func(i, j int) bool { return less(n.Children[i], n.Children[j]) })
+	})
+	sort.Slice(forest.Roots, func(i, j int) bool { return less(forest.Roots[i], forest.Roots[j]) })
+	return forest, nil
+}
+
+// parentCand is a candidate subsumer for a term.
+type parentCand struct {
+	idx  int
+	pxy  float64
+	dfx  int
+	term string
+}
+
+// moreSpecific orders parent candidates: smaller df first (most specific
+// subsumer), then higher P(x|y), then term text.
+func moreSpecific(a, b *parentCand) bool {
+	if a.dfx != b.dfx {
+		return a.dfx < b.dfx
+	}
+	if a.pxy != b.pxy {
+		return a.pxy > b.pxy
+	}
+	return a.term < b.term
+}

@@ -1,0 +1,308 @@
+package lang
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("Jacques Chirac visited the 2005 G8 summit.")
+	got := Norms(toks)
+	want := []string{"jacques", "chirac", "visited", "the", "2005", "g8", "summit"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	text := "Hello, world!"
+	toks := Tokenize(text)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for _, tok := range toks {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Fatalf("offset mismatch: %q vs %q", text[tok.Start:tok.End], tok.Text)
+		}
+	}
+}
+
+func TestTokenizeInternalPunctuation(t *testing.T) {
+	cases := map[string]string{
+		"don't":            "don't",
+		"state-of-the-art": "state-of-the-art",
+		"U.S.":             "u.s",
+	}
+	for in, want := range cases {
+		toks := Tokenize(in)
+		if len(toks) != 1 {
+			t.Fatalf("Tokenize(%q) = %d tokens: %v", in, len(toks), Norms(toks))
+		}
+		if toks[0].Norm != want {
+			t.Fatalf("Tokenize(%q) norm = %q, want %q", in, toks[0].Norm, want)
+		}
+	}
+}
+
+func TestTokenizePeriodDoesNotJoinWords(t *testing.T) {
+	toks := Tokenize("the end.Of story")
+	got := Norms(toks)
+	want := []string{"the", "end", "of", "story"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSentenceStarts(t *testing.T) {
+	toks := Tokenize("The war ended. Peace talks began! Who attended?")
+	var starts []string
+	for _, tok := range toks {
+		if tok.SentenceStart {
+			starts = append(starts, tok.Norm)
+		}
+	}
+	want := []string{"the", "peace", "who"}
+	if !reflect.DeepEqual(starts, want) {
+		t.Fatalf("sentence starts = %v, want %v", starts, want)
+	}
+}
+
+func TestSentencesGrouping(t *testing.T) {
+	toks := Tokenize("One two. Three four five. Six.")
+	sents := Sentences(toks)
+	if len(sents) != 3 {
+		t.Fatalf("got %d sentences", len(sents))
+	}
+	if len(sents[0]) != 2 || len(sents[1]) != 3 || len(sents[2]) != 1 {
+		t.Fatalf("sentence lengths wrong: %d %d %d", len(sents[0]), len(sents[1]), len(sents[2]))
+	}
+}
+
+func TestCapitalization(t *testing.T) {
+	toks := Tokenize("NATO met Jacques in paris")
+	if !toks[0].IsAllUpper() {
+		t.Error("NATO should be all-upper")
+	}
+	if !toks[2].IsCapitalized() {
+		t.Error("Jacques should be capitalized")
+	}
+	if toks[3].IsCapitalized() {
+		t.Error("paris should not be capitalized")
+	}
+	if toks[2].IsAllUpper() {
+		t.Error("Jacques is not all-upper")
+	}
+}
+
+func TestNormalizePhrase(t *testing.T) {
+	cases := map[string]string{
+		"  Jacques   Chirac ": "jacques chirac",
+		"\"Global Warming\"":  "global warming",
+		"(Africa) debt!":      "africa debt",
+		"President of France": "president of france",
+	}
+	for in, want := range cases {
+		if got := NormalizePhrase(in); got != want {
+			t.Errorf("NormalizePhrase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	words := []string{"a", "b", "c"}
+	got := NGrams(words, 1, 2)
+	want := []string{"a", "b", "c", "a b", "b c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if NGrams(words, 4, 5) != nil {
+		t.Fatal("expected nil for n > len")
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "of", "and", "said"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"france", "war", "leader", "summit"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}
+
+func TestTrimStopwords(t *testing.T) {
+	got := TrimStopwords([]string{"the", "war", "in", "iraq"})
+	want := []string{"war", "in", "iraq"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if TrimStopwords([]string{"the", "of"}) != nil {
+		t.Fatal("all-stopword phrase should trim to nil")
+	}
+}
+
+// Porter's published vocabulary examples, taken from the 1980 paper and
+// the reference implementation's test cases.
+func TestPorterKnownStems(t *testing.T) {
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonAlpha(t *testing.T) {
+	for _, w := range []string{"at", "g8", "u.s", "2005", "a"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemPhrase(t *testing.T) {
+	if got := StemPhrase("political leaders"); got != "polit leader" {
+		t.Fatalf("got %q", got)
+	}
+	if got := StemPhrase(""); got != "" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem again usually yields the same stem for typical news
+	// vocabulary; pin that for a sample (full idempotence is not a Porter
+	// guarantee, so we check a curated list the system relies on).
+	for _, w := range []string{"market", "leader", "war", "polit", "govern", "elect"} {
+		if Stem(w) != Stem(Stem(w)) {
+			t.Errorf("stem not stable for %q: %q then %q", w, Stem(w), Stem(Stem(w)))
+		}
+	}
+}
+
+func TestQuickTokenizeOffsetsConsistent(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if s[tok.Start:tok.End] != tok.Text {
+				return false
+			}
+			if strings.ToLower(tok.Text) != tok.Norm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStemNeverPanicsOrGrows(t *testing.T) {
+	f := func(s string) bool {
+		st := Stem(strings.ToLower(s))
+		return len(st) <= len(s)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	toks := Tokenize("Médecins Sans Frontières opened a clinic in São Paulo. 北京 hosted talks.")
+	got := Norms(toks)
+	want := []string{"médecins", "sans", "frontières", "opened", "a", "clinic", "in", "são", "paulo", "北京", "hosted", "talks"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Offsets still slice the original text correctly.
+	text := "café in Zürich"
+	for _, tok := range Tokenize(text) {
+		if text[tok.Start:tok.End] != tok.Text {
+			t.Fatalf("offset mismatch for %q", tok.Text)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package lang
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). This is the classic five-step
+// definition, implemented directly from the paper. The subsumption
+// hierarchy builder and the significant-term extractor stem words so that
+// "markets"/"market" and "leader"/"leaders" are counted as one term, as is
+// standard in the IR systems the paper builds on (Sanderson & Croft 1999
+// stem before computing subsumption).
+
+// Stem returns the Porter stem of a lowercase word. Words shorter than
+// three letters and words containing non a-z bytes are returned unchanged.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	for i := 0; i < len(word); i++ {
+		if word[i] < 'a' || word[i] > 'z' {
+			return word
+		}
+	}
+	b := []byte(word)
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isCons reports whether b[i] is a consonant in Porter's sense: not a
+// vowel, and 'y' is a consonant only when preceded by a vowel position.
+func isCons(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences in b[:k].
+func measure(b []byte) int {
+	n := 0
+	i := 0
+	k := len(b)
+	for i < k && isCons(b, i) {
+		i++
+	}
+	for i < k {
+		for i < k && !isCons(b, i) {
+			i++
+		}
+		if i >= k {
+			break
+		}
+		n++
+		for i < k && isCons(b, i) {
+			i++
+		}
+	}
+	return n
+}
+
+// hasVowel reports whether b contains a vowel.
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isCons(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether b ends with a double consonant.
+func endsDoubleCons(b []byte) bool {
+	k := len(b)
+	if k < 2 {
+		return false
+	}
+	return b[k-1] == b[k-2] && isCons(b, k-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x, or y ("*o" condition in the paper).
+func endsCVC(b []byte) bool {
+	k := len(b)
+	if k < 3 {
+		return false
+	}
+	if !isCons(b, k-3) || isCons(b, k-2) || !isCons(b, k-1) {
+		return false
+	}
+	switch b[k-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix old with new if the stem before old has
+// measure > m. Returns the (possibly new) word and whether old matched.
+func replaceSuffix(b []byte, old, new string, m int) ([]byte, bool) {
+	if !hasSuffix(b, old) {
+		return b, false
+	}
+	stem := b[:len(b)-len(old)]
+	if measure(stem) > m {
+		out := make([]byte, 0, len(stem)+len(new))
+		out = append(out, stem...)
+		out = append(out, new...)
+		return out, true
+	}
+	return b, true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]):
+		stem = b[:len(b)-2]
+	case hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]):
+		stem = b[:len(b)-3]
+	default:
+		return b
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		out := make([]byte, len(b))
+		copy(out, b)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return b
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 0); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if s == "ion" {
+			if len(stem) == 0 {
+				return b
+			}
+			last := stem[len(stem)-1]
+			if last != 's' && last != 't' {
+				return b
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return b
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := b[:len(b)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if measure(b) > 1 && endsDoubleCons(b) && b[len(b)-1] == 'l' {
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+// StemPhrase stems each word of a normalized (space-separated) phrase.
+func StemPhrase(phrase string) string {
+	words := splitSpace(phrase)
+	for i, w := range words {
+		words[i] = Stem(w)
+	}
+	return joinSpace(words)
+}
+
+func splitSpace(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+func joinSpace(words []string) string {
+	n := 0
+	for _, w := range words {
+		n += len(w) + 1
+	}
+	if n == 0 {
+		return ""
+	}
+	b := make([]byte, 0, n-1)
+	for i, w := range words {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, w...)
+	}
+	return string(b)
+}

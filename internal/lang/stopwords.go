@@ -1,0 +1,93 @@
+package lang
+
+// stopwords is a standard English stopword list (the classic van
+// Rijsbergen / SMART-derived set, trimmed to words that actually occur in
+// news prose). Facet-term candidates and extracted phrases never begin or
+// end with a stopword.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range stopwordList {
+		stopwords[w] = struct{}{}
+	}
+}
+
+var stopwordList = []string{
+	"a", "about", "above", "after", "again", "against", "all", "also", "am",
+	"an", "and", "any", "are", "aren't", "as", "at", "be", "because", "been",
+	"before", "being", "below", "between", "both", "but", "by", "can",
+	"can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+	"doesn't", "doing", "don't", "down", "during", "each", "few", "for",
+	"from", "further", "had", "hadn't", "has", "hasn't", "have", "haven't",
+	"having", "he", "he'd", "he'll", "he's", "her", "here", "here's", "hers",
+	"herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+	"i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its",
+	"itself", "let's", "me", "more", "most", "mustn't", "my", "myself", "no",
+	"nor", "not", "of", "off", "on", "once", "only", "or", "other", "ought",
+	"our", "ours", "ourselves", "out", "over", "own", "same", "shan't",
+	"she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some",
+	"such", "than", "that", "that's", "the", "their", "theirs", "them",
+	"themselves", "then", "there", "there's", "these", "they", "they'd",
+	"they'll", "they're", "they've", "this", "those", "through", "to", "too",
+	"under", "until", "up", "very", "was", "wasn't", "we", "we'd", "we'll",
+	"we're", "we've", "were", "weren't", "what", "what's", "when", "when's",
+	"where", "where's", "which", "while", "who", "who's", "whom", "why",
+	"why's", "with", "won't", "would", "wouldn't", "you", "you'd", "you'll",
+	"you're", "you've", "your", "yours", "yourself", "yourselves",
+	// Reporting-verb function words common in news prose.
+	"said", "say", "says", "will", "one", "also", "according", "would",
+}
+
+// GenericNewsWords are high-frequency words of news prose that are NOT
+// stopwords but carry no facet information ("year", "people", "report").
+// The corpus generator emits them near the head of the Zipf distribution;
+// the paper's Figure 5 shows that a subsumption baseline without document
+// expansion surfaces exactly these words, which is the failure mode the
+// facet-extraction pipeline is designed to avoid.
+var GenericNewsWords = []string{
+	"year", "new", "time", "people", "state", "work", "school", "home",
+	"mr", "report", "game", "million", "week", "percent", "help", "right",
+	"plan", "house", "high", "world", "american", "month", "live", "call",
+	"thing", "day", "man", "woman", "group", "part", "place", "case",
+	"company", "number", "point", "fact", "way", "area", "money", "story",
+	"night", "water", "word", "family", "head", "hand", "official", "city",
+	"country", "billion", "street", "room", "end", "life", "team", "member",
+	"president", "director", "question", "program", "office", "service",
+	"system", "issue", "side", "kind", "job", "car", "price", "result",
+	"change", "reason", "effort", "decision", "deal", "share", "record",
+}
+
+// IsStopword reports whether the normalized word is a stopword.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}
+
+// StopwordCount returns the size of the stopword list (used by tests and
+// by the Zipfian vocabulary builder, which places stopwords at the head of
+// the frequency distribution).
+func StopwordCount() int { return len(stopwordList) }
+
+// Stopwords returns a copy of the stopword list in declaration order.
+func Stopwords() []string {
+	out := make([]string, len(stopwordList))
+	copy(out, stopwordList)
+	return out
+}
+
+// TrimStopwords removes leading and trailing stopwords from a normalized
+// phrase (given as words) and returns the trimmed words. It returns nil if
+// nothing remains.
+func TrimStopwords(words []string) []string {
+	start, end := 0, len(words)
+	for start < end && IsStopword(words[start]) {
+		start++
+	}
+	for end > start && IsStopword(words[end-1]) {
+		end--
+	}
+	if start >= end {
+		return nil
+	}
+	return words[start:end]
+}

@@ -1,0 +1,238 @@
+// Package lang provides the low-level text processing used by every other
+// package in the repository: tokenization with original-case spans,
+// sentence boundary detection, a stopword list, the Porter stemming
+// algorithm, n-gram extraction, and phrase normalization.
+//
+// The pipeline in the paper operates over "terms", which are single words
+// and multi-word phrases (footnote 2 of the paper). This package defines
+// the common normalization rules so that the corpus generator, the term
+// extractors, the external resources, and the comparative frequency
+// analysis all agree on term identity.
+package lang
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is a single word occurrence in a text.
+type Token struct {
+	Text  string // the token exactly as it appears in the text
+	Norm  string // lowercased form used for term identity
+	Start int    // byte offset of the first byte of the token
+	End   int    // byte offset one past the last byte of the token
+
+	// SentenceStart reports whether the token opens a sentence. The
+	// named-entity tagger uses it: a capitalized word at sentence start is
+	// weak evidence of an entity, while a capitalized word mid-sentence is
+	// strong evidence.
+	SentenceStart bool
+
+	// PhraseStart reports whether the token opens a phrase segment:
+	// sentence starts plus positions after commas, semicolons, colons, and
+	// brackets. Multi-word terms never span phrase boundaries ("Paris,
+	// London" is not the phrase "paris london").
+	PhraseStart bool
+}
+
+// Tokenize splits text into tokens. A token is a maximal run of letters,
+// digits, or internal apostrophes/hyphens/periods joining alphanumerics
+// ("U.S.", "state-of-the-art", "don't" stay single tokens). Sentence
+// boundaries are detected at '.', '!', '?' followed by whitespace and an
+// uppercase letter, with an abbreviation guard for single-letter initials.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	n := len(text)
+	sentenceStart := true
+	phraseStart := true
+	i := 0
+	for i < n {
+		c := text[i]
+		if !isWordStart(text, i) {
+			switch c {
+			case '.', '!', '?':
+				sentenceStart = true
+				phraseStart = true
+			case ',', ';', ':', '(', ')', '[', ']', '{', '}', '"':
+				phraseStart = true
+			}
+			_, size := utf8.DecodeRuneInString(text[i:])
+			i += size
+			continue
+		}
+		start := i
+		for i < n {
+			c = text[i]
+			if isWordStart(text, i) {
+				_, size := utf8.DecodeRuneInString(text[i:])
+				i += size
+				continue
+			}
+			// Allow internal punctuation joining two word characters.
+			if (c == '\'' || c == '-' || c == '.') && i+1 < n && isWordStart(text, i+1) && i > start {
+				// A period only joins when the preceding run looks like an
+				// initialism (single letter before it), e.g. "U.S." but not
+				// "end.Of".
+				if c == '.' && !isInitialism(text[start:i]) {
+					break
+				}
+				i++
+				continue
+			}
+			break
+		}
+		raw := text[start:i]
+		tok := Token{
+			Text:          raw,
+			Norm:          strings.ToLower(raw),
+			Start:         start,
+			End:           i,
+			SentenceStart: sentenceStart,
+			PhraseStart:   sentenceStart || phraseStart,
+		}
+		sentenceStart = false
+		phraseStart = false
+		tokens = append(tokens, tok)
+	}
+	return tokens
+}
+
+// Phrases groups tokens into phrase segments using the PhraseStart flags;
+// n-gram terms are built within segments only.
+func Phrases(tokens []Token) [][]Token {
+	var out [][]Token
+	var cur []Token
+	for _, t := range tokens {
+		if t.PhraseStart && len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// isInitialism reports whether s looks like the prefix of an initialism:
+// every letter followed by a period ("U", "U.S").
+func isInitialism(s string) bool {
+	// s is the text from token start up to (not including) the period under
+	// consideration. It qualifies when each segment between periods is a
+	// single letter.
+	seg := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			if seg != 1 {
+				return false
+			}
+			seg = 0
+			continue
+		}
+		seg++
+		if seg > 1 {
+			return false
+		}
+	}
+	return seg == 1
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// isWordStart reports whether a word character (ASCII alphanumeric, or
+// any non-ASCII letter/digit — "Médecins", "Führer", "北京") starts at
+// byte offset i.
+func isWordStart(text string, i int) bool {
+	c := text[i]
+	if c < utf8.RuneSelf {
+		return isWordByte(c)
+	}
+	r, _ := utf8.DecodeRuneInString(text[i:])
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Norms returns just the normalized forms of the tokens.
+func Norms(tokens []Token) []string {
+	out := make([]string, len(tokens))
+	for i, t := range tokens {
+		out[i] = t.Norm
+	}
+	return out
+}
+
+// IsCapitalized reports whether the token starts with an uppercase letter.
+func (t Token) IsCapitalized() bool {
+	for _, r := range t.Text {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// IsAllUpper reports whether every letter in the token is uppercase and the
+// token contains at least one letter ("NATO", "U.S.").
+func (t Token) IsAllUpper() bool {
+	hasLetter := false
+	for _, r := range t.Text {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			if !unicode.IsUpper(r) {
+				return false
+			}
+		}
+	}
+	return hasLetter
+}
+
+// NormalizePhrase canonicalizes a multi-word phrase: lowercase, single
+// spaces, surrounding punctuation stripped from each word. It is the
+// identity rule for terms across the whole system.
+func NormalizePhrase(s string) string {
+	fields := strings.Fields(strings.ToLower(s))
+	out := fields[:0]
+	for _, f := range fields {
+		f = strings.Trim(f, ".,;:!?\"'()[]{}")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// NGrams returns all n-grams (as space-joined strings) over the given
+// normalized words, for sizes min..max inclusive.
+func NGrams(words []string, min, max int) []string {
+	if min < 1 {
+		min = 1
+	}
+	var out []string
+	for n := min; n <= max; n++ {
+		if n > len(words) {
+			break
+		}
+		for i := 0; i+n <= len(words); i++ {
+			out = append(out, strings.Join(words[i:i+n], " "))
+		}
+	}
+	return out
+}
+
+// Sentences groups tokens into sentences using the SentenceStart flags.
+func Sentences(tokens []Token) [][]Token {
+	var out [][]Token
+	var cur []Token
+	for _, t := range tokens {
+		if t.SentenceStart && len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package mturk
+
+import "repro/internal/newsgen"
+
+// Inter-annotator agreement statistics. The paper validates annotations by
+// the >= 2-of-5 rule; a methodology section reporting that protocol would
+// also report chance-corrected agreement, so the simulation exposes it:
+// Fleiss' kappa over the (story, term) assignment matrix.
+
+// FleissKappa computes Fleiss' kappa for a set of items each rated by the
+// same number of annotators into two categories (assigned / not
+// assigned). ratings[i] is the number of annotators (out of n) who
+// assigned item i. Returns kappa in [-1, 1]; 1 is perfect agreement, 0 is
+// chance level. Items with fewer than two raters are rejected via ok =
+// false, as kappa is undefined.
+func FleissKappa(ratings []int, annotators int) (kappa float64, ok bool) {
+	if annotators < 2 || len(ratings) == 0 {
+		return 0, false
+	}
+	n := float64(annotators)
+	// Per-item agreement P_i and category proportions.
+	var sumP, totalYes float64
+	for _, r := range ratings {
+		if r < 0 || r > annotators {
+			return 0, false
+		}
+		yes := float64(r)
+		no := n - yes
+		sumP += (yes*(yes-1) + no*(no-1)) / (n * (n - 1))
+		totalYes += yes
+	}
+	items := float64(len(ratings))
+	pBar := sumP / items
+	pYes := totalYes / (items * n)
+	pNo := 1 - pYes
+	pe := pYes*pYes + pNo*pNo
+	if pe >= 1 {
+		// All ratings in one category: agreement is trivially perfect.
+		return 1, true
+	}
+	return (pBar - pe) / (1 - pe), true
+}
+
+// AgreementReport summarizes annotator agreement over a story sample.
+type AgreementReport struct {
+	Stories    int
+	TermPairs  int     // distinct (story, candidate-term) items rated
+	Kappa      float64 // Fleiss' kappa over assignment decisions
+	MeanAgreed float64 // mean fraction of annotators agreeing per validated term
+}
+
+// MeasureAgreement annotates the given stories of a dataset and computes
+// agreement over every (story, term) pair any annotator produced. A term
+// an annotator did not list counts as a "not assigned" rating from that
+// annotator.
+func (p *Pool) MeasureAgreement(ds *newsgen.Dataset, storyIdx []int) AgreementReport {
+	var ratings []int
+	var agreedSum float64
+	var validated int
+	for _, i := range storyIdx {
+		raw := p.AnnotateStory(i, ds.Traces[i].Facets)
+		counts := map[string]int{}
+		for _, list := range raw {
+			seen := map[string]bool{}
+			for _, t := range list {
+				if !seen[t] {
+					seen[t] = true
+					counts[t]++
+				}
+			}
+		}
+		for _, c := range counts {
+			ratings = append(ratings, c)
+			if c >= p.cfg.MinAgreement {
+				agreedSum += float64(c) / float64(p.cfg.AnnotatorsPerStory)
+				validated++
+			}
+		}
+	}
+	rep := AgreementReport{Stories: len(storyIdx), TermPairs: len(ratings)}
+	if k, ok := FleissKappa(ratings, p.cfg.AnnotatorsPerStory); ok {
+		rep.Kappa = k
+	}
+	if validated > 0 {
+		rep.MeanAgreed = agreedSum / float64(validated)
+	}
+	return rep
+}

@@ -1,0 +1,489 @@
+// Package mturk simulates the Amazon Mechanical Turk studies the paper
+// uses for all quality numbers (Section V):
+//
+//   - Recall ground truth (V-B): five annotators per story each provide up
+//     to 10 candidate facet terms; an annotation is valid when at least
+//     two annotators agree on the term. Annotators draw from the story's
+//     ground-truth facet set (the generation trace plays the role of the
+//     annotators' world knowledge) with imperfect per-term recall and
+//     occasional idiosyncratic additions — which the agreement rule
+//     filters, exactly as in the paper.
+//   - Qualification (V-C): prospective precision judges must classify 18
+//     of 20 correct/perturbed hierarchies correctly before participating.
+//   - Precision judgments (V-C): each extracted facet term is judged by
+//     five qualified annotators on (a) usefulness and (b) correct
+//     placement in the hierarchy; the term counts as precise when at
+//     least four of five mark it precise.
+package mturk
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lang"
+	"repro/internal/newsgen"
+	"repro/internal/ontology"
+	"repro/internal/xrand"
+)
+
+// Config controls the simulated annotator pool.
+type Config struct {
+	Seed uint64
+	// AnnotatorsPerStory is the paper's 5.
+	AnnotatorsPerStory int
+	// MaxTermsPerStory is the paper's cap of 10 candidate terms.
+	MaxTermsPerStory int
+	// TermRecall is the probability an annotator lists any given
+	// ground-truth facet of a story. Default 0.6.
+	TermRecall float64
+	// NoiseTerms is the expected number of idiosyncratic terms an
+	// annotator adds per story. Default 1.0.
+	NoiseTerms float64
+	// MinAgreement is the validation rule; the paper uses 2.
+	MinAgreement int
+	// JudgeAccuracy is the probability a qualified judge evaluates a
+	// precision item correctly. Default 0.92.
+	JudgeAccuracy float64
+	// PrecisionVotes and PrecisionQuorum: 5 judges, precise at >= 4.
+	PrecisionVotes  int
+	PrecisionQuorum int
+}
+
+func (c *Config) defaults() {
+	if c.AnnotatorsPerStory == 0 {
+		c.AnnotatorsPerStory = 5
+	}
+	if c.MaxTermsPerStory == 0 {
+		c.MaxTermsPerStory = 10
+	}
+	if c.TermRecall == 0 {
+		c.TermRecall = 0.6
+	}
+	if c.NoiseTerms == 0 {
+		c.NoiseTerms = 1.0
+	}
+	if c.MinAgreement == 0 {
+		c.MinAgreement = 2
+	}
+	if c.JudgeAccuracy == 0 {
+		c.JudgeAccuracy = 0.92
+	}
+	if c.PrecisionVotes == 0 {
+		c.PrecisionVotes = 5
+	}
+	if c.PrecisionQuorum == 0 {
+		c.PrecisionQuorum = 4
+	}
+}
+
+// Pool is a simulated annotator population bound to a knowledge base.
+type Pool struct {
+	kb  *ontology.KB
+	cfg Config
+	rng *xrand.RNG
+
+	// stemToFacet maps stem-normalized facet names to concepts; term
+	// matching across the system happens at the stem level ("leader"
+	// matches the "Leaders" facet), as annotator vocabulary varies.
+	stemToFacet map[string]ontology.ConceptID
+	facetIDs    []ontology.ConceptID
+	isa         map[string]string
+
+	// facetEntities[f] is the set of entities with facet ancestor f.
+	facetEntities map[ontology.ConceptID]map[ontology.ConceptID]bool
+}
+
+// NewPool builds the pool.
+func NewPool(kb *ontology.KB, cfg Config) *Pool {
+	cfg.defaults()
+	p := &Pool{
+		kb:          kb,
+		cfg:         cfg,
+		rng:         xrand.New(cfg.Seed).Sub("mturk"),
+		stemToFacet: map[string]ontology.ConceptID{},
+		isa:         ontology.IsaLexicon(),
+	}
+	for _, f := range kb.FacetTerms() {
+		stem := lang.StemPhrase(f.Name)
+		if _, taken := p.stemToFacet[stem]; !taken {
+			p.stemToFacet[stem] = f.ID
+		}
+		p.facetIDs = append(p.facetIDs, f.ID)
+	}
+	// Common-noun aliases for facet dimensions whose surface form differs
+	// from the noun WordNet-style resources return.
+	for alias, facet := range facetAliases {
+		if c, ok := kb.ByName(facet); ok {
+			stem := lang.StemPhrase(alias)
+			if _, taken := p.stemToFacet[stem]; !taken {
+				p.stemToFacet[stem] = c.ID
+			}
+		}
+	}
+	// Demonyms denote their place ("french" → France): annotators accept
+	// them as facet terms (the paper's Figure 4 includes "Italian
+	// culture"). Place concepts carry the demonym as their first word.
+	for _, c := range kb.FacetTerms() {
+		if c.Class == ontology.ClassPlace && len(c.Words) > 0 {
+			stem := lang.StemPhrase(c.Words[0])
+			if _, taken := p.stemToFacet[stem]; !taken {
+				p.stemToFacet[stem] = c.ID
+			}
+		}
+	}
+	// Entity populations per facet, for the placement-plausibility test.
+	p.facetEntities = map[ontology.ConceptID]map[ontology.ConceptID]bool{}
+	for _, e := range kb.Entities() {
+		for _, a := range kb.FacetAncestors(e.ID) {
+			set := p.facetEntities[a]
+			if set == nil {
+				set = map[ontology.ConceptID]bool{}
+				p.facetEntities[a] = set
+			}
+			set[e.ID] = true
+		}
+	}
+	return p
+}
+
+// facetSubsumes reports whether, in the knowledge base, facet parent
+// plausibly subsumes facet child: at least 80% of the entities under the
+// child also fall under the parent. This captures placements human judges
+// accept even across taxonomy dimensions — "Political Leaders" under
+// "Government" reads as correct because (essentially) every political
+// leader is a government figure.
+func (p *Pool) facetSubsumes(parent, child ontology.ConceptID) bool {
+	ec := p.facetEntities[child]
+	if len(ec) == 0 {
+		return false
+	}
+	ep := p.facetEntities[parent]
+	if len(ep) == 0 {
+		return false
+	}
+	both := 0
+	for e := range ec {
+		if ep[e] {
+			both++
+		}
+	}
+	return float64(both) >= 0.8*float64(len(ec))
+}
+
+// facetAliases maps common nouns to the facet dimension they denote.
+var facetAliases = map[string]string{
+	"person":       "People",
+	"organization": "Institutes",
+	"institution":  "Institutes",
+	"company":      "Corporations",
+	"corporation":  "Corporations",
+	"country":      "Location",
+	"region":       "Location",
+	"place":        "Location",
+	"nation":       "Location",
+	"conflict":     "Wars",
+	"disaster":     "Natural Disasters",
+	"storm":        "Weather",
+	"sport":        "Sports",
+	"art":          "Arts and Entertainment",
+	"leader":       "Leaders",
+	"politician":   "Political Leaders",
+	"executive":    "Business Leaders",
+	"athlete":      "Athletes",
+	"school":       "Education",
+	"disease":      "Health",
+	"church":       "Religion",
+	"economy":      "Business",
+	"finance":      "Money",
+	"trade":        "Trade",
+	"agreement":    "Treaties",
+	"court":        "Law",
+	"activity":     "Event",
+	"meeting":      "Summits",
+	"vehicle":      "Transportation",
+}
+
+// MatchFacet resolves a term (any surface form) to the facet concept it
+// denotes, or (None, false). Matching is stem-normalized.
+func (p *Pool) MatchFacet(term string) (ontology.ConceptID, bool) {
+	id, ok := p.stemToFacet[lang.StemPhrase(lang.NormalizePhrase(term))]
+	return id, ok
+}
+
+// AnnotateStory returns the raw term lists of the per-story annotators.
+// storyKey makes the annotator randomness reproducible per story
+// regardless of evaluation order.
+func (p *Pool) AnnotateStory(storyKey int, facets []ontology.ConceptID) [][]string {
+	out := make([][]string, p.cfg.AnnotatorsPerStory)
+	for a := 0; a < p.cfg.AnnotatorsPerStory; a++ {
+		rng := p.rng.SubInt("story", storyKey).Sub(fmt.Sprintf("annotator-%d", a))
+		var terms []string
+		for _, f := range facets {
+			if len(terms) >= p.cfg.MaxTermsPerStory {
+				break
+			}
+			if rng.Bool(p.cfg.TermRecall) {
+				terms = append(terms, p.kb.Concept(f).Name)
+			}
+		}
+		// Idiosyncratic additions: terms only this annotator thinks of.
+		for n := rng.Poisson(p.cfg.NoiseTerms); n > 0 && len(terms) < p.cfg.MaxTermsPerStory; n-- {
+			noise := p.facetIDs[rng.Intn(len(p.facetIDs))]
+			terms = append(terms, p.kb.Concept(noise).Name)
+		}
+		out[a] = terms
+	}
+	return out
+}
+
+// ValidateAgreement applies the >= minAgree rule to raw annotations and
+// returns the validated terms, sorted.
+func ValidateAgreement(annotations [][]string, minAgree int) []string {
+	counts := map[string]int{}
+	for _, list := range annotations {
+		seen := map[string]bool{}
+		for _, t := range list {
+			if !seen[t] {
+				seen[t] = true
+				counts[t]++
+			}
+		}
+	}
+	var out []string
+	for t, c := range counts {
+		if c >= minAgree {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroundTruth is the validated annotation of a story sample.
+type GroundTruth struct {
+	// Stories[i] is the validated facet-term list of sample story i.
+	Stories [][]string
+	// Terms is the union of all validated terms, sorted.
+	Terms []string
+	// stems indexes Terms by stem form for recall matching.
+	stems map[string]bool
+}
+
+// Contains reports whether the ground truth contains a term equivalent to
+// the given one (stem-normalized matching).
+func (g *GroundTruth) Contains(term string) bool {
+	return g.stems[lang.StemPhrase(lang.NormalizePhrase(term))]
+}
+
+// BuildGroundTruth annotates the given story indices of a dataset and
+// aggregates the validated terms, mirroring the paper's protocol (each
+// sampled story read by AnnotatorsPerStory annotators, >= 2 agreement).
+func (p *Pool) BuildGroundTruth(ds *newsgen.Dataset, storyIdx []int) *GroundTruth {
+	g := &GroundTruth{stems: map[string]bool{}}
+	all := map[string]bool{}
+	for _, i := range storyIdx {
+		raw := p.AnnotateStory(i, ds.Traces[i].Facets)
+		valid := ValidateAgreement(raw, p.cfg.MinAgreement)
+		g.Stories = append(g.Stories, valid)
+		for _, t := range valid {
+			if !all[t] {
+				all[t] = true
+				g.Terms = append(g.Terms, t)
+				g.stems[lang.StemPhrase(t)] = true
+			}
+		}
+	}
+	sort.Strings(g.Terms)
+	return g
+}
+
+// Recall computes the fraction of ground-truth terms that appear (stem
+// matched) in the extracted set.
+func (g *GroundTruth) Recall(extracted []string) float64 {
+	if len(g.Terms) == 0 {
+		return 0
+	}
+	found := map[string]bool{}
+	for _, t := range extracted {
+		stem := lang.StemPhrase(lang.NormalizePhrase(t))
+		if g.stems[stem] {
+			found[stem] = true
+		}
+	}
+	return float64(len(found)) / float64(len(g.stems))
+}
+
+// --- Qualification test (Section V-C) ---
+
+// Qualify simulates one prospective judge taking the qualification test:
+// 20 hierarchy judgments (half correct, half randomly perturbed subtrees),
+// pass at >= 18 correct. The judge's latent accuracy is drawn around the
+// pool's JudgeAccuracy; the returned boolean tells whether they passed.
+func (p *Pool) Qualify(candidateKey int) bool {
+	rng := p.rng.SubInt("qualify", candidateKey)
+	accuracy := clamp01(rng.Norm(p.cfg.JudgeAccuracy, 0.05))
+	correct := 0
+	for q := 0; q < 20; q++ {
+		if rng.Bool(accuracy) {
+			correct++
+		}
+	}
+	return correct >= 18
+}
+
+// QualifiedJudges returns n judge keys that passed the qualification test,
+// scanning candidates in order — the paper's filtering of the Mechanical
+// Turk crowd.
+func (p *Pool) QualifiedJudges(n int) []int {
+	var out []int
+	for cand := 0; len(out) < n && cand < n*50; cand++ {
+		if p.Qualify(cand) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// --- Precision judgments (Section V-C) ---
+
+// Judgment is the verdict on one extracted facet term.
+type Judgment struct {
+	Term    string
+	Votes   int  // judges marking it precise
+	Precise bool // Votes >= PrecisionQuorum
+	// Truth records the simulation's own ground assessment (useful and
+	// correctly placed) — exposed for analysis, not used by callers as the
+	// metric (the metric is the judges' verdict, as in the paper).
+	Truth bool
+}
+
+// JudgePrecision judges every node of the extracted hierarchy with five
+// qualified annotators and returns the per-term verdicts plus the overall
+// precision (precise terms / all terms).
+func (p *Pool) JudgePrecision(forest *hierarchy.Forest) ([]Judgment, float64) {
+	judges := p.QualifiedJudges(p.cfg.PrecisionVotes)
+	var out []Judgment
+	var precise int
+	forest.Walk(func(n *hierarchy.Node, _ int) {
+		truth := p.useful(n.Term) && p.placedOK(n)
+		votes := 0
+		for _, j := range judges {
+			rng := p.rng.SubInt("judge", j).Sub(n.Term)
+			accuracy := clamp01(rng.Norm(p.cfg.JudgeAccuracy, 0.05))
+			saysPrecise := truth
+			if !rng.Bool(accuracy) {
+				saysPrecise = !saysPrecise
+			}
+			if saysPrecise {
+				votes++
+			}
+		}
+		j := Judgment{Term: n.Term, Votes: votes, Precise: votes >= p.cfg.PrecisionQuorum, Truth: truth}
+		if j.Precise {
+			precise++
+		}
+		out = append(out, j)
+	})
+	if len(out) == 0 {
+		return nil, 0
+	}
+	return out, float64(precise) / float64(len(out))
+}
+
+// Useful reports whether the term denotes a browsing facet: it matches a
+// facet concept (stem level), a facet alias, or a common noun whose
+// immediate taxonomic neighborhood matches one. Exposed for the ablation
+// experiments, which need a cheap usefulness oracle without a full
+// judging round.
+func (p *Pool) Useful(term string) bool { return p.useful(term) }
+
+// UsefulRate returns the fraction of terms that are Useful.
+func (p *Pool) UsefulRate(terms []string) float64 {
+	if len(terms) == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range terms {
+		if p.useful(t) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(terms))
+}
+
+// useful reports whether the term denotes a browsing facet: it matches a
+// facet concept (stem level), a facet alias, or a common noun whose
+// immediate taxonomic neighborhood matches one.
+func (p *Pool) useful(term string) bool {
+	norm := lang.NormalizePhrase(term)
+	if _, ok := p.MatchFacet(norm); ok {
+		return true
+	}
+	// A recognizable named entity is a legitimate leaf in a faceted
+	// interface ("New York" and "Bush Administration" appear among the
+	// paper's annotator facet terms), so judges accept it.
+	if _, ok := p.kb.ByName(norm); ok {
+		return true
+	}
+	// A common noun one step below a facet-matching noun still reads as a
+	// useful facet to annotators ("senator" under political leaders).
+	if parent, ok := p.isa[norm]; ok {
+		if _, ok := p.MatchFacet(parent); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// placedOK reports whether the node's position in the extracted hierarchy
+// is consistent with the knowledge base: roots are acceptable; a child
+// must sit under a term that denotes one of its facet ancestors (or its
+// taxonomic ancestor for common nouns).
+func (p *Pool) placedOK(n *hierarchy.Node) bool {
+	if n.Parent == nil {
+		return true
+	}
+	childNorm := lang.NormalizePhrase(n.Term)
+	parentNorm := lang.NormalizePhrase(n.Parent.Term)
+	// Facet-concept ancestry, or knowledge-base placement plausibility.
+	if cID, ok := p.MatchFacet(childNorm); ok {
+		if pID, ok := p.MatchFacet(parentNorm); ok {
+			if pID == cID || p.kb.IsAncestor(pID, cID) || p.facetSubsumes(pID, cID) {
+				return true
+			}
+		}
+	}
+	// Entity child under one of its facet ancestors ("Jacques Chirac"
+	// under "Political Leaders"), or a name variant under its own concept.
+	if child, ok := p.kb.ByName(childNorm); ok {
+		if pID, ok := p.MatchFacet(parentNorm); ok {
+			if pID == child.ID || p.kb.IsAncestor(pID, child.ID) {
+				return true
+			}
+		}
+		if parent, ok := p.kb.ByName(parentNorm); ok {
+			if parent.ID == child.ID || p.kb.IsAncestor(parent.ID, child.ID) {
+				return true
+			}
+		}
+	}
+	// Common-noun is-a ancestry.
+	parentStem := lang.StemPhrase(parentNorm)
+	for cur, ok := p.isa[childNorm]; ok && cur != ""; cur, ok = p.isa[cur] {
+		if lang.StemPhrase(cur) == parentStem {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package ner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExtractMultiTokenEntities(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("Yesterday Jacques Chirac met Angela Merkel in Berlin.")
+	want := []string{"jacques chirac", "angela merkel", "berlin"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSentenceStartSingletonDropped(t *testing.T) {
+	tagger := New()
+	// "Officials" opens the sentence: capitalization is uninformative and
+	// it is not in any gazetteer, so it must be dropped.
+	got := tagger.Extract("Officials said the economy improved. Markets rallied.")
+	for _, g := range got {
+		if g == "officials" || g == "markets" {
+			t.Fatalf("sentence-start singleton leaked: %v", got)
+		}
+	}
+}
+
+func TestGazetteerRescuesSentenceStart(t *testing.T) {
+	tagger := New(WithGazetteer([]string{"Chirac"}))
+	got := tagger.Extract("Chirac arrived early. Nobody else did.")
+	found := false
+	for _, g := range got {
+		if g == "chirac" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gazetteer name not extracted: %v", got)
+	}
+}
+
+func TestAllCapsKeptAtSentenceStart(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("NATO approved the plan without delay.")
+	if len(got) != 1 || got[0] != "nato" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestNumberJoinsFollowingName(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("Leaders gathered at the 2005 G8 Summit in Scotland.")
+	found := false
+	for _, g := range got {
+		if g == "2005 g8 summit" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("numeric prefix not joined: %v", got)
+	}
+}
+
+func TestBareNumbersNotEntities(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("He paid 5000 for the painting in Paris.")
+	for _, g := range got {
+		if g == "5000" {
+			t.Fatalf("bare number extracted: %v", got)
+		}
+	}
+}
+
+func TestCapitalizedStopwordsExcluded(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("He said The Hague would host the trial of Omar Hassan.")
+	// "The" must not glue into the run; "Hague" alone survives mid-sentence.
+	for _, g := range got {
+		if g == "the hague" {
+			t.Fatalf("capitalized stopword joined a run: %v", got)
+		}
+	}
+	want := map[string]bool{"hague": true, "omar hassan": true}
+	for _, g := range got {
+		delete(want, g)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing %v in %v", want, got)
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	tagger := New()
+	got := tagger.Extract("Paris is large. He loves Paris. Paris again.")
+	count := 0
+	for _, g := range got {
+		if g == "paris" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate mentions not collapsed: %v", got)
+	}
+}
+
+func TestEmptyAndLowercaseText(t *testing.T) {
+	tagger := New()
+	if got := tagger.Extract(""); got != nil {
+		t.Fatalf("empty text yielded %v", got)
+	}
+	if got := tagger.Extract("nothing capitalized in here at all"); got != nil {
+		t.Fatalf("lowercase text yielded %v", got)
+	}
+}

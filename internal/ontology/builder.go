@@ -1,0 +1,777 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Config controls knowledge-base generation.
+type Config struct {
+	// Seed drives all random choices (entity names, counts, link wiring).
+	Seed uint64
+	// Scale multiplies generated entity counts; 1.0 is the default used by
+	// the experiments. Values below ~0.2 produce degenerate corpora.
+	Scale float64
+}
+
+func (c *Config) defaults() {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+}
+
+// Build assembles the ground-truth knowledge base.
+func Build(cfg Config) (*KB, error) {
+	cfg.defaults()
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("ontology: negative scale %v", cfg.Scale)
+	}
+	b := &builder{
+		kb:  &KB{byName: make(map[string]ConceptID)},
+		rng: xrand.New(cfg.Seed),
+		cfg: cfg,
+	}
+	b.addFacetSkeleton()
+	b.addGeography()
+	b.addPoliticians()
+	b.addCompanies()
+	b.addSportsWorld()
+	b.addCulturalFigures()
+	b.addInstitutions()
+	b.addEvents()
+	b.addMediaAndCrime()
+	if err := b.kb.finalize(); err != nil {
+		return nil, err
+	}
+	return b.kb, nil
+}
+
+type builder struct {
+	kb  *KB
+	rng *xrand.RNG
+	cfg Config
+
+	// Per-country working state for wiring Related edges.
+	countryID   map[string]ConceptID // display name → facet concept
+	cityIDs     map[string][]ConceptID
+	politicians map[string][]ConceptID
+	demonym     map[string]string
+
+	usedNames map[string]bool
+}
+
+func (b *builder) n(base int) int {
+	n := int(float64(base)*b.cfg.Scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// facet looks up a facet concept by display name; it panics on a missing
+// name because the skeleton is compiled into the binary (a miss is a bug).
+func (b *builder) facet(display string) ConceptID {
+	c, ok := b.kb.ByName(display)
+	if !ok || !c.IsFacet() {
+		panic(fmt.Sprintf("ontology: unknown facet %q", display))
+	}
+	return c.ID
+}
+
+func (b *builder) addFacetSkeleton() {
+	var add func(spec facetSpec, parent ConceptID, kind Kind)
+	add = func(spec facetSpec, parent ConceptID, kind Kind) {
+		c := &Concept{
+			Display:  spec.display,
+			Kind:     kind,
+			Variants: facetVariants[spec.display],
+			Words:    spec.words,
+		}
+		if parent != None {
+			c.Parents = []ConceptID{parent}
+		}
+		id := b.kb.add(c)
+		for _, child := range spec.children {
+			add(child, id, KindFacetTerm)
+		}
+	}
+	for _, root := range facetSkeleton {
+		add(root, None, KindFacetRoot)
+	}
+}
+
+func (b *builder) addGeography() {
+	b.countryID = make(map[string]ConceptID)
+	b.cityIDs = make(map[string][]ConceptID)
+	b.demonym = make(map[string]string)
+	b.usedNames = map[string]bool{}
+	for _, cs := range countries {
+		continent := b.facet(cs.continent)
+		country := b.kb.add(&Concept{
+			Display:  cs.name,
+			Kind:     KindFacetTerm,
+			Class:    ClassPlace,
+			Parents:  []ConceptID{continent},
+			Variants: countryVariants[cs.name],
+			Words:    []string{cs.demonym},
+		})
+		b.countryID[cs.name] = country
+		b.demonym[cs.name] = cs.demonym
+		for _, city := range cs.cities {
+			kind := KindEntity
+			if facetCities[city] {
+				kind = KindFacetTerm
+			}
+			cid := b.kb.add(&Concept{
+				Display:  city,
+				Kind:     kind,
+				Class:    ClassPlace,
+				Parents:  []ConceptID{country},
+				Variants: facetVariants[city],
+				Words:    []string{cs.demonym},
+			})
+			b.cityIDs[cs.name] = append(b.cityIDs[cs.name], cid)
+		}
+	}
+}
+
+// personName draws an unused first+last combination.
+func (b *builder) personName(rng *xrand.RNG) (first, last string) {
+	for {
+		first = xrand.Pick(rng, firstNames)
+		last = xrand.Pick(rng, lastNames)
+		full := first + " " + last
+		if !b.usedNames[full] {
+			b.usedNames[full] = true
+			return first, last
+		}
+	}
+}
+
+// personVariants builds the standard mention variants for a person.
+func personVariants(first, last string) []string {
+	return []string{
+		last,
+		first[:1] + ". " + last,
+		last + ", " + first,
+	}
+}
+
+var politicianRoles = []struct {
+	title string
+	words []string
+}{
+	{"President", []string{"presidency", "palace"}},
+	{"Prime Minister", []string{"premier", "cabinet"}},
+	{"Foreign Minister", []string{"diplomacy", "envoy"}},
+	{"Finance Minister", []string{"budget", "treasury"}},
+	{"Senator", []string{"senate", "legislation"}},
+	{"Governor", []string{"province", "administration"}},
+	{"Opposition Leader", []string{"opposition", "coalition"}},
+	{"Defense Minister", []string{"defense", "forces"}},
+}
+
+func (b *builder) addPoliticians() {
+	b.politicians = make(map[string][]ConceptID)
+	rng := b.rng.Sub("politicians")
+	polLeaders := b.facet("Political Leaders")
+	government := b.facet("Government")
+	for _, cs := range countries {
+		country := b.countryID[cs.name]
+		count := b.n(2) + rng.Intn(3)
+		for i := 0; i < count; i++ {
+			first, last := b.personName(rng)
+			role := politicianRoles[rng.Intn(len(politicianRoles))]
+			full := first + " " + last
+			words := append([]string{cs.demonym}, role.words...)
+			variants := personVariants(first, last)
+			variants = append(variants, role.title+" "+full)
+			id := b.kb.add(&Concept{
+				Display:  full,
+				Kind:     KindEntity,
+				Class:    ClassPerson,
+				Parents:  []ConceptID{polLeaders, country, government},
+				Variants: variants,
+				Words:    words,
+			})
+			b.politicians[cs.name] = append(b.politicians[cs.name], id)
+		}
+		// Wire same-country politicians as mutually related.
+		ids := b.politicians[cs.name]
+		for _, id := range ids {
+			for _, other := range ids {
+				if other != id {
+					b.kb.concepts[id].Related = append(b.kb.concepts[id].Related, other)
+				}
+			}
+		}
+	}
+}
+
+// companyCountries weights where companies are headquartered.
+var companyCountries = []string{
+	"United States", "United States", "United States", "United States",
+	"Japan", "Germany", "United Kingdom", "France", "China", "South Korea",
+	"Switzerland", "Netherlands", "Canada", "India", "Brazil", "Italy",
+}
+
+func (b *builder) addCompanies() {
+	rng := b.rng.Sub("companies")
+	bizLeaders := b.facet("Business Leaders")
+	sectors := make([]string, 0, len(orgNameB))
+	for sector := range orgNameB {
+		sectors = append(sectors, sector)
+	}
+	sort.Strings(sectors)
+	for _, sector := range sectors {
+		suffixes := orgNameB[sector]
+		sectorID := b.facet(sector)
+		count := b.n(18)
+		for i := 0; i < count; i++ {
+			var name string
+			for {
+				name = xrand.Pick(rng, orgNameA) + " " + xrand.Pick(rng, suffixes)
+				if !b.usedNames[name] {
+					b.usedNames[name] = true
+					break
+				}
+			}
+			country := companyCountries[rng.Intn(len(companyCountries))]
+			countryID := b.countryID[country]
+			variants := []string{strings.Fields(name)[0]}
+			if rng.Bool(0.5) {
+				variants = append(variants, name+" "+xrand.Pick(rng, orgSuffixes))
+			}
+			company := b.kb.add(&Concept{
+				Display:  name,
+				Kind:     KindEntity,
+				Class:    ClassOrganization,
+				Parents:  []ConceptID{sectorID, countryID},
+				Variants: variants,
+				Words:    []string{"shares", "quarter", "analysts"},
+			})
+			// Roughly 40% of companies get a named chief executive.
+			if rng.Bool(0.4) {
+				first, last := b.personName(rng)
+				exec := b.kb.add(&Concept{
+					Display:  first + " " + last,
+					Kind:     KindEntity,
+					Class:    ClassPerson,
+					Parents:  []ConceptID{bizLeaders, countryID},
+					Variants: personVariants(first, last),
+					Words:    []string{"chief", "executive", "shareholders"},
+				})
+				b.kb.concepts[company].Related = append(b.kb.concepts[company].Related, exec)
+				b.kb.concepts[exec].Related = append(b.kb.concepts[exec].Related, company)
+			}
+		}
+	}
+}
+
+func (b *builder) addSportsWorld() {
+	rng := b.rng.Sub("sports")
+	athletes := b.facet("Athletes")
+	// Team sports: build teams, then athletes attached to teams.
+	sports := make([]string, 0, len(teamMascots))
+	for sport := range teamMascots {
+		sports = append(sports, sport)
+	}
+	sort.Strings(sports)
+	for _, sport := range sports {
+		mascots := teamMascots[sport]
+		sportID := b.facet(sport)
+		usCountry := b.countryID["United States"]
+		count := b.n(8)
+		var teams []ConceptID
+		for i := 0; i < count; i++ {
+			var name string
+			for {
+				name = xrand.Pick(rng, teamCityPool) + " " + xrand.Pick(rng, mascots)
+				if !b.usedNames[name] {
+					b.usedNames[name] = true
+					break
+				}
+			}
+			fields := strings.Fields(name)
+			team := b.kb.add(&Concept{
+				Display:  name,
+				Kind:     KindEntity,
+				Class:    ClassOrganization,
+				Parents:  []ConceptID{sportID, usCountry},
+				Variants: []string{fields[len(fields)-1]},
+				Words:    []string{"roster", "season", "coach"},
+			})
+			teams = append(teams, team)
+		}
+		perTeam := b.n(2)
+		for _, team := range teams {
+			for i := 0; i < perTeam; i++ {
+				first, last := b.personName(rng)
+				country := xrand.Pick(rng, countries)
+				player := b.kb.add(&Concept{
+					Display:  first + " " + last,
+					Kind:     KindEntity,
+					Class:    ClassPerson,
+					Parents:  []ConceptID{athletes, sportID, b.countryID[country.name]},
+					Variants: personVariants(first, last),
+					Words:    []string{"contract", "season", "scoring"},
+				})
+				b.kb.concepts[player].Related = append(b.kb.concepts[player].Related, team)
+				b.kb.concepts[team].Related = append(b.kb.concepts[team].Related, player)
+			}
+		}
+	}
+	// Individual sports.
+	for _, sport := range []string{"Tennis", "Golf", "Boxing", "Cycling", "Swimming", "Cricket"} {
+		sportID := b.facet(sport)
+		count := b.n(10)
+		for i := 0; i < count; i++ {
+			first, last := b.personName(rng)
+			country := xrand.Pick(rng, countries)
+			b.kb.add(&Concept{
+				Display:  first + " " + last,
+				Kind:     KindEntity,
+				Class:    ClassPerson,
+				Parents:  []ConceptID{athletes, sportID, b.countryID[country.name]},
+				Variants: personVariants(first, last),
+				Words:    []string{"ranking", "title", "tour"},
+			})
+		}
+	}
+}
+
+// culturalDomains maps a People subfacet to the art-domain facet its
+// members also belong to.
+var culturalDomains = []struct {
+	people string
+	domain string
+	words  []string
+}{
+	{"Musicians", "Music", []string{"album", "tour", "chart"}},
+	{"Actors", "Film", []string{"role", "premiere", "casting"}},
+	{"Writers", "Literature", []string{"novel", "publisher", "memoir"}},
+	{"Artists", "Visual Arts", []string{"exhibition", "gallery", "canvas"}},
+	{"Scientists", "Science and Technology", []string{"study", "journal", "findings"}},
+	{"Journalists", "Television", []string{"broadcast", "column", "coverage"}},
+	{"Celebrities", "Fashion", []string{"premiere", "paparazzi", "style"}},
+}
+
+func (b *builder) addCulturalFigures() {
+	rng := b.rng.Sub("culture")
+	for _, dom := range culturalDomains {
+		peopleID := b.facet(dom.people)
+		domainID := b.facet(dom.domain)
+		count := b.n(16)
+		for i := 0; i < count; i++ {
+			first, last := b.personName(rng)
+			country := xrand.Pick(rng, countries)
+			person := b.kb.add(&Concept{
+				Display:  first + " " + last,
+				Kind:     KindEntity,
+				Class:    ClassPerson,
+				Parents:  []ConceptID{peopleID, domainID, b.countryID[country.name]},
+				Variants: personVariants(first, last),
+				Words:    dom.words,
+			})
+			// Creative figures produce named works ("the artist and their
+			// album/novel/film"): works are entities of their domain facet,
+			// related to their creator — the mention pattern arts stories
+			// live on.
+			if wordsFor, ok := workTitles[dom.people]; ok && rng.Bool(0.6) {
+				title := xrand.Pick(rng, workTitles2) + " " + xrand.Pick(rng, wordsFor)
+				if b.usedNames[title] {
+					continue
+				}
+				b.usedNames[title] = true
+				work := b.kb.add(&Concept{
+					Display: title,
+					Kind:    KindEntity,
+					Class:   ClassOrganization, // treated as a non-person named entity
+					Parents: []ConceptID{domainID},
+					Words:   dom.words,
+				})
+				b.kb.concepts[person].Related = append(b.kb.concepts[person].Related, work)
+				b.kb.concepts[work].Related = append(b.kb.concepts[work].Related, person)
+			}
+		}
+	}
+}
+
+// workTitles supplies the second word of creative-work titles per creator
+// kind; workTitles2 the first.
+var workTitles = map[string][]string{
+	"Musicians": {"Sessions", "Nocturnes", "Anthems", "Rhythms", "Harmonies", "Overture"},
+	"Writers":   {"Letters", "Chronicles", "Testament", "Memoirs", "Fables", "Elegy"},
+	"Actors":    {"Crossing", "Horizon", "Reckoning", "Voyage", "Shadows", "Daybreak"},
+	"Artists":   {"Triptych", "Studies", "Canvases", "Reflections", "Fragments", "Mosaic"},
+}
+
+var workTitles2 = []string{
+	"Midnight", "Crimson", "Silent", "Golden", "Broken", "Distant",
+	"Winter", "Amber", "Hollow", "Radiant", "Forgotten", "Scarlet",
+	"Northern", "Velvet", "Burning", "Quiet",
+}
+
+func (b *builder) addInstitutions() {
+	rng := b.rng.Sub("institutions")
+	universities := b.facet("Universities")
+	intl := b.facet("International Organizations")
+	agencies := b.facet("Government Agencies")
+	museums := b.facet("Museums")
+
+	// Universities in a sample of cities.
+	for _, cs := range countries {
+		if len(cs.cities) == 0 || !rng.Bool(0.55) {
+			continue
+		}
+		city := cs.cities[rng.Intn(len(cs.cities))]
+		pattern := xrand.Pick(rng, universityPatterns)
+		name := fmt.Sprintf(pattern, city)
+		if b.usedNames[name] {
+			continue
+		}
+		b.usedNames[name] = true
+		b.kb.add(&Concept{
+			Display: name,
+			Kind:    KindEntity,
+			Class:   ClassOrganization,
+			Parents: []ConceptID{universities, b.countryID[cs.name]},
+			Words:   []string{"campus", "faculty", "tuition"},
+		})
+	}
+	for _, o := range intlOrgs {
+		b.kb.add(&Concept{
+			Display:  o.name,
+			Kind:     KindEntity,
+			Class:    ClassOrganization,
+			Parents:  []ConceptID{intl},
+			Variants: o.variants,
+			Words:    o.words,
+		})
+	}
+	for _, a := range govAgencies {
+		parents := []ConceptID{agencies}
+		if id, ok := b.countryID[a.country]; ok {
+			parents = append(parents, id)
+		}
+		b.kb.add(&Concept{
+			Display:  a.name,
+			Kind:     KindEntity,
+			Class:    ClassOrganization,
+			Parents:  parents,
+			Variants: a.variants,
+			Words:    a.words,
+		})
+	}
+	for _, m := range museumNames {
+		b.kb.add(&Concept{
+			Display: m,
+			Kind:    KindEntity,
+			Class:   ClassOrganization,
+			Parents: []ConceptID{museums},
+			Words:   []string{"exhibition", "collection", "visitors"},
+		})
+	}
+}
+
+var hurricaneNames = []string{
+	"Adele", "Bruno", "Celia", "Dmitri", "Estelle", "Farid", "Gilda",
+	"Horace", "Imelda", "Jasper", "Katia", "Lorenzo",
+}
+
+func (b *builder) addEvents() {
+	rng := b.rng.Sub("events")
+	elections := b.facet("Elections")
+	summits := b.facet("Summits")
+	wars := b.facet("Wars")
+	disasters := b.facet("Natural Disasters")
+	sportsEvents := b.facet("Sports Events")
+	festivals := b.facet("Festivals")
+	ceremonies := b.facet("Ceremonies")
+	diplomacy := b.facet("Diplomacy")
+
+	// Elections in a sample of countries.
+	for _, cs := range countries {
+		if !rng.Bool(0.35) {
+			continue
+		}
+		name := "2005 " + cs.name + " Election"
+		id := b.kb.add(&Concept{
+			Display:  name,
+			Kind:     KindEntity,
+			Class:    ClassEvent,
+			Parents:  []ConceptID{elections, b.countryID[cs.name]},
+			Variants: []string{cs.name + " Election"},
+			Words:    []string{"ballot", "turnout", "runoff", cs.demonym},
+		})
+		for _, pol := range b.politicians[cs.name] {
+			b.kb.concepts[id].Related = append(b.kb.concepts[id].Related, pol)
+		}
+	}
+
+	// Summits: the G8 and a generated set.
+	g8 := b.kb.add(&Concept{
+		Display:  "2005 G8 Summit",
+		Kind:     KindEntity,
+		Class:    ClassEvent,
+		Parents:  []ConceptID{summits, diplomacy, b.countryID["United Kingdom"]},
+		Variants: []string{"G8 Summit", "G8"},
+		Words:    []string{"communique", "agenda", "debt", "warming"},
+	})
+	for _, host := range []string{"France", "Germany", "Japan", "United States", "Russia", "Italy", "Canada"} {
+		if len(b.politicians[host]) > 0 {
+			b.kb.concepts[g8].Related = append(b.kb.concepts[g8].Related, b.politicians[host][0])
+		}
+	}
+	summitThemes := []struct{ name, w1, w2 string }{
+		{"World Trade Summit", "tariffs", "negotiators"},
+		{"Climate Change Conference", "emissions", "targets"},
+		{"Asia Pacific Economic Forum", "growth", "cooperation"},
+		{"World Economic Forum", "davos", "globalization"},
+		{"African Development Summit", "aid", "debt"},
+		{"Energy Security Conference", "supplies", "pipelines"},
+		{"Global Health Summit", "vaccines", "pandemic"},
+		{"Digital Economy Forum", "broadband", "innovation"},
+	}
+	for _, s := range summitThemes {
+		host := xrand.Pick(rng, countries)
+		b.kb.add(&Concept{
+			Display: s.name,
+			Kind:    KindEntity,
+			Class:   ClassEvent,
+			Parents: []ConceptID{summits, b.countryID[host.name]},
+			Words:   []string{s.w1, s.w2, "delegates"},
+		})
+	}
+
+	// Conflicts.
+	for _, war := range []struct {
+		name    string
+		country string
+		vars    []string
+	}{
+		{"War in Iraq", "Iraq", []string{"Iraq War"}},
+		{"Conflict in Darfur", "Sudan", []string{"Darfur Conflict"}},
+		{"Afghanistan War", "Afghanistan", []string{"War in Afghanistan"}},
+		{"Congo Civil War", "Congo", nil},
+		{"Insurgency in Yemen", "Yemen", nil},
+	} {
+		id := b.kb.add(&Concept{
+			Display:  war.name,
+			Kind:     KindEntity,
+			Class:    ClassEvent,
+			Parents:  []ConceptID{wars, b.countryID[war.country]},
+			Variants: war.vars,
+			Words:    []string{"troops", "insurgents", "casualties", "offensive"},
+		})
+		for _, pol := range b.politicians[war.country] {
+			b.kb.concepts[id].Related = append(b.kb.concepts[id].Related, pol)
+		}
+	}
+
+	// Natural disasters.
+	for i, h := range hurricaneNames {
+		if i >= b.n(8) {
+			break
+		}
+		place := xrand.Pick(rng, []string{"United States", "Mexico", "Cuba", "Haiti", "Jamaica"})
+		b.kb.add(&Concept{
+			Display:  "Hurricane " + h,
+			Kind:     KindEntity,
+			Class:    ClassEvent,
+			Parents:  []ConceptID{disasters, b.countryID[place]},
+			Variants: []string{h},
+			Words:    []string{"landfall", "evacuation", "winds", "damage"},
+		})
+	}
+	for _, d := range []struct{ kind, country, word string }{
+		{"Earthquake", "Pakistan", "aftershocks"},
+		{"Earthquake", "Japan", "magnitude"},
+		{"Earthquake", "Iran", "rubble"},
+		{"Floods", "Bangladesh", "monsoon"},
+		{"Floods", "China", "levees"},
+		{"Drought", "Ethiopia", "famine"},
+		{"Tsunami", "Indonesia", "waves"},
+		{"Wildfires", "Australia", "blaze"},
+	} {
+		name := d.country + " " + d.kind
+		if b.usedNames[name] {
+			continue
+		}
+		b.usedNames[name] = true
+		b.kb.add(&Concept{
+			Display: name,
+			Kind:    KindEntity,
+			Class:   ClassEvent,
+			Parents: []ConceptID{disasters, b.countryID[d.country]},
+			Words:   []string{d.word, "relief", "survivors"},
+		})
+	}
+
+	// Sports events.
+	for _, s := range []struct{ name, sport string }{
+		{"World Cup", "Soccer"},
+		{"Summer Olympics", "Olympics"},
+		{"Winter Olympics", "Olympics"},
+		{"World Series", "Baseball"},
+		{"Super Bowl", "Football"},
+		{"Champions League Final", "Soccer"},
+		{"Wimbledon", "Tennis"},
+		{"Tour de France", "Cycling"},
+		{"Masters Tournament", "Golf"},
+		{"World Athletics Championship", "Olympics"},
+	} {
+		b.kb.add(&Concept{
+			Display: s.name,
+			Kind:    KindEntity,
+			Class:   ClassEvent,
+			Parents: []ConceptID{sportsEvents, b.facet(s.sport)},
+			Words:   []string{"final", "spectators", "title"},
+		})
+	}
+
+	// Festivals and ceremonies.
+	for _, f := range []struct {
+		name  string
+		facet ConceptID
+		extra string
+	}{
+		{"Cannes Film Festival", festivals, "Film"},
+		{"Venice Film Festival", festivals, "Film"},
+		{"Sundance Film Festival", festivals, "Film"},
+		{"Academy Awards", ceremonies, "Film"},
+		{"Grammy Awards", ceremonies, "Music"},
+		{"Nobel Prize Ceremony", ceremonies, "Science and Technology"},
+		{"Edinburgh Arts Festival", festivals, "Theater"},
+		{"Carnival of Rio", festivals, "Dance"},
+	} {
+		b.kb.add(&Concept{
+			Display: f.name,
+			Kind:    KindEntity,
+			Class:   ClassEvent,
+			Parents: []ConceptID{f.facet, b.facet(f.extra)},
+			Words:   []string{"red", "carpet", "winners", "jury"},
+		})
+	}
+
+}
+
+// addMediaAndCrime populates the media, religion, crime, and energy
+// subtrees with entities so those dimensions actually occur in stories.
+func (b *builder) addMediaAndCrime() {
+	rng := b.rng.Sub("media-crime")
+
+	// Newspapers and broadcasters.
+	newspapers := b.facet("Newspapers")
+	radio := b.facet("Radio")
+	for i, m := range []struct {
+		name    string
+		country string
+	}{
+		{"The Daily Courier", "United States"},
+		{"The Morning Ledger", "United States"},
+		{"The Evening Standard Review", "United Kingdom"},
+		{"La Gazette Nationale", "France"},
+		{"Der Tagesanzeiger", "Germany"},
+		{"Il Corriere del Popolo", "Italy"},
+		{"El Diario Central", "Spain"},
+		{"The Harbour Times", "Australia"},
+		{"The Continental Herald", "Belgium"},
+		{"Radio Meridian", "United States"},
+		{"World Service Radio", "United Kingdom"},
+		{"Radio Austral", "Argentina"},
+	} {
+		facet := newspapers
+		if i >= 9 {
+			facet = radio
+		}
+		b.kb.add(&Concept{
+			Display: m.name,
+			Kind:    KindEntity,
+			Class:   ClassOrganization,
+			Parents: []ConceptID{facet, b.countryID[m.country]},
+			Words:   []string{"editors", "readers", "masthead"},
+		})
+	}
+
+	// Religious leaders get a denomination dimension.
+	relLeaders := b.facet("Religious Leaders")
+	denominations := []ConceptID{
+		b.facet("Christianity"), b.facet("Islam"), b.facet("Judaism"),
+		b.facet("Buddhism"), b.facet("Hinduism"),
+	}
+	count := b.n(10)
+	for i := 0; i < count; i++ {
+		first, last := b.personName(rng)
+		country := xrand.Pick(rng, countries)
+		b.kb.add(&Concept{
+			Display:  first + " " + last,
+			Kind:     KindEntity,
+			Class:    ClassPerson,
+			Parents:  []ConceptID{relLeaders, denominations[rng.Intn(len(denominations))], b.countryID[country.name]},
+			Variants: personVariants(first, last),
+			Words:    []string{"sermon", "congregation", "faithful"},
+		})
+	}
+
+	// Crime cases as events.
+	for _, c := range []struct {
+		name  string
+		facet string
+		where string
+		words []string
+	}{
+		{"Meridian Bank Fraud Case", "White Collar Crime", "United States", []string{"embezzlement", "auditors", "indictment"}},
+		{"Harbor Port Smuggling Ring", "Organized Crime", "Italy", []string{"syndicate", "seizure", "racketeering"}},
+		{"Crossborder Data Breach", "Cybercrime", "United States", []string{"hackers", "breach", "servers"}},
+		{"Andean Trafficking Network", "Drug Trade", "Colombia", []string{"trafficking", "cartel", "interdiction"}},
+		{"Capital Markets Insider Case", "White Collar Crime", "United Kingdom", []string{"insider", "trades", "regulator"}},
+		{"Dockside Extortion Inquiry", "Organized Crime", "United States", []string{"extortion", "witnesses", "racketeering"}},
+	} {
+		b.kb.add(&Concept{
+			Display: c.name,
+			Kind:    KindEntity,
+			Class:   ClassEvent,
+			Parents: []ConceptID{b.facet(c.facet), b.countryID[c.where]},
+			Words:   c.words,
+		})
+	}
+
+	// Energy projects and fields.
+	for _, e := range []struct {
+		name  string
+		facet string
+		where string
+		words []string
+	}{
+		{"North Basin Oil Field", "Oil and Gas", "Norway", []string{"barrels", "offshore", "platform"}},
+		{"Transsteppe Pipeline", "Oil and Gas", "Kazakhstan", []string{"pipeline", "transit", "crude"}},
+		{"Solara Desert Array", "Renewable Energy", "Morocco", []string{"panels", "grid", "megawatts"}},
+		{"Westwind Turbine Park", "Renewable Energy", "Denmark", []string{"turbines", "offshore", "capacity"}},
+		{"Bluewater Reactor Project", "Nuclear Power", "France", []string{"reactor", "uranium", "cooling"}},
+		{"Copperline Mine Expansion", "Mining", "Chile", []string{"ore", "miners", "shaft"}},
+	} {
+		b.kb.add(&Concept{
+			Display: e.name,
+			Kind:    KindEntity,
+			Class:   ClassOrganization,
+			Parents: []ConceptID{b.facet(e.facet), b.countryID[e.where]},
+			Words:   e.words,
+		})
+	}
+
+	// Energy-sector companies also belong to the Oil and Gas dimension.
+	oilGas := b.facet("Oil and Gas")
+	energySector := b.facet("Energy Companies")
+	for _, e := range b.kb.Entities() {
+		for _, p := range e.Parents {
+			if p == energySector {
+				e.Parents = append(e.Parents, oilGas)
+				break
+			}
+		}
+	}
+}

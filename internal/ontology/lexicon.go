@@ -1,0 +1,637 @@
+package ontology
+
+// The is-a lexicon is the common-noun hypernym taxonomy from which the
+// synthetic WordNet database files are generated (internal/wordnet). Real
+// WordNet has deep chains ("war → military action → group action → act →
+// event → psychological feature → abstraction → entity"); we keep chains
+// 2–5 levels deep with the same character: near hypernyms are informative
+// facet-like words, far hypernyms are abstract. Crucially — and this is
+// the property the paper's Tables II–IV hinge on — the lexicon covers only
+// common nouns: named entities ("Jacques Chirac") and most noun phrases
+// have no entry, which is why the WordNet resource shows high precision
+// but poor recall, especially under the named-entity extractor.
+
+// isaParent maps a noun to its immediate hypernym. Roots map to "".
+var isaParent = map[string]string{
+	// Top ontology.
+	"entity":        "",
+	"abstraction":   "entity",
+	"object":        "entity",
+	"act":           "entity",
+	"event":         "act",
+	"attribute":     "abstraction",
+	"measure":       "abstraction",
+	"group":         "abstraction",
+	"relation":      "abstraction",
+	"communication": "abstraction",
+	"location":      "object",
+	"organism":      "object",
+	"artifact":      "object",
+	"substance":     "object",
+
+	// People.
+	"person":      "organism",
+	"people":      "group",
+	"leader":      "person",
+	"politician":  "leader",
+	"president":   "leader",
+	"senator":     "politician",
+	"governor":    "politician",
+	"minister":    "politician",
+	"chancellor":  "politician",
+	"mayor":       "politician",
+	"diplomat":    "leader",
+	"ambassador":  "diplomat",
+	"executive":   "leader",
+	"chairman":    "executive",
+	"founder":     "executive",
+	"general":     "leader",
+	"commander":   "leader",
+	"admiral":     "commander",
+	"cleric":      "leader",
+	"bishop":      "cleric",
+	"athlete":     "person",
+	"player":      "athlete",
+	"pitcher":     "player",
+	"quarterback": "player",
+	"striker":     "player",
+	"goalie":      "player",
+	"coach":       "person",
+	"artist":      "person",
+	"musician":    "artist",
+	"singer":      "musician",
+	"composer":    "musician",
+	"painter":     "artist",
+	"sculptor":    "artist",
+	"actor":       "artist",
+	"actress":     "actor",
+	"director":    "artist",
+	"writer":      "artist",
+	"author":      "writer",
+	"novelist":    "author",
+	"poet":        "writer",
+	"journalist":  "writer",
+	"reporter":    "journalist",
+	"editor":      "journalist",
+	"scientist":   "person",
+	"researcher":  "scientist",
+	"physicist":   "scientist",
+	"chemist":     "scientist",
+	"biologist":   "scientist",
+	"economist":   "scientist",
+	"professor":   "person",
+	"teacher":     "person",
+	"student":     "person",
+	"doctor":      "person",
+	"surgeon":     "doctor",
+	"nurse":       "person",
+	"lawyer":      "person",
+	"prosecutor":  "lawyer",
+	"judge":       "person",
+	"soldier":     "person",
+	"officer":     "person",
+	"detective":   "officer",
+	"worker":      "person",
+	"farmer":      "worker",
+	"engineer":    "person",
+	"child":       "person",
+	"woman":       "person",
+	"man":         "person",
+	"victim":      "person",
+	"criminal":    "person",
+	"terrorist":   "criminal",
+	"celebrity":   "person",
+	"immigrant":   "person",
+	"refugee":     "immigrant",
+	"activist":    "person",
+	"voter":       "person",
+	"candidate":   "person",
+	"investor":    "person",
+	"consumer":    "person",
+	"chef":        "person",
+	"designer":    "artist",
+	"architect":   "person",
+	"astronaut":   "person",
+	"pilot":       "person",
+
+	// Groups, institutions, organizations.
+	"organization": "group",
+	"institution":  "organization",
+	"institute":    "institution",
+	"government":   "organization",
+	"agency":       "organization",
+	"bureau":       "agency",
+	"commission":   "agency",
+	"company":      "organization",
+	"corporation":  "company",
+	"firm":         "company",
+	"bank":         "company",
+	"airline":      "company",
+	"manufacturer": "company",
+	"publisher":    "company",
+	"university":   "institution",
+	"college":      "university",
+	"school":       "institution",
+	"hospital":     "institution",
+	"museum":       "institution",
+	"library":      "institution",
+	"foundation":   "organization",
+	"charity":      "foundation",
+	"church":       "organization",
+	"army":         "organization",
+	"navy":         "organization",
+	"police":       "organization",
+	"party":        "organization",
+	"union":        "organization",
+	"team":         "organization",
+	"league":       "organization",
+	"parliament":   "government",
+	"congress":     "government",
+	"senate":       "congress",
+	"cabinet":      "government",
+	"court":        "institution",
+	"tribunal":     "court",
+	"family":       "group",
+	"community":    "group",
+	"society":      "group",
+	"crowd":        "group",
+	"audience":     "group",
+	"committee":    "organization",
+	"council":      "organization",
+	"delegation":   "group",
+	"coalition":    "organization",
+	"opposition":   "organization",
+	"militia":      "organization",
+
+	// Places.
+	"region":    "location",
+	"territory": "region",
+	"country":   "region",
+	"nation":    "country",
+	"state":     "region", // the polity sense; see init for the condition sense
+	"province":  "region",
+	"city":      "region",
+	"town":      "city",
+	"village":   "town",
+	"capital":   "city",
+	"district":  "region",
+	"continent": "region",
+	"island":    "location",
+	"border":    "location",
+	"coast":     "location",
+	"mountain":  "location",
+	"river":     "location",
+	"ocean":     "location",
+	"sea":       "ocean",
+	"desert":    "location",
+	"forest":    "location",
+	"valley":    "location",
+	"street":    "location",
+	"building":  "artifact",
+	"stadium":   "building",
+	"airport":   "building",
+	"factory":   "building",
+	"prison":    "building",
+	"palace":    "building",
+	"tower":     "building",
+	"bridge":    "artifact",
+	"home":      "building",
+	"house":     "building",
+
+	// Events and acts.
+	"war":           "conflict",
+	"conflict":      "event",
+	"battle":        "war",
+	"invasion":      "war",
+	"attack":        "event",
+	"bombing":       "attack",
+	"revolution":    "conflict",
+	"uprising":      "revolution",
+	"protest":       "event",
+	"riot":          "protest",
+	"strike":        "protest",
+	"election":      "event",
+	"referendum":    "election",
+	"campaign":      "event",
+	"summit":        "meeting",
+	"meeting":       "event",
+	"conference":    "meeting",
+	"negotiation":   "meeting",
+	"ceremony":      "event",
+	"festival":      "event",
+	"parade":        "festival",
+	"celebration":   "event",
+	"tournament":    "contest",
+	"contest":       "event",
+	"game":          "contest",
+	"match":         "contest",
+	"race":          "contest",
+	"championship":  "tournament",
+	"accident":      "event",
+	"crash":         "accident",
+	"collision":     "crash",
+	"disaster":      "event",
+	"earthquake":    "disaster",
+	"hurricane":     "storm",
+	"storm":         "disaster",
+	"flood":         "disaster",
+	"tsunami":       "disaster",
+	"wildfire":      "disaster",
+	"drought":       "disaster",
+	"epidemic":      "disaster",
+	"famine":        "disaster",
+	"crime":         "act",
+	"murder":        "crime",
+	"robbery":       "crime",
+	"fraud":         "crime",
+	"bribery":       "crime",
+	"kidnapping":    "crime",
+	"assault":       "crime",
+	"trial":         "event",
+	"investigation": "act",
+	"arrest":        "act",
+	"execution":     "act",
+	"treaty":        "agreement",
+	"agreement":     "communication",
+	"accord":        "agreement",
+	"ceasefire":     "agreement",
+	"scandal":       "event",
+	"crisis":        "state",
+	"recession":     "crisis",
+	"boom":          "state",
+	"inauguration":  "ceremony",
+	"wedding":       "ceremony",
+	"funeral":       "ceremony",
+
+	// Abstractions, domains, phenomena.
+	"politics":       "activity",
+	"activity":       "act",
+	"diplomacy":      "politics",
+	"policy":         "communication",
+	"law":            "communication",
+	"legislation":    "law",
+	"bill":           "law",
+	"regulation":     "law",
+	"constitution":   "law",
+	"economy":        "system",
+	"system":         "abstraction",
+	"market":         "system",
+	"trade":          "activity",
+	"commerce":       "trade",
+	"business":       "activity",
+	"industry":       "business",
+	"agriculture":    "industry",
+	"manufacturing":  "industry",
+	"tourism":        "industry",
+	"finance":        "activity",
+	"banking":        "finance",
+	"investment":     "finance",
+	"money":          "measure",
+	"currency":       "money",
+	"dollar":         "currency",
+	"euro":           "currency",
+	"budget":         "money",
+	"debt":           "money",
+	"tax":            "money",
+	"price":          "measure",
+	"wage":           "money",
+	"profit":         "money",
+	"revenue":        "money",
+	"education":      "activity",
+	"religion":       "belief",
+	"belief":         "abstraction",
+	"faith":          "belief",
+	"science":        "knowledge",
+	"knowledge":      "abstraction",
+	"technology":     "knowledge",
+	"medicine":       "science",
+	"physics":        "science",
+	"chemistry":      "science",
+	"biology":        "science",
+	"astronomy":      "science",
+	"research":       "activity",
+	"health":         "state",
+	"disease":        "state",
+	"cancer":         "disease",
+	"infection":      "disease",
+	"virus":          "organism",
+	"injury":         "state",
+	"poverty":        "state",
+	"wealth":         "state",
+	"unemployment":   "state",
+	"inflation":      "state",
+	"corruption":     "state",
+	"violence":       "state",
+	"terrorism":      "violence",
+	"security":       "state",
+	"freedom":        "state",
+	"justice":        "state",
+	"peace":          "state",
+	"culture":        "abstraction",
+	"tradition":      "culture",
+	"heritage":       "culture",
+	"art":            "activity",
+	"music":          "art",
+	"jazz":           "music",
+	"opera":          "music",
+	"film":           "art",
+	"theater":        "art",
+	"literature":     "art",
+	"poetry":         "literature",
+	"dance":          "art",
+	"fashion":        "art",
+	"architecture":   "art",
+	"photography":    "art",
+	"sport":          "activity",
+	"baseball":       "sport",
+	"football":       "sport",
+	"soccer":         "football",
+	"basketball":     "sport",
+	"tennis":         "sport",
+	"golf":           "sport",
+	"hockey":         "sport",
+	"boxing":         "sport",
+	"cricket":        "sport",
+	"cycling":        "sport",
+	"swimming":       "sport",
+	"athletics":      "sport",
+	"weather":        "phenomenon",
+	"phenomenon":     "event",
+	"climate":        "phenomenon",
+	"temperature":    "measure",
+	"rain":           "weather",
+	"snow":           "weather",
+	"wind":           "weather",
+	"nature":         "entity",
+	"environment":    "state",
+	"pollution":      "state",
+	"energy":         "phenomenon",
+	"electricity":    "energy",
+	"transportation": "activity",
+	"immigration":    "activity",
+	"employment":     "activity",
+	"labor":          "activity",
+	"journalism":     "activity",
+	"advertising":    "activity",
+	"entertainment":  "activity",
+	"history":        "knowledge",
+	"biography":      "communication",
+	"competition":    "activity",
+	"leadership":     "activity",
+	"power":          "state",
+	"military":       "organization",
+
+	// Artifacts and media.
+	"weapon":     "artifact",
+	"missile":    "weapon",
+	"bomb":       "weapon",
+	"gun":        "weapon",
+	"vehicle":    "artifact",
+	"car":        "vehicle",
+	"truck":      "vehicle",
+	"train":      "vehicle",
+	"aircraft":   "vehicle",
+	"airplane":   "aircraft",
+	"helicopter": "aircraft",
+	"ship":       "vehicle",
+	"submarine":  "ship",
+	"rocket":     "vehicle",
+	"satellite":  "artifact",
+	"computer":   "artifact",
+	"internet":   "system",
+	"software":   "artifact",
+	"network":    "system",
+	"telephone":  "artifact",
+	"newspaper":  "artifact",
+	"book":       "artifact",
+	"novel":      "book",
+	"magazine":   "artifact",
+	"report":     "communication",
+	"document":   "communication",
+	"speech":     "communication",
+	"interview":  "communication",
+	"album":      "artifact",
+	"song":       "communication",
+	"movie":      "artifact",
+	"painting":   "artifact",
+	"sculpture":  "artifact",
+	"drug":       "substance",
+	"vaccine":    "drug",
+	"oil":        "substance",
+	"gas":        "substance",
+	"gold":       "substance",
+	"steel":      "substance",
+	"wheat":      "substance",
+	"food":       "substance",
+	"wine":       "food",
+	"water":      "substance",
+	"carbon":     "substance",
+
+	// Animals and plants (Nature facet support).
+	"animal":   "organism",
+	"mammal":   "animal",
+	"bird":     "animal",
+	"fish":     "animal",
+	"insect":   "animal",
+	"elephant": "mammal",
+	"whale":    "mammal",
+	"tiger":    "mammal",
+	"wolf":     "mammal",
+	"eagle":    "bird",
+	"salmon":   "fish",
+	"plant":    "organism",
+	"tree":     "plant",
+	"crop":     "plant",
+	"flower":   "plant",
+
+	// Time and measures (generic news vocabulary coverage).
+	"year":    "period",
+	"period":  "measure",
+	"month":   "period",
+	"week":    "period",
+	"day":     "period",
+	"decade":  "period",
+	"century": "period",
+	"season":  "period",
+	"percent": "measure",
+	"million": "measure",
+	"billion": "measure",
+	"number":  "measure",
+	"rate":    "measure",
+}
+
+func init() {
+	// "state" (polity) and "state" (condition) collide in a flat map; keep
+	// the polity sense, which is the one news facets use, and repair the
+	// chain for condition-like nouns that pointed at it.
+	isaParent["state"] = "region"
+	for _, w := range []string{"health", "disease", "poverty", "wealth", "crisis",
+		"unemployment", "inflation", "corruption", "violence", "security",
+		"freedom", "justice", "peace", "environment", "pollution", "injury",
+		"boom", "power"} {
+		if isaParent[w] == "state" {
+			isaParent[w] = "condition"
+		}
+	}
+	isaParent["condition"] = "abstraction"
+	isaParent["disease"] = "condition"
+	isaParent["health"] = "condition"
+	isaParent["crisis"] = "condition"
+	isaParent["recession"] = "crisis"
+
+	// Multi-word collocations WordNet actually carries (stored with
+	// underscores in the database files). Coverage is deliberately thin —
+	// the paper notes WordNet handles noun phrases poorly.
+	isaParent["prime minister"] = "politician"
+	isaParent["stock market"] = "market"
+	isaParent["climate change"] = "phenomenon"
+	isaParent["civil war"] = "war"
+	isaParent["world cup"] = "tournament"
+	isaParent["real estate"] = "business"
+	isaParent["human rights"] = "freedom"
+	isaParent["united nations"] = "organization"
+
+	// Category collocations on the hypernym paths, mirroring real
+	// WordNet's intermediate synsets ("head of state", "natural disaster",
+	// "sporting event"): specific nouns route through them so that
+	// hypernym queries surface facet-grade category names.
+	isaParent["political leader"] = "leader"
+	isaParent["business leader"] = "leader"
+	isaParent["military leader"] = "leader"
+	isaParent["religious leader"] = "leader"
+	for w, p := range map[string]string{
+		"politician": "political leader",
+		"executive":  "business leader",
+		"general":    "military leader",
+		"commander":  "military leader",
+		"cleric":     "religious leader",
+	} {
+		isaParent[w] = p
+	}
+	isaParent["natural disaster"] = "disaster"
+	for _, w := range []string{"earthquake", "flood", "tsunami", "wildfire", "drought", "storm", "famine"} {
+		isaParent[w] = "natural disaster"
+	}
+	isaParent["sports event"] = "event"
+	isaParent["tournament"] = "sports event"
+	isaParent["match"] = "sports event"
+	isaParent["race"] = "sports event"
+	// Real WordNet places specific company kinds under "company" with the
+	// "corporation" synset adjacent; route sector nouns through
+	// "corporation" so the category surfaces in hypernym queries.
+	isaParent["corporation"] = "organization"
+	isaParent["company"] = "corporation"
+
+	// Topical-noun chains to domain categories (all present in real
+	// WordNet in some form); these are what make hypernym expansion of
+	// ordinary news vocabulary surface facet-grade terms.
+	for w, p := range map[string]string{
+		"ballot":     "election",
+		"runoff":     "election",
+		"export":     "trade",
+		"import":     "trade",
+		"lending":    "banking",
+		"deposit":    "banking",
+		"tuition":    "education",
+		"curriculum": "education",
+		"drug":       "medicine",
+		"therapy":    "medicine",
+		"warming":    "climate change",
+		"melody":     "music",
+		"movie":      "film",
+		"cinema":     "film",
+		"broadcast":  "television",
+		"stage":      "theater",
+		"bombing":    "terrorism",
+		"sermon":     "religion",
+		"prayer":     "religion",
+		"mortgage":   "real estate",
+		"housing":    "real estate",
+		"wage":       "employment",
+		"payroll":    "employment",
+		"hiring":     "employment",
+		"layoff":     "employment",
+	} {
+		isaParent[w] = p
+	}
+	isaParent["film"] = "art"
+	isaParent["television"] = "communication"
+	isaParent["theater"] = "art"
+	isaParent["employment"] = "activity"
+	isaParent["mountain"] = "nature"
+	isaParent["wildlife"] = "nature"
+	isaParent["habitat"] = "wildlife"
+	isaParent["species"] = "wildlife"
+	isaParent["administration"] = "government"
+	isaParent["ministry"] = "government"
+	isaParent["presidency"] = "government"
+	isaParent["partisan"] = "politician"
+	isaParent["statesman"] = "politician"
+	isaParent["premier"] = "politician"
+}
+
+// IsaLexicon returns a copy of the common-noun hypernym map
+// (word → immediate hypernym; roots map to "").
+func IsaLexicon() map[string]string {
+	out := make(map[string]string, len(isaParent))
+	for k, v := range isaParent {
+		out[k] = v
+	}
+	return out
+}
+
+// WordNetLexicon returns the lexicon extended with the geographic layer
+// real WordNet carries (countries, capitals and major cities, continents
+// as instance hyponyms of "country"/"city"/"continent"). This is the
+// taxonomy the synthetic WordNet database files are generated from; the
+// paper's observation that WordNet covers named entities poorly still
+// holds — people, organizations, and events remain absent.
+func WordNetLexicon(kb *KB) map[string]string {
+	lex := IsaLexicon()
+	addIfFree := func(name, parent string) {
+		if _, exists := lex[name]; !exists {
+			lex[name] = parent
+		}
+	}
+	location, ok := kb.ByName("Location")
+	if !ok {
+		return lex
+	}
+	for i := 0; i < kb.Len(); i++ {
+		c := kb.Concept(ConceptID(i))
+		if c.Class != ClassPlace {
+			continue
+		}
+		// Continents sit directly under Location; countries under a
+		// continent; cities under a country.
+		if len(c.Parents) == 0 {
+			continue
+		}
+		parent := kb.Concept(c.Parents[0])
+		switch {
+		case parent.ID == location.ID:
+			addIfFree(c.Name, "continent")
+		case len(parent.Parents) > 0 && parent.Parents[0] == location.ID:
+			addIfFree(c.Name, "country")
+		default:
+			addIfFree(c.Name, "city")
+		}
+	}
+	return lex
+}
+
+// HypernymChain returns the hypernym chain of word (nearest first), not
+// including the word itself, following the is-a lexicon. Returns nil when
+// the word is not covered.
+func HypernymChain(word string) []string {
+	var out []string
+	cur, ok := isaParent[word]
+	if !ok {
+		return nil
+	}
+	for cur != "" && len(out) < 16 {
+		out = append(out, cur)
+		cur = isaParent[cur]
+	}
+	return out
+}

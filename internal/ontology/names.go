@@ -1,0 +1,346 @@
+package ontology
+
+// Name material for deterministic entity generation. Person names combine
+// a first and a last name; the lists mix origins so that generated casts
+// resemble an international news corpus. All generation is deterministic
+// given the KB seed.
+
+var firstNames = []string{
+	"Jacques", "Pierre", "Marie", "Claire", "Antoine", "Louis", "Henri",
+	"Jean", "Sophie", "Camille", "Hans", "Karl", "Greta", "Franz", "Otto",
+	"Ingrid", "Wolfgang", "Dieter", "Giovanni", "Marco", "Lucia", "Paolo",
+	"Francesca", "Alessandro", "Carlos", "Maria", "Jose", "Ana", "Miguel",
+	"Elena", "Pablo", "Diego", "Vladimir", "Sergei", "Natalia", "Dmitri",
+	"Olga", "Ivan", "Mikhail", "Tatiana", "Hiroshi", "Yuki", "Kenji",
+	"Akira", "Naoko", "Takeshi", "Wei", "Li", "Ming", "Hua", "Jun",
+	"Xiang", "Raj", "Priya", "Arjun", "Sanjay", "Deepa", "Vikram",
+	"Ahmed", "Fatima", "Omar", "Layla", "Hassan", "Amira", "Tariq",
+	"Kwame", "Amara", "Chidi", "Zola", "Sipho", "Nia", "Abebe",
+	"James", "John", "Robert", "Michael", "William", "David", "Richard",
+	"Thomas", "Charles", "Daniel", "Matthew", "Andrew", "Edward",
+	"George", "Kenneth", "Steven", "Paul", "Mark", "Donald", "Anthony",
+	"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+	"Susan", "Jessica", "Sarah", "Karen", "Nancy", "Lisa", "Margaret",
+	"Betty", "Sandra", "Ashley", "Dorothy", "Kimberly", "Emily", "Donna",
+	"Erik", "Lars", "Astrid", "Bjorn", "Freya", "Nils", "Sven",
+	"Piotr", "Agnieszka", "Marek", "Katarzyna", "Janusz", "Eva",
+	"Mehmet", "Ayse", "Mustafa", "Zeynep", "Emre", "Leila",
+	"Sun-Hee", "Min-Jun", "Ji-Woo", "Thabo", "Kofi", "Ngozi",
+}
+
+var lastNames = []string{
+	"Chirac", "Dubois", "Moreau", "Laurent", "Lefevre", "Rousseau",
+	"Fontaine", "Girard", "Mercier", "Blanc", "Muller", "Schmidt",
+	"Schneider", "Fischer", "Weber", "Wagner", "Becker", "Hoffmann",
+	"Richter", "Klein", "Rossi", "Ferrari", "Esposito", "Bianchi",
+	"Romano", "Colombo", "Ricci", "Marino", "Garcia", "Rodriguez",
+	"Martinez", "Hernandez", "Lopez", "Gonzalez", "Perez", "Sanchez",
+	"Ramirez", "Torres", "Ivanov", "Petrov", "Volkov", "Sokolov",
+	"Popov", "Kuznetsov", "Tanaka", "Suzuki", "Takahashi", "Watanabe",
+	"Yamamoto", "Nakamura", "Kobayashi", "Kato", "Chen", "Wang",
+	"Zhang", "Liu", "Yang", "Huang", "Zhao", "Wu", "Patel", "Sharma",
+	"Singh", "Kumar", "Gupta", "Mehta", "Reddy", "Iyer", "Hassan",
+	"Ali", "Ahmed", "Ibrahim", "Khalil", "Rahman", "Aziz", "Mansour",
+	"Okafor", "Mensah", "Diallo", "Ndiaye", "Mwangi", "Banda",
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis",
+	"Wilson", "Anderson", "Taylor", "Moore", "Jackson", "Martin", "Lee",
+	"Thompson", "White", "Harris", "Clark", "Lewis", "Walker", "Hall",
+	"Young", "King", "Wright", "Scott", "Green", "Baker", "Adams",
+	"Nelson", "Carter", "Mitchell", "Roberts", "Turner", "Phillips",
+	"Campbell", "Parker", "Evans", "Edwards", "Collins", "Stewart",
+	"Morris", "Murphy", "Cook", "Rogers", "Morgan", "Peterson",
+	"Cooper", "Reed", "Bailey", "Bell", "Gomez", "Kelly", "Howard",
+	"Ward", "Cox", "Diaz", "Richardson", "Wood", "Watson", "Brooks",
+	"Bennett", "Gray", "James", "Reyes", "Cruz", "Hughes", "Price",
+	"Myers", "Long", "Foster", "Sanders", "Ross", "Morales", "Powell",
+	"Sullivan", "Russell", "Ortiz", "Jenkins", "Gutierrez", "Perry",
+	"Butler", "Barnes", "Fisher", "Lindqvist", "Johansson", "Eriksson",
+	"Nilsson", "Larsson", "Kowalski", "Nowak", "Wisniewski", "Mazur",
+	"Yilmaz", "Kaya", "Demir", "Celik", "Arslan", "Kim", "Park", "Choi",
+	"Jung", "Kang", "Santos", "Silva", "Oliveira", "Souza", "Pereira",
+	"Costa", "Okonkwo", "Abara", "Chukwu", "Keita", "Traore",
+}
+
+// countrySpec places a country under a continent facet and provides its
+// demonym plus a few city names. Cities become place entities; a handful
+// of world cities are promoted to facet terms in builder.go.
+type countrySpec struct {
+	name      string
+	continent string // display name of the continent facet node
+	demonym   string
+	cities    []string
+}
+
+var countries = []countrySpec{
+	{"France", "Europe", "french", []string{"Paris", "Lyon", "Marseille"}},
+	{"Germany", "Europe", "german", []string{"Berlin", "Munich", "Hamburg"}},
+	{"Italy", "Europe", "italian", []string{"Rome", "Milan", "Naples"}},
+	{"Spain", "Europe", "spanish", []string{"Madrid", "Barcelona", "Seville"}},
+	{"United Kingdom", "Europe", "british", []string{"London", "Manchester", "Edinburgh"}},
+	{"Ireland", "Europe", "irish", []string{"Dublin", "Cork"}},
+	{"Portugal", "Europe", "portuguese", []string{"Lisbon", "Porto"}},
+	{"Netherlands", "Europe", "dutch", []string{"Amsterdam", "Rotterdam"}},
+	{"Belgium", "Europe", "belgian", []string{"Brussels", "Antwerp"}},
+	{"Switzerland", "Europe", "swiss", []string{"Zurich", "Geneva"}},
+	{"Austria", "Europe", "austrian", []string{"Vienna", "Salzburg"}},
+	{"Sweden", "Europe", "swedish", []string{"Stockholm", "Gothenburg"}},
+	{"Norway", "Europe", "norwegian", []string{"Oslo", "Bergen"}},
+	{"Denmark", "Europe", "danish", []string{"Copenhagen", "Aarhus"}},
+	{"Finland", "Europe", "finnish", []string{"Helsinki", "Tampere"}},
+	{"Poland", "Europe", "polish", []string{"Warsaw", "Krakow"}},
+	{"Czech Republic", "Europe", "czech", []string{"Prague", "Brno"}},
+	{"Hungary", "Europe", "hungarian", []string{"Budapest", "Debrecen"}},
+	{"Greece", "Europe", "greek", []string{"Athens", "Thessaloniki"}},
+	{"Romania", "Europe", "romanian", []string{"Bucharest", "Cluj"}},
+	{"Bulgaria", "Europe", "bulgarian", []string{"Sofia", "Plovdiv"}},
+	{"Croatia", "Europe", "croatian", []string{"Zagreb", "Split"}},
+	{"Serbia", "Europe", "serbian", []string{"Belgrade", "Novi Sad"}},
+	{"Ukraine", "Europe", "ukrainian", []string{"Kiev", "Lviv"}},
+	{"Russia", "Europe", "russian", []string{"Moscow", "Saint Petersburg", "Novosibirsk"}},
+	{"China", "Asia", "chinese", []string{"Beijing", "Shanghai", "Guangzhou"}},
+	{"Japan", "Asia", "japanese", []string{"Tokyo", "Osaka", "Kyoto"}},
+	{"South Korea", "Asia", "korean", []string{"Seoul", "Busan"}},
+	{"North Korea", "Asia", "korean", []string{"Pyongyang"}},
+	{"India", "Asia", "indian", []string{"Delhi", "Mumbai", "Bangalore"}},
+	{"Pakistan", "Asia", "pakistani", []string{"Karachi", "Lahore", "Islamabad"}},
+	{"Bangladesh", "Asia", "bangladeshi", []string{"Dhaka", "Chittagong"}},
+	{"Indonesia", "Asia", "indonesian", []string{"Jakarta", "Surabaya"}},
+	{"Malaysia", "Asia", "malaysian", []string{"Kuala Lumpur", "Penang"}},
+	{"Thailand", "Asia", "thai", []string{"Bangkok", "Chiang Mai"}},
+	{"Vietnam", "Asia", "vietnamese", []string{"Hanoi", "Ho Chi Minh City"}},
+	{"Philippines", "Asia", "filipino", []string{"Manila", "Cebu"}},
+	{"Singapore", "Asia", "singaporean", []string{"Singapore City"}},
+	{"Taiwan", "Asia", "taiwanese", []string{"Taipei", "Kaohsiung"}},
+	{"Mongolia", "Asia", "mongolian", []string{"Ulaanbaatar"}},
+	{"Kazakhstan", "Asia", "kazakh", []string{"Almaty", "Astana"}},
+	{"Afghanistan", "Asia", "afghan", []string{"Kabul", "Kandahar"}},
+	{"Nepal", "Asia", "nepalese", []string{"Kathmandu"}},
+	{"Sri Lanka", "Asia", "sri lankan", []string{"Colombo", "Kandy"}},
+	{"Myanmar", "Asia", "burmese", []string{"Yangon", "Mandalay"}},
+	{"Iraq", "Middle East", "iraqi", []string{"Baghdad", "Basra", "Mosul"}},
+	{"Iran", "Middle East", "iranian", []string{"Tehran", "Isfahan"}},
+	{"Israel", "Middle East", "israeli", []string{"Jerusalem", "Tel Aviv"}},
+	{"Jordan", "Middle East", "jordanian", []string{"Amman"}},
+	{"Lebanon", "Middle East", "lebanese", []string{"Beirut"}},
+	{"Syria", "Middle East", "syrian", []string{"Damascus", "Aleppo"}},
+	{"Saudi Arabia", "Middle East", "saudi", []string{"Riyadh", "Jeddah"}},
+	{"Turkey", "Middle East", "turkish", []string{"Istanbul", "Ankara"}},
+	{"Egypt", "Middle East", "egyptian", []string{"Cairo", "Alexandria"}},
+	{"Kuwait", "Middle East", "kuwaiti", []string{"Kuwait City"}},
+	{"Qatar", "Middle East", "qatari", []string{"Doha"}},
+	{"United Arab Emirates", "Middle East", "emirati", []string{"Dubai", "Abu Dhabi"}},
+	{"Yemen", "Middle East", "yemeni", []string{"Sanaa"}},
+	{"Nigeria", "Africa", "nigerian", []string{"Lagos", "Abuja", "Kano"}},
+	{"South Africa", "Africa", "south african", []string{"Johannesburg", "Cape Town", "Durban"}},
+	{"Kenya", "Africa", "kenyan", []string{"Nairobi", "Mombasa"}},
+	{"Ethiopia", "Africa", "ethiopian", []string{"Addis Ababa"}},
+	{"Ghana", "Africa", "ghanaian", []string{"Accra", "Kumasi"}},
+	{"Senegal", "Africa", "senegalese", []string{"Dakar"}},
+	{"Morocco", "Africa", "moroccan", []string{"Casablanca", "Rabat"}},
+	{"Algeria", "Africa", "algerian", []string{"Algiers", "Oran"}},
+	{"Tunisia", "Africa", "tunisian", []string{"Tunis"}},
+	{"Libya", "Africa", "libyan", []string{"Tripoli", "Benghazi"}},
+	{"Sudan", "Africa", "sudanese", []string{"Khartoum", "Darfur"}},
+	{"Tanzania", "Africa", "tanzanian", []string{"Dar es Salaam", "Dodoma"}},
+	{"Uganda", "Africa", "ugandan", []string{"Kampala"}},
+	{"Zimbabwe", "Africa", "zimbabwean", []string{"Harare", "Bulawayo"}},
+	{"Mozambique", "Africa", "mozambican", []string{"Maputo"}},
+	{"Angola", "Africa", "angolan", []string{"Luanda"}},
+	{"Congo", "Africa", "congolese", []string{"Kinshasa", "Lubumbashi"}},
+	{"Mali", "Africa", "malian", []string{"Bamako", "Timbuktu"}},
+	{"United States", "North America", "american", []string{"New York", "Washington", "Los Angeles", "Chicago", "Boston", "Houston", "San Francisco", "Seattle", "Miami", "Atlanta", "Philadelphia", "Detroit", "Dallas", "Denver", "Phoenix", "Baltimore", "Minneapolis", "New Orleans"}},
+	{"Canada", "North America", "canadian", []string{"Toronto", "Montreal", "Vancouver", "Ottawa"}},
+	{"Mexico", "North America", "mexican", []string{"Mexico City", "Guadalajara", "Monterrey"}},
+	{"Cuba", "North America", "cuban", []string{"Havana"}},
+	{"Guatemala", "North America", "guatemalan", []string{"Guatemala City"}},
+	{"Panama", "North America", "panamanian", []string{"Panama City"}},
+	{"Haiti", "North America", "haitian", []string{"Port-au-Prince"}},
+	{"Jamaica", "North America", "jamaican", []string{"Kingston"}},
+	{"Brazil", "South America", "brazilian", []string{"Sao Paulo", "Rio de Janeiro", "Brasilia"}},
+	{"Argentina", "South America", "argentine", []string{"Buenos Aires", "Cordoba"}},
+	{"Chile", "South America", "chilean", []string{"Santiago", "Valparaiso"}},
+	{"Colombia", "South America", "colombian", []string{"Bogota", "Medellin"}},
+	{"Peru", "South America", "peruvian", []string{"Lima", "Cusco"}},
+	{"Venezuela", "South America", "venezuelan", []string{"Caracas", "Maracaibo"}},
+	{"Ecuador", "South America", "ecuadorian", []string{"Quito", "Guayaquil"}},
+	{"Bolivia", "South America", "bolivian", []string{"La Paz", "Sucre"}},
+	{"Uruguay", "South America", "uruguayan", []string{"Montevideo"}},
+	{"Australia", "Oceania", "australian", []string{"Sydney", "Melbourne", "Canberra", "Perth"}},
+	{"New Zealand", "Oceania", "new zealander", []string{"Auckland", "Wellington"}},
+	{"Fiji", "Oceania", "fijian", []string{"Suva"}},
+}
+
+// countryVariants are alternative names for countries, mirroring the
+// redirect-rich entries real Wikipedia has for states.
+var countryVariants = map[string][]string{
+	"United States":        {"America", "USA", "U.S.", "United States of America"},
+	"United Kingdom":       {"Britain", "UK", "Great Britain"},
+	"Russia":               {"Russian Federation"},
+	"China":                {"People's Republic of China", "PRC"},
+	"Germany":              {"Federal Republic of Germany"},
+	"South Korea":          {"Republic of Korea"},
+	"North Korea":          {"DPRK"},
+	"Netherlands":          {"Holland"},
+	"United Arab Emirates": {"UAE", "Emirates"},
+	"Congo":                {"DRC", "Democratic Republic of Congo"},
+	"Myanmar":              {"Burma"},
+	"Czech Republic":       {"Czechia"},
+	"Switzerland":          {"Swiss Confederation"},
+	"Egypt":                {"Arab Republic of Egypt"},
+	"Iran":                 {"Islamic Republic of Iran", "Persia"},
+	"Saudi Arabia":         {"Kingdom of Saudi Arabia"},
+	"Mexico":               {"United Mexican States"},
+	"Brazil":               {"Federative Republic of Brazil"},
+	"Australia":            {"Commonwealth of Australia"},
+	"India":                {"Republic of India", "Bharat"},
+	"Japan":                {"Nippon"},
+	"France":               {"French Republic"},
+	"Italy":                {"Italian Republic"},
+	"Spain":                {"Kingdom of Spain"},
+	"Greece":               {"Hellenic Republic", "Hellas"},
+}
+
+// facetVariants are alternative names for non-geographic facet terms
+// (Wikipedia redirects like "Politicians" → "Political Leaders").
+var facetVariants = map[string][]string{
+	"Political Leaders": {"Politicians", "Statesmen"},
+	"Business Leaders":  {"Executives", "Business People"},
+	"Military Leaders":  {"Military Officers"},
+	"Religious Leaders": {"Clergy"},
+	"Corporations":      {"Companies", "Firms"},
+	"Natural Disasters": {"Catastrophes"},
+	"Elections":         {"Polls"},
+	"Films":             {"Movies"},
+	"Film":              {"Movies", "Cinema"},
+	"Soccer":            {"Association Football"},
+	"Universities":      {"Colleges"},
+	"Wars":              {"Armed Conflicts"},
+	"Stock Markets":     {"Stock Exchanges"},
+	"Climate Change":    {"Global Warming"},
+	"Terrorism":         {"Terror Attacks"},
+	"Labor":             {"Labour", "Organized Labor"},
+	"Medicine":          {"Medical Science"},
+	"Internet":          {"World Wide Web"},
+	"Space Exploration": {"Spaceflight"},
+	"Immigration":       {"Migration"},
+	"Civil Unrest":      {"Riots"},
+	"Real Estate":       {"Property Market"},
+	"New York":          {"New York City", "NYC"},
+	"Los Angeles":       {"LA"},
+	"Washington":        {"Washington DC"},
+}
+
+// facetCities are world cities promoted to facet terms in their own right
+// (the paper's Figure 4 lists "new york" among annotator facet terms).
+var facetCities = map[string]bool{
+	"New York": true, "Washington": true, "London": true, "Paris": true,
+	"Tokyo": true, "Beijing": true, "Moscow": true, "Berlin": true,
+	"Baghdad": true, "Jerusalem": true, "Rome": true, "Los Angeles": true,
+	"Chicago": true, "Hong Kong": true, "Mumbai": true, "Cairo": true,
+}
+
+// Organization name material.
+var orgNameA = []string{
+	"Global", "United", "National", "First", "Pacific", "Atlantic",
+	"Continental", "General", "Northern", "Southern", "Eastern",
+	"Western", "Advanced", "Allied", "Integrated", "Premier", "Summit",
+	"Pinnacle", "Horizon", "Vanguard", "Meridian", "Sterling", "Apex",
+	"Crescent", "Beacon", "Cascade", "Granite", "Ironwood", "Silverline",
+	"Bluepeak", "Redstone", "Clearwater", "Brightfield", "Stonebridge",
+	"Fairview", "Oakmont", "Lakeshore", "Riverside", "Hillcrest",
+	"Kingsway", "Broadline", "Centara", "Novara", "Arcadia", "Solaris",
+	"Lumina", "Vertex", "Quantum", "Stellar", "Orion", "Polaris",
+	"Zenith", "Equinox", "Aurora", "Titan", "Atlas", "Nimbus",
+}
+
+var orgNameB = map[string][]string{
+	"Technology Companies":     {"Systems", "Technologies", "Software", "Computing", "Networks", "Digital", "Microsystems", "Semiconductors", "Data", "Robotics"},
+	"Financial Companies":      {"Bank", "Capital", "Financial", "Holdings", "Securities", "Trust", "Investments", "Partners", "Asset Management", "Credit"},
+	"Energy Companies":         {"Energy", "Petroleum", "Oil", "Gas", "Power", "Resources", "Drilling", "Utilities", "Solar", "Fuels"},
+	"Media Companies":          {"Media", "Broadcasting", "Communications", "Publishing", "Entertainment", "Studios", "Press", "Cable", "News Network", "Pictures"},
+	"Retail Companies":         {"Stores", "Retail", "Markets", "Outfitters", "Merchants", "Emporium", "Supply", "Wholesale", "Goods", "Mart"},
+	"Automotive Companies":     {"Motors", "Automotive", "Auto Works", "Vehicles", "Motor Group", "Carriage", "Drivetrain", "Mobility", "Wheels", "Engines"},
+	"Pharmaceutical Companies": {"Pharmaceuticals", "Therapeutics", "Biosciences", "Labs", "Biotech", "Genomics", "Medical", "Health Sciences", "Remedies", "Diagnostics"},
+	"Airlines":                 {"Airlines", "Airways", "Air", "Aviation", "Jet", "Skyways", "Air Express", "Air Lines", "Wings", "Flights"},
+}
+
+var orgSuffixes = []string{"Inc", "Corp", "Group", "Ltd", "Co"}
+
+var universityPatterns = []string{
+	"University of %s", "%s University", "%s State University",
+	"%s Institute of Technology", "%s College",
+}
+
+var intlOrgs = []struct {
+	name     string
+	variants []string
+	words    []string
+}{
+	{"United Nations", []string{"UN", "U.N."}, []string{"resolution", "security", "council", "assembly"}},
+	{"World Bank", nil, []string{"loans", "development", "aid"}},
+	{"International Monetary Fund", []string{"IMF"}, []string{"bailout", "austerity", "lending"}},
+	{"World Trade Organization", []string{"WTO"}, []string{"tariffs", "disputes", "rounds"}},
+	{"World Health Organization", []string{"WHO"}, []string{"epidemic", "vaccination", "outbreak"}},
+	{"North Atlantic Treaty Organization", []string{"NATO"}, []string{"alliance", "deployment", "defense"}},
+	{"European Union", []string{"EU", "E.U."}, []string{"commission", "directive", "integration"}},
+	{"African Union", []string{"AU"}, []string{"mediation", "charter"}},
+	{"Organization of Petroleum Exporting Countries", []string{"OPEC"}, []string{"quotas", "barrels", "output"}},
+	{"International Committee of the Red Cross", []string{"Red Cross", "ICRC"}, []string{"humanitarian", "relief", "aid"}},
+	{"International Atomic Energy Agency", []string{"IAEA"}, []string{"inspections", "enrichment", "safeguards"}},
+	{"International Criminal Court", []string{"ICC"}, []string{"indictment", "tribunal", "prosecution"}},
+	{"Association of Southeast Asian Nations", []string{"ASEAN"}, []string{"bloc", "cooperation"}},
+	{"Organization for Economic Cooperation and Development", []string{"OECD"}, []string{"reports", "indicators"}},
+	{"Amnesty International", nil, []string{"prisoners", "rights", "campaigns"}},
+	{"Doctors Without Borders", []string{"Medecins Sans Frontieres", "MSF"}, []string{"clinics", "relief", "emergency"}},
+	{"Greenpeace", nil, []string{"activists", "whaling", "campaigns"}},
+	{"Interpol", nil, []string{"warrants", "fugitives"}},
+	{"UNESCO", nil, []string{"heritage", "sites", "culture"}},
+	{"UNICEF", nil, []string{"children", "immunization", "relief"}},
+}
+
+var govAgencies = []struct {
+	name     string
+	variants []string
+	country  string
+	words    []string
+}{
+	{"Federal Bureau of Investigation", []string{"FBI", "F.B.I."}, "United States", []string{"agents", "probe", "warrant"}},
+	{"Central Intelligence Agency", []string{"CIA", "C.I.A."}, "United States", []string{"intelligence", "covert", "analysts"}},
+	{"Federal Reserve", []string{"Fed"}, "United States", []string{"rates", "monetary", "inflation"}},
+	{"Securities and Exchange Commission", []string{"SEC", "S.E.C."}, "United States", []string{"filings", "enforcement", "disclosure"}},
+	{"Food and Drug Administration", []string{"FDA", "F.D.A."}, "United States", []string{"approval", "recall", "labeling"}},
+	{"Environmental Protection Agency", []string{"EPA", "E.P.A."}, "United States", []string{"emissions", "standards", "cleanup"}},
+	{"National Aeronautics and Space Administration", []string{"NASA"}, "United States", []string{"shuttle", "launch", "mission"}},
+	{"Department of Homeland Security", []string{"Homeland Security"}, "United States", []string{"alerts", "screening", "borders"}},
+	{"Department of Defense", []string{"Pentagon"}, "United States", []string{"contracts", "deployment", "briefing"}},
+	{"Department of Justice", []string{"Justice Department"}, "United States", []string{"prosecutors", "indictments", "antitrust"}},
+	{"Internal Revenue Service", []string{"IRS", "I.R.S."}, "United States", []string{"returns", "audits", "refunds"}},
+	{"Centers for Disease Control", []string{"CDC", "C.D.C."}, "United States", []string{"outbreak", "surveillance", "advisory"}},
+	{"Scotland Yard", nil, "United Kingdom", []string{"detectives", "inquiry"}},
+	{"Bank of England", nil, "United Kingdom", []string{"rates", "sterling", "policy"}},
+	{"European Central Bank", []string{"ECB"}, "Germany", []string{"euro", "rates", "bonds"}},
+	{"Bank of Japan", nil, "Japan", []string{"yen", "easing", "policy"}},
+}
+
+var museumNames = []string{
+	"Metropolitan Museum of Art", "Museum of Modern Art", "Louvre",
+	"British Museum", "National Gallery", "Guggenheim Museum",
+	"Smithsonian Institution", "Hermitage Museum", "Prado Museum",
+	"Uffizi Gallery", "Rijksmuseum", "Tate Modern",
+}
+
+// Sports league / team material.
+var teamCityPool = []string{
+	"New York", "Boston", "Chicago", "Los Angeles", "Houston", "Dallas",
+	"Seattle", "Denver", "Miami", "Atlanta", "Detroit", "Phoenix",
+	"Cleveland", "Oakland", "Baltimore", "Philadelphia", "Toronto",
+	"Minnesota", "Pittsburgh", "Cincinnati", "Kansas City", "San Diego",
+}
+
+var teamMascots = map[string][]string{
+	"Baseball":   {"Hawks", "Pioneers", "Mariners", "Senators", "Cougars", "Comets", "Captains", "Forgers"},
+	"Football":   {"Chargers", "Stallions", "Guardians", "Wolves", "Thunder", "Knights", "Raptors", "Outlaws"},
+	"Basketball": {"Flyers", "Blazers", "Storm", "Royals", "Spartans", "Cyclones", "Jets", "Monarchs"},
+	"Hockey":     {"Icebreakers", "Penguins", "Frost", "Avalanche", "Sabers", "Polar Bears", "Glaciers", "Blizzard"},
+	"Soccer":     {"United", "City", "Rovers", "Athletic", "Rangers", "Wanderers", "Dynamo", "Real"},
+}

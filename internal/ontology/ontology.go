@@ -1,0 +1,317 @@
+// Package ontology defines the ground-truth knowledge base that underlies
+// every simulated substrate in this reproduction: the facet taxonomy that
+// plays the role of the "accumulated knowledge" human annotators used in
+// the paper's pilot study (Section III), the named entities that news
+// stories mention, the common-noun is-a lexicon that the synthetic WordNet
+// is generated from, and the concept links that the synthetic Wikipedia's
+// page graph is generated from.
+//
+// The paper evaluates against human judgments (Mechanical Turk annotators
+// who know, e.g., that "Jacques Chirac" belongs under "Political Leaders"
+// and "France"). In an offline reproduction that shared knowledge must be
+// made explicit; this package is that explicit knowledge. Every evaluation
+// number in the repository is measured against annotations derived from
+// this ontology, exactly as the paper's numbers are measured against
+// annotations derived from the annotators' world knowledge.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lang"
+)
+
+// ConceptID identifies a concept within a KB. IDs are dense and stable for
+// a given (seed, scale) configuration.
+type ConceptID int32
+
+// None is the zero ConceptID sentinel (no concept).
+const None ConceptID = -1
+
+// Kind classifies a concept.
+type Kind uint8
+
+const (
+	// KindFacetRoot is a top-level facet dimension ("Location", "People").
+	KindFacetRoot Kind = iota
+	// KindFacetTerm is a general term suitable for faceted browsing
+	// ("Political Leaders", "France", "Natural Disasters").
+	KindFacetTerm
+	// KindEntity is a concrete named entity mentioned in documents
+	// ("Jacques Chirac", "2005 G8 Summit").
+	KindEntity
+	// KindCommon is a common noun used for the WordNet lexicon and filler
+	// vocabulary; it is not a browsing facet by itself.
+	KindCommon
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindFacetRoot:
+		return "facet-root"
+	case KindFacetTerm:
+		return "facet-term"
+	case KindEntity:
+		return "entity"
+	case KindCommon:
+		return "common"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// EntityClass classifies named entities; the NE tagger and the Wikipedia
+// generator treat classes differently (persons get initials variants,
+// organizations get suffix variants, and so on).
+type EntityClass uint8
+
+const (
+	ClassNone EntityClass = iota
+	ClassPerson
+	ClassOrganization
+	ClassPlace
+	ClassEvent
+)
+
+// String returns the class name.
+func (c EntityClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassPerson:
+		return "person"
+	case ClassOrganization:
+		return "organization"
+	case ClassPlace:
+		return "place"
+	case ClassEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Concept is a node in the knowledge base.
+type Concept struct {
+	ID      ConceptID
+	Name    string // canonical normalized name (lang.NormalizePhrase form)
+	Display string // cased display form ("Political Leaders", "Jacques Chirac")
+	Kind    Kind
+	Class   EntityClass
+
+	// Parents are broader-than / is-a edges. For an entity these are the
+	// facet terms it belongs to ("Jacques Chirac" → "political leaders",
+	// "france"); for a facet term they are broader facet terms up to a
+	// facet root; for a common noun they are WordNet-style hypernyms.
+	Parents []ConceptID
+
+	// Related are associative (non-hierarchical) edges: a politician to the
+	// other politicians of the same country, a company to its chief
+	// executive, an event to its location. The Wikipedia link graph is
+	// generated from Parents ∪ Related.
+	Related []ConceptID
+
+	// Variants are alternative display forms ("Chirac, Jacques",
+	// "J. Chirac"); they become Wikipedia redirect titles and document
+	// mention variants.
+	Variants []string
+
+	// Words is the topical vocabulary associated with the concept; the
+	// corpus generator emits these words in stories about the concept and
+	// the Wikipedia generator writes them into the concept's page.
+	Words []string
+}
+
+// IsFacet reports whether the concept is usable as a facet term (root or
+// term).
+func (c *Concept) IsFacet() bool {
+	return c.Kind == KindFacetRoot || c.Kind == KindFacetTerm
+}
+
+// KB is the assembled knowledge base.
+type KB struct {
+	concepts []*Concept
+	byName   map[string]ConceptID // canonical and variant names → concept
+
+	facetTerms []ConceptID // all KindFacetRoot + KindFacetTerm, sorted by ID
+	entities   []ConceptID
+	commons    []ConceptID
+	roots      []ConceptID
+
+	// ancestors[id] is the transitive closure of Parents restricted to
+	// facet concepts, precomputed at build time.
+	ancestors [][]ConceptID
+}
+
+// Len returns the number of concepts.
+func (kb *KB) Len() int { return len(kb.concepts) }
+
+// Concept returns the concept with the given ID. It panics on an invalid
+// ID; IDs only come from the KB itself, so an invalid ID is a bug.
+func (kb *KB) Concept(id ConceptID) *Concept {
+	return kb.concepts[id]
+}
+
+// ByName looks up a concept by any of its names (canonical or variant),
+// normalizing the query first.
+func (kb *KB) ByName(name string) (*Concept, bool) {
+	id, ok := kb.byName[lang.NormalizePhrase(name)]
+	if !ok {
+		return nil, false
+	}
+	return kb.concepts[id], true
+}
+
+// Roots returns the facet roots in ID order.
+func (kb *KB) Roots() []*Concept { return kb.byIDs(kb.roots) }
+
+// FacetTerms returns all facet concepts (roots and terms) in ID order.
+func (kb *KB) FacetTerms() []*Concept { return kb.byIDs(kb.facetTerms) }
+
+// Entities returns all entities in ID order.
+func (kb *KB) Entities() []*Concept { return kb.byIDs(kb.entities) }
+
+// Commons returns all common-noun concepts in ID order.
+func (kb *KB) Commons() []*Concept { return kb.byIDs(kb.commons) }
+
+func (kb *KB) byIDs(ids []ConceptID) []*Concept {
+	out := make([]*Concept, len(ids))
+	for i, id := range ids {
+		out[i] = kb.concepts[id]
+	}
+	return out
+}
+
+// FacetAncestors returns the transitive facet-concept ancestors of id
+// (excluding id itself), nearest first. The slice is shared; callers must
+// not mutate it.
+func (kb *KB) FacetAncestors(id ConceptID) []ConceptID {
+	return kb.ancestors[id]
+}
+
+// IsAncestor reports whether a is a (transitive) facet ancestor of b.
+func (kb *KB) IsAncestor(a, b ConceptID) bool {
+	for _, x := range kb.ancestors[b] {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Root returns the facet root above the given concept, or None when the
+// concept has no facet-root ancestor.
+func (kb *KB) Root(id ConceptID) ConceptID {
+	if kb.concepts[id].Kind == KindFacetRoot {
+		return id
+	}
+	for _, a := range kb.ancestors[id] {
+		if kb.concepts[a].Kind == KindFacetRoot {
+			return a
+		}
+	}
+	return None
+}
+
+// add inserts a concept, registering canonical name and variants. It
+// returns the assigned ID. Name collisions keep the first registration
+// (mirroring Wikipedia's "first page wins the title" behaviour); the
+// colliding concept is still added under its remaining free names.
+func (kb *KB) add(c *Concept) ConceptID {
+	id := ConceptID(len(kb.concepts))
+	c.ID = id
+	if c.Name == "" {
+		c.Name = lang.NormalizePhrase(c.Display)
+	}
+	kb.concepts = append(kb.concepts, c)
+	if _, taken := kb.byName[c.Name]; !taken {
+		kb.byName[c.Name] = id
+	}
+	for _, v := range c.Variants {
+		n := lang.NormalizePhrase(v)
+		if _, taken := kb.byName[n]; !taken && n != c.Name {
+			kb.byName[n] = id
+		}
+	}
+	return id
+}
+
+// finalize computes the derived indexes. It must be called once after all
+// concepts are added.
+func (kb *KB) finalize() error {
+	kb.ancestors = make([][]ConceptID, len(kb.concepts))
+	for _, c := range kb.concepts {
+		switch c.Kind {
+		case KindFacetRoot:
+			kb.roots = append(kb.roots, c.ID)
+			kb.facetTerms = append(kb.facetTerms, c.ID)
+		case KindFacetTerm:
+			kb.facetTerms = append(kb.facetTerms, c.ID)
+		case KindEntity:
+			kb.entities = append(kb.entities, c.ID)
+		case KindCommon:
+			kb.commons = append(kb.commons, c.ID)
+		}
+	}
+	// Ancestor closure via DFS with cycle detection. Parents always point
+	// to earlier or later IDs, so we memoize with explicit states.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make([]uint8, len(kb.concepts))
+	var visit func(id ConceptID) error
+	visit = func(id ConceptID) error {
+		switch state[id] {
+		case gray:
+			return fmt.Errorf("ontology: cycle through %q", kb.concepts[id].Name)
+		case black:
+			return nil
+		}
+		state[id] = gray
+		seen := map[ConceptID]bool{}
+		var anc []ConceptID
+		for _, p := range kb.concepts[id].Parents {
+			pc := kb.concepts[p]
+			if !pc.IsFacet() && pc.Kind != KindCommon {
+				return fmt.Errorf("ontology: %q has non-hierarchical parent %q", kb.concepts[id].Name, pc.Name)
+			}
+			if err := visit(p); err != nil {
+				return err
+			}
+			if !seen[p] {
+				seen[p] = true
+				anc = append(anc, p)
+			}
+			for _, g := range kb.ancestors[p] {
+				if !seen[g] {
+					seen[g] = true
+					anc = append(anc, g)
+				}
+			}
+		}
+		kb.ancestors[id] = anc
+		state[id] = black
+		return nil
+	}
+	for _, c := range kb.concepts {
+		if err := visit(c.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FacetTermNames returns the sorted canonical names of all facet concepts;
+// convenient for evaluation code.
+func (kb *KB) FacetTermNames() []string {
+	names := make([]string, 0, len(kb.facetTerms))
+	for _, id := range kb.facetTerms {
+		names = append(names, kb.concepts[id].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,266 @@
+package ontology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildTest(t *testing.T) *KB {
+	t.Helper()
+	kb, err := Build(Config{Seed: 42})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return kb
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a := buildTest(t)
+	b := buildTest(t)
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		ca, cb := a.Concept(ConceptID(i)), b.Concept(ConceptID(i))
+		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+			t.Fatalf("concept %d differs: %q/%v vs %q/%v", i, ca.Name, ca.Kind, cb.Name, cb.Kind)
+		}
+	}
+}
+
+func TestBuildDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Build(Config{Seed: 1})
+	b, _ := Build(Config{Seed: 2})
+	same := 0
+	ents1, ents2 := a.Entities(), b.Entities()
+	n := min(len(ents1), len(ents2))
+	for i := 0; i < n; i++ {
+		if ents1[i].Name == ents2[i].Name {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical entity sets")
+	}
+}
+
+func TestPopulationSizes(t *testing.T) {
+	kb := buildTest(t)
+	if n := len(kb.FacetTerms()); n < 250 || n > 1200 {
+		t.Fatalf("facet-term count %d outside sane range", n)
+	}
+	if n := len(kb.Entities()); n < 700 || n > 6000 {
+		t.Fatalf("entity count %d outside sane range", n)
+	}
+	if n := len(kb.Roots()); n < 10 {
+		t.Fatalf("only %d facet roots", n)
+	}
+}
+
+func TestByNameAndVariants(t *testing.T) {
+	kb := buildTest(t)
+	c, ok := kb.ByName("Political Leaders")
+	if !ok || c.Kind != KindFacetTerm {
+		t.Fatal("Political Leaders not found as facet term")
+	}
+	// Variant lookup: the G8 summit registers "G8".
+	g8, ok := kb.ByName("g8")
+	if !ok || g8.Class != ClassEvent {
+		t.Fatal("G8 variant lookup failed")
+	}
+	if g8.Display != "2005 G8 Summit" {
+		t.Fatalf("G8 resolves to %q", g8.Display)
+	}
+	if _, ok := kb.ByName("no such concept zzz"); ok {
+		t.Fatal("nonexistent name resolved")
+	}
+}
+
+func TestAncestorClosure(t *testing.T) {
+	kb := buildTest(t)
+	france, ok := kb.ByName("France")
+	if !ok {
+		t.Fatal("France missing")
+	}
+	europe, _ := kb.ByName("Europe")
+	location, _ := kb.ByName("Location")
+	if !kb.IsAncestor(europe.ID, france.ID) {
+		t.Error("Europe should be ancestor of France")
+	}
+	if !kb.IsAncestor(location.ID, france.ID) {
+		t.Error("Location should be transitive ancestor of France")
+	}
+	if kb.IsAncestor(france.ID, europe.ID) {
+		t.Error("France must not be ancestor of Europe")
+	}
+	if kb.Root(france.ID) != location.ID {
+		t.Errorf("Root(France) = %v", kb.Concept(kb.Root(france.ID)).Display)
+	}
+}
+
+func TestEntitiesHaveFacetParents(t *testing.T) {
+	kb := buildTest(t)
+	for _, e := range kb.Entities() {
+		if len(e.Parents) == 0 {
+			t.Fatalf("entity %q has no parents", e.Display)
+		}
+		hasFacet := false
+		for _, p := range e.Parents {
+			if kb.Concept(p).IsFacet() {
+				hasFacet = true
+			}
+		}
+		if !hasFacet {
+			t.Fatalf("entity %q has no facet parent", e.Display)
+		}
+	}
+}
+
+func TestFacetTermsReachRoots(t *testing.T) {
+	kb := buildTest(t)
+	for _, f := range kb.FacetTerms() {
+		if f.Kind == KindFacetRoot {
+			continue
+		}
+		if kb.Root(f.ID) == None {
+			t.Fatalf("facet term %q does not reach a root", f.Display)
+		}
+	}
+}
+
+func TestPoliticianShape(t *testing.T) {
+	kb := buildTest(t)
+	pol, _ := kb.ByName("Political Leaders")
+	var found *Concept
+	for _, e := range kb.Entities() {
+		for _, p := range e.Parents {
+			if p == pol.ID {
+				found = e
+				break
+			}
+		}
+		if found != nil {
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("no politicians generated")
+	}
+	if found.Class != ClassPerson {
+		t.Errorf("politician class = %v", found.Class)
+	}
+	if len(found.Variants) < 3 {
+		t.Errorf("politician %q has %d variants, want >= 3", found.Display, len(found.Variants))
+	}
+	// A politician must belong to some country (have a Location-root ancestor).
+	location, _ := kb.ByName("Location")
+	if !kb.IsAncestor(location.ID, found.ID) {
+		t.Errorf("politician %q has no location ancestry", found.Display)
+	}
+}
+
+func TestIsaLexiconAcyclicAndRooted(t *testing.T) {
+	lex := IsaLexicon()
+	for w := range lex {
+		seen := map[string]bool{w: true}
+		cur := lex[w]
+		steps := 0
+		for cur != "" {
+			if seen[cur] {
+				t.Fatalf("is-a cycle at %q starting from %q", cur, w)
+			}
+			seen[cur] = true
+			next, ok := lex[cur]
+			if !ok {
+				t.Fatalf("dangling hypernym %q (from %q)", cur, w)
+			}
+			cur = next
+			if steps++; steps > 30 {
+				t.Fatalf("chain too deep from %q", w)
+			}
+		}
+	}
+}
+
+func TestHypernymChain(t *testing.T) {
+	chain := HypernymChain("senator")
+	if len(chain) < 3 {
+		t.Fatalf("chain for senator too short: %v", chain)
+	}
+	if chain[0] != "politician" {
+		t.Fatalf("chain[0] = %q", chain[0])
+	}
+	if HypernymChain("jacques") != nil {
+		t.Fatal("named-entity token should have no chain")
+	}
+	if HypernymChain("entity") != nil {
+		t.Fatal("root should have empty chain")
+	}
+}
+
+func TestFacetCitiesPromoted(t *testing.T) {
+	kb := buildTest(t)
+	ny, ok := kb.ByName("New York")
+	if !ok {
+		t.Fatal("New York missing")
+	}
+	if ny.Kind != KindFacetTerm {
+		t.Errorf("New York kind = %v, want facet term", ny.Kind)
+	}
+	lyon, ok := kb.ByName("Lyon")
+	if !ok {
+		t.Fatal("Lyon missing")
+	}
+	if lyon.Kind != KindEntity {
+		t.Errorf("Lyon kind = %v, want entity", lyon.Kind)
+	}
+}
+
+func TestScaleChangesEntityCount(t *testing.T) {
+	small, err := Build(Config{Seed: 42, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := buildTest(t)
+	if len(small.Entities()) >= len(big.Entities()) {
+		t.Fatalf("scale 0.5 (%d entities) not smaller than scale 1 (%d)",
+			len(small.Entities()), len(big.Entities()))
+	}
+}
+
+func TestNegativeScaleRejected(t *testing.T) {
+	if _, err := Build(Config{Seed: 1, Scale: -1}); err == nil {
+		t.Fatal("expected error for negative scale")
+	}
+}
+
+func TestRelatedEdgesValid(t *testing.T) {
+	kb := buildTest(t)
+	for i := 0; i < kb.Len(); i++ {
+		c := kb.Concept(ConceptID(i))
+		for _, r := range c.Related {
+			if int(r) < 0 || int(r) >= kb.Len() {
+				t.Fatalf("concept %q has out-of-range related id %d", c.Name, r)
+			}
+			if r == c.ID {
+				t.Fatalf("concept %q related to itself", c.Name)
+			}
+		}
+	}
+}
+
+func TestQuickAncestorsNeverContainSelf(t *testing.T) {
+	kb := buildTest(t)
+	f := func(raw uint16) bool {
+		id := ConceptID(int(raw) % kb.Len())
+		for _, a := range kb.FacetAncestors(id) {
+			if a == id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

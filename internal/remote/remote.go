@@ -1,0 +1,78 @@
+// Package remote models the latency of the paper's web-based services
+// (Yahoo Term Extraction, Google) on a virtual clock, so the efficiency
+// experiment (Section V-D) can be reproduced offline: the paper reports
+// term extraction at 2–3 seconds per document with Yahoo as the
+// bottleneck, ~1 second per Google expansion query, and >100 documents
+// per second when only local resources (NER, Wikipedia, WordNet) are used.
+//
+// Simulated services charge their per-call cost to a Clock instead of
+// sleeping; experiment harnesses read the accumulated virtual time, while
+// unit benchmarks measure the real CPU cost of the algorithms themselves.
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock accumulates virtual service time. It is safe for concurrent use.
+type Clock struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+	calls   map[string]int
+	perSvc  map[string]time.Duration
+}
+
+// NewClock returns an empty clock.
+func NewClock() *Clock {
+	return &Clock{calls: map[string]int{}, perSvc: map[string]time.Duration{}}
+}
+
+// Charge records d of virtual time against the named service.
+func (c *Clock) Charge(service string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed += d
+	c.calls[service]++
+	c.perSvc[service] += d
+}
+
+// Elapsed returns the total virtual time across all services.
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
+
+// Calls returns how many calls the named service received.
+func (c *Clock) Calls(service string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls[service]
+}
+
+// ServiceElapsed returns the virtual time charged by the named service.
+func (c *Clock) ServiceElapsed(service string) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perSvc[service]
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.elapsed = 0
+	c.calls = map[string]int{}
+	c.perSvc = map[string]time.Duration{}
+}
+
+// Latencies matching the paper's reported service behaviour.
+const (
+	// YahooPerDoc is the per-document cost of the Yahoo Term Extraction
+	// service ("2-3 seconds per document, and the main bottleneck").
+	YahooPerDoc = 2500 * time.Millisecond
+	// GooglePerQuery is the per-term web search cost ("approximately 1
+	// second per document when using Google").
+	GooglePerQuery = 1 * time.Second
+)

@@ -1,0 +1,53 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAccumulates(t *testing.T) {
+	c := NewClock()
+	c.Charge("Yahoo", 2*time.Second)
+	c.Charge("Yahoo", 3*time.Second)
+	c.Charge("Google", time.Second)
+	if c.Elapsed() != 6*time.Second {
+		t.Fatalf("elapsed = %v", c.Elapsed())
+	}
+	if c.Calls("Yahoo") != 2 || c.Calls("Google") != 1 || c.Calls("other") != 0 {
+		t.Fatal("call counts wrong")
+	}
+	if c.ServiceElapsed("Yahoo") != 5*time.Second {
+		t.Fatalf("yahoo elapsed = %v", c.ServiceElapsed("Yahoo"))
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Charge("Yahoo", time.Second)
+	c.Reset()
+	if c.Elapsed() != 0 || c.Calls("Yahoo") != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge("svc", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Calls("svc") != 8000 {
+		t.Fatalf("calls = %d", c.Calls("svc"))
+	}
+	if c.Elapsed() != 8000*time.Millisecond {
+		t.Fatalf("elapsed = %v", c.Elapsed())
+	}
+}

@@ -1,0 +1,313 @@
+// Package serve exposes a faceted browsing interface over HTTP: a JSON
+// API (facet counts, documents, date histogram, cross-tabulation) plus a
+// minimal server-rendered HTML front end with clickable facet links —
+// the Flamenco-style deployment surface for the extracted hierarchies.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/textdb"
+)
+
+// Server handles HTTP requests over a built browsing interface.
+type Server struct {
+	iface *browse.Interface
+	mux   *http.ServeMux
+	title string
+}
+
+// New builds the server.
+func New(iface *browse.Interface, title string) *Server {
+	s := &Server{iface: iface, title: title}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/facets", s.handleFacets)
+	mux.HandleFunc("GET /api/docs", s.handleDocs)
+	mux.HandleFunc("GET /api/dates", s.handleDates)
+	mux.HandleFunc("GET /api/cross", s.handleCross)
+	mux.HandleFunc("GET /", s.handleIndex)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// selection parses the shared query parameters: terms (comma separated),
+// q, from, to (RFC 3339 dates or YYYY-MM-DD).
+func parseSelection(r *http.Request) (browse.Selection, error) {
+	sel := browse.Selection{Query: r.URL.Query().Get("q")}
+	if raw := r.URL.Query().Get("terms"); raw != "" {
+		for _, t := range strings.Split(raw, ",") {
+			t = strings.TrimSpace(t)
+			if t != "" {
+				sel.Terms = append(sel.Terms, t)
+			}
+		}
+	}
+	parseDate := func(key string) (time.Time, error) {
+		raw := r.URL.Query().Get(key)
+		if raw == "" {
+			return time.Time{}, nil
+		}
+		if t, err := time.Parse(time.RFC3339, raw); err == nil {
+			return t, nil
+		}
+		t, err := time.Parse("2006-01-02", raw)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad %s %q (want RFC3339 or YYYY-MM-DD)", key, raw)
+		}
+		return t, nil
+	}
+	var err error
+	if sel.From, err = parseDate("from"); err != nil {
+		return sel, err
+	}
+	if sel.To, err = parseDate("to"); err != nil {
+		return sel, err
+	}
+	return sel, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+// FacetsResponse is the /api/facets payload.
+type FacetsResponse struct {
+	Parent string              `json:"parent"`
+	Total  int                 `json:"total"`
+	Facets []browse.FacetCount `json:"facets"`
+}
+
+func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	parent := r.URL.Query().Get("parent")
+	writeJSON(w, FacetsResponse{
+		Parent: parent,
+		Total:  s.iface.MatchCount(sel),
+		Facets: s.iface.Children(parent, sel),
+	})
+}
+
+// DocSummary is one document in the /api/docs payload.
+type DocSummary struct {
+	ID      int    `json:"id"`
+	Title   string `json:"title"`
+	Source  string `json:"source"`
+	Date    string `json:"date"`
+	Snippet string `json:"snippet"`
+}
+
+// DocsResponse is the /api/docs payload.
+type DocsResponse struct {
+	Total int          `json:"total"`
+	Docs  []DocSummary `json:"docs"`
+}
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	limit := 20
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 1 || limit > 500 {
+			badRequest(w, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+	}
+	ids := s.iface.Docs(sel)
+	resp := DocsResponse{Total: len(ids)}
+	for i, id := range ids {
+		if i >= limit {
+			break
+		}
+		doc := s.iface.Corpus().Doc(id)
+		resp.Docs = append(resp.Docs, DocSummary{
+			ID:      int(id),
+			Title:   doc.Title,
+			Source:  doc.Source,
+			Date:    doc.Date.Format("2006-01-02"),
+			Snippet: textdb.Snippet(doc, sel.Query, 24),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// DateBucket is one histogram bucket in the /api/dates payload.
+type DateBucket struct {
+	Bucket string `json:"bucket"`
+	Count  int    `json:"count"`
+}
+
+func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	gran := r.URL.Query().Get("granularity")
+	if gran == "" {
+		gran = "day"
+	}
+	hist, err := s.iface.DateHistogram(sel, gran)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	out := make([]DateBucket, len(hist))
+	for i, h := range hist {
+		out[i] = DateBucket{Bucket: h.Bucket.Format("2006-01-02"), Count: h.Count}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleCross(w http.ResponseWriter, r *http.Request) {
+	sel, err := parseSelection(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		badRequest(w, fmt.Errorf("need a and b facet parameters"))
+		return
+	}
+	ct, err := s.iface.Cross(a, b, sel)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, ct)
+}
+
+var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; max-width: 70em; }
+.facets { float: left; width: 20em; }
+.docs { margin-left: 22em; }
+.facet a { text-decoration: none; }
+.count { color: #888; }
+.sel { background: #eef; padding: 0.2em 0.5em; margin-right: 0.4em; }
+</style></head><body>
+<h1>{{.Title}}</h1>
+<form method="get">
+<input type="text" name="q" value="{{.Query}}" placeholder="keyword search">
+<input type="hidden" name="terms" value="{{.TermsRaw}}">
+<button>Search</button>
+</form>
+<p>
+{{range .Selected}}<span class="sel">{{.Name}} <a href="{{.RemoveURL}}">×</a></span>{{end}}
+{{.Total}} documents match.
+</p>
+<div class="facets"><h2>Facets</h2>
+{{range .Facets}}<div class="facet"><a href="{{.URL}}">{{.Name}}</a> <span class="count">({{.Count}})</span></div>{{end}}
+</div>
+<div class="docs"><h2>Documents</h2>
+{{range .Docs}}<p><b>{{.Title}}</b><br><small>{{.Source}} — {{.Date}}</small><br>{{.Snippet}}</p>{{end}}
+</div>
+</body></html>`))
+
+type indexSelected struct {
+	Name      string
+	RemoveURL string
+}
+
+type indexFacet struct {
+	Name  string
+	Count int
+	URL   string
+}
+
+type indexData struct {
+	Title    string
+	Query    string
+	TermsRaw string
+	Total    int
+	Selected []indexSelected
+	Facets   []indexFacet
+	Docs     []DocSummary
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	sel, err := parseSelection(r)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	data := indexData{
+		Title:    s.title,
+		Query:    sel.Query,
+		TermsRaw: strings.Join(sel.Terms, ","),
+		Total:    s.iface.MatchCount(sel),
+	}
+	urlFor := func(terms []string) string {
+		q := "/?terms=" + strings.Join(terms, ",")
+		if sel.Query != "" {
+			q += "&q=" + sel.Query
+		}
+		return q
+	}
+	for i, t := range sel.Terms {
+		rest := append(append([]string{}, sel.Terms[:i]...), sel.Terms[i+1:]...)
+		data.Selected = append(data.Selected, indexSelected{Name: t, RemoveURL: urlFor(rest)})
+	}
+	// Facet links: roots plus children of selected terms.
+	appendFacets := func(parent string) {
+		for _, fc := range s.iface.Children(parent, sel) {
+			data.Facets = append(data.Facets, indexFacet{
+				Name:  fc.Term,
+				Count: fc.Count,
+				URL:   urlFor(append(append([]string{}, sel.Terms...), fc.Term)),
+			})
+		}
+	}
+	appendFacets("")
+	for _, t := range sel.Terms {
+		appendFacets(t)
+	}
+	if len(data.Facets) > 40 {
+		data.Facets = data.Facets[:40]
+	}
+	for i, id := range s.iface.Docs(sel) {
+		if i >= 15 {
+			break
+		}
+		doc := s.iface.Corpus().Doc(id)
+		data.Docs = append(data.Docs, DocSummary{
+			ID: int(id), Title: doc.Title, Source: doc.Source,
+			Date:    doc.Date.Format("2006-01-02"),
+			Snippet: textdb.Snippet(doc, sel.Query, 24),
+		})
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTemplate.Execute(w, data)
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/hierarchy"
+	"repro/internal/textdb"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	corpus := textdb.NewCorpus()
+	base := time.Date(2005, 11, 1, 0, 0, 0, 0, time.UTC)
+	texts := []string{
+		"chirac spoke in paris about the budget",
+		"berlin hosted a summit on trade",
+		"the election in france drew crowds",
+		"a baseball game in boston went long",
+	}
+	docTerms := [][]string{
+		{"europe", "france"},
+		{"europe", "germany"},
+		{"europe", "france"},
+		{"sports"},
+	}
+	for i, text := range texts {
+		corpus.Add(&textdb.Document{
+			Title: "story " + text[:7], Source: "wire", Text: text,
+			Date: base.AddDate(0, 0, i),
+		})
+	}
+	terms := []string{"europe", "france", "germany", "sports"}
+	forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{MinDF: 1, MaxChildDFFraction: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := browse.Build(corpus, forest, docTerms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(iface, "Test Archive")
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestFacetsEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/facets")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp FacetsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 4 || len(resp.Facets) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Restricted by a facet term.
+	rec = get(t, s, "/api/facets?terms=europe&parent=europe")
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if resp.Total != 3 {
+		t.Fatalf("europe total = %d", resp.Total)
+	}
+}
+
+func TestDocsEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/docs?terms=france&q=election")
+	var resp DocsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 1 || len(resp.Docs) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !strings.Contains(resp.Docs[0].Snippet, "election") {
+		t.Fatalf("snippet = %q", resp.Docs[0].Snippet)
+	}
+	if rec := get(t, s, "/api/docs?limit=0"); rec.Code != http.StatusBadRequest {
+		t.Fatal("bad limit accepted")
+	}
+}
+
+func TestDatesEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/dates?granularity=day")
+	var resp []DateBucket
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 4 {
+		t.Fatalf("buckets = %+v", resp)
+	}
+	if rec := get(t, s, "/api/dates?granularity=decade"); rec.Code != http.StatusBadRequest {
+		t.Fatal("bad granularity accepted")
+	}
+	// Date-range restriction.
+	rec = get(t, s, "/api/dates?granularity=day&from=2005-11-02&to=2005-11-04")
+	json.Unmarshal(rec.Body.Bytes(), &resp)
+	if len(resp) != 2 {
+		t.Fatalf("range buckets = %+v", resp)
+	}
+}
+
+func TestCrossEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/api/cross?a=europe&b=sports")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, s, "/api/cross?a=europe"); rec.Code != http.StatusBadRequest {
+		t.Fatal("missing b accepted")
+	}
+	if rec := get(t, s, "/api/cross?a=europe&b=nonexistent"); rec.Code != http.StatusBadRequest {
+		t.Fatal("unknown facet accepted")
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"Test Archive", "europe", "documents match"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index page missing %q", want)
+		}
+	}
+	// Drill-down link state.
+	rec = get(t, s, "/?terms=europe")
+	body = rec.Body.String()
+	if !strings.Contains(body, "3 documents match") {
+		t.Fatalf("drilled page: %s", body)
+	}
+	if rec := get(t, s, "/nonexistent"); rec.Code != http.StatusNotFound {
+		t.Fatal("unknown path should 404")
+	}
+}
+
+func TestBadDateRejected(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/api/docs?from=notadate"); rec.Code != http.StatusBadRequest {
+		t.Fatal("bad date accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package stats implements the statistical machinery of the paper's
+// Step 3 (Section IV-C): Dunning's log-likelihood statistic for binomial
+// frequency comparison (Dunning 1993), and — as the comparator the paper
+// argues against — Pearson's chi-square test, whose assumptions break on
+// power-law term frequencies. The ablation experiment (DESIGN.md A1)
+// contrasts the two.
+package stats
+
+import "math"
+
+// LogL computes log L(p, k, n) = k·log(p) + (n−k)·log(1−p), with the
+// standard convention 0·log(0) = 0.
+func LogL(p float64, k, n int) float64 {
+	var out float64
+	if k > 0 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		out += float64(k) * math.Log(p)
+	}
+	if n-k > 0 {
+		if p >= 1 {
+			return math.Inf(-1)
+		}
+		out += float64(n-k) * math.Log(1-p)
+	}
+	return out
+}
+
+// LogLikelihood computes the paper's −log λ statistic for a term with
+// document frequency df in the original database and dfC in the
+// contextualized database, both over n documents:
+//
+//	−log λ = log L(p1, dfC, n) + log L(p2, df, n)
+//	       − log L(p, df, n) − log L(p, dfC, n)
+//
+// with p1 = dfC/n, p2 = df/n, p = (p1+p2)/2. The value is ≥ 0 and grows
+// with the significance of the frequency difference.
+func LogLikelihood(df, dfC, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p1 := float64(dfC) / float64(n)
+	p2 := float64(df) / float64(n)
+	p := (p1 + p2) / 2
+	v := LogL(p1, dfC, n) + LogL(p2, df, n) - LogL(p, df, n) - LogL(p, dfC, n)
+	if v < 0 {
+		// Floating-point guard; analytically the statistic is non-negative.
+		return 0
+	}
+	return v
+}
+
+// ChiSquare computes Pearson's chi-square statistic for the same 2×2
+// contingency setup (term presence/absence in original vs. contextualized
+// collections of n documents each). The paper notes this test is
+// unreliable for text frequencies because the expected counts are tiny in
+// the Zipfian tail; it is provided for the ablation comparison.
+func ChiSquare(df, dfC, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	// Observed: [df, n-df; dfC, n-dfC].
+	o := [4]float64{float64(df), float64(n - df), float64(dfC), float64(n - dfC)}
+	rowTotals := [2]float64{float64(n), float64(n)}
+	colTotals := [2]float64{o[0] + o[2], o[1] + o[3]}
+	grand := 2 * float64(n)
+	var chi float64
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			e := rowTotals[r] * colTotals[c] / grand
+			if e <= 0 {
+				continue
+			}
+			d := o[r*2+c] - e
+			chi += d * d / e
+		}
+	}
+	return chi
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

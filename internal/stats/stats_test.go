@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogLConventions(t *testing.T) {
+	if got := LogL(0.5, 0, 0); got != 0 {
+		t.Fatalf("LogL(.5,0,0) = %v", got)
+	}
+	// 0·log(0) = 0 convention: k=0 with p=0 must be finite.
+	if got := LogL(0, 0, 10); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("LogL(0,0,10) = %v", got)
+	}
+	if got := LogL(1, 10, 10); got != 0 {
+		t.Fatalf("LogL(1,10,10) = %v", got)
+	}
+	if got := LogL(0, 5, 10); !math.IsInf(got, -1) {
+		t.Fatalf("LogL(0,5,10) = %v, want -inf", got)
+	}
+}
+
+func TestLogLMaximizedAtMLE(t *testing.T) {
+	// L(p, k, n) is maximized at p = k/n.
+	k, n := 3, 10
+	best := LogL(0.3, k, n)
+	for _, p := range []float64{0.1, 0.2, 0.4, 0.5, 0.9} {
+		if LogL(p, k, n) > best {
+			t.Fatalf("LogL(%v) exceeds MLE value", p)
+		}
+	}
+}
+
+func TestLogLikelihoodZeroWhenEqual(t *testing.T) {
+	for _, df := range []int{0, 1, 50, 100} {
+		if got := LogLikelihood(df, df, 100); got > 1e-9 {
+			t.Fatalf("LogLikelihood(%d,%d) = %v, want ~0", df, df, got)
+		}
+	}
+}
+
+func TestLogLikelihoodGrowsWithShift(t *testing.T) {
+	small := LogLikelihood(10, 20, 1000)
+	large := LogLikelihood(10, 200, 1000)
+	if large <= small {
+		t.Fatalf("larger shift should score higher: %v vs %v", large, small)
+	}
+	if small <= 0 {
+		t.Fatalf("nonzero shift must score > 0: %v", small)
+	}
+}
+
+func TestLogLikelihoodUnseenTerm(t *testing.T) {
+	// A facet term absent from the original DB but frequent in the
+	// expanded one is the headline case of the paper: the statistic must
+	// be large and finite.
+	got := LogLikelihood(0, 300, 1000)
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Fatalf("LogLikelihood(0,300,1000) = %v", got)
+	}
+}
+
+func TestLogLikelihoodSymmetry(t *testing.T) {
+	// The statistic measures difference, not direction.
+	a := LogLikelihood(10, 100, 1000)
+	b := LogLikelihood(100, 10, 1000)
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", a, b)
+	}
+}
+
+func TestLogLikelihoodDegenerate(t *testing.T) {
+	if got := LogLikelihood(5, 10, 0); got != 0 {
+		t.Fatalf("n=0 should yield 0, got %v", got)
+	}
+	if got := LogLikelihood(1000, 1000, 1000); got != 0 {
+		t.Fatalf("full-df equal case = %v", got)
+	}
+}
+
+func TestChiSquare(t *testing.T) {
+	if got := ChiSquare(50, 50, 1000); got != 0 {
+		t.Fatalf("equal frequencies chi2 = %v", got)
+	}
+	small := ChiSquare(10, 20, 1000)
+	large := ChiSquare(10, 200, 1000)
+	if large <= small || small <= 0 {
+		t.Fatalf("chi2 ordering wrong: %v vs %v", small, large)
+	}
+	if got := ChiSquare(1, 2, 0); got != 0 {
+		t.Fatalf("n=0 chi2 = %v", got)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty-slice conventions broken")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestQuickLogLikelihoodNonNegativeFinite(t *testing.T) {
+	f := func(a, b uint16, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		df := int(a) % (n + 1)
+		dfC := int(b) % (n + 1)
+		v := LogLikelihood(df, dfC, n)
+		return v >= 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChiSquareNonNegative(t *testing.T) {
+	f := func(a, b uint16, nRaw uint16) bool {
+		n := int(nRaw)%1000 + 1
+		v := ChiSquare(int(a)%(n+1), int(b)%(n+1), n)
+		return v >= 0 && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

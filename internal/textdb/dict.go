@@ -1,0 +1,64 @@
+// Package textdb implements the text database engine the facet-extraction
+// pipeline runs against: a document store, a string-interning dictionary,
+// per-document term extraction (words and multi-word phrases, per the
+// paper's definition of "term"), document-frequency statistics with the
+// rank table and logarithmic binning used by Step 3 of the algorithm, and
+// an inverted index with BM25 ranking and snippet generation that backs
+// the web-search simulator.
+package textdb
+
+import "sort"
+
+// TermID is a dense identifier for an interned term.
+type TermID int32
+
+// NoTerm is returned by Lookup for unknown terms.
+const NoTerm TermID = -1
+
+// Dictionary interns term strings to dense IDs. The zero value is not
+// usable; call NewDictionary.
+type Dictionary struct {
+	byTerm map[string]TermID
+	terms  []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byTerm: make(map[string]TermID, 1<<16)}
+}
+
+// Intern returns the ID for the term, assigning a new one if needed.
+func (d *Dictionary) Intern(term string) TermID {
+	if id, ok := d.byTerm[term]; ok {
+		return id
+	}
+	id := TermID(len(d.terms))
+	d.terms = append(d.terms, term)
+	d.byTerm[term] = id
+	return id
+}
+
+// Lookup returns the ID for the term, or NoTerm if it was never interned.
+func (d *Dictionary) Lookup(term string) TermID {
+	if id, ok := d.byTerm[term]; ok {
+		return id
+	}
+	return NoTerm
+}
+
+// String returns the term text for an ID. It panics on an invalid ID.
+func (d *Dictionary) String(id TermID) string { return d.terms[id] }
+
+// Len returns the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// SortedIDs returns all term IDs ordered by term text; used where
+// deterministic iteration over a dictionary is required.
+func (d *Dictionary) SortedIDs() []TermID {
+	ids := make([]TermID, len(d.terms))
+	for i := range ids {
+		ids[i] = TermID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return d.terms[ids[a]] < d.terms[ids[b]] })
+	return ids
+}

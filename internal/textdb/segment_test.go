@@ -1,0 +1,200 @@
+package textdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDocs(n int, prefix string) []*Document {
+	out := make([]*Document, n)
+	for i := range out {
+		out[i] = &Document{
+			Title:  prefix + " title",
+			Source: "The Test Wire",
+			Date:   time.Date(2005, 11, 7, 0, 0, 0, 0, time.UTC).AddDate(0, 0, i),
+			Text:   prefix + " body text with several words in it",
+		}
+	}
+	return out
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testDocs(3, "first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testDocs(2, "second")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 2 || s.Docs() != 5 {
+		t.Fatalf("segments=%d docs=%d", s.Segments(), s.Docs())
+	}
+	// Reopen from disk.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Segments() != 2 || s2.Docs() != 5 {
+		t.Fatalf("reopened: segments=%d docs=%d", s2.Segments(), s2.Docs())
+	}
+	c, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("loaded %d docs", c.Len())
+	}
+	d := c.Doc(0)
+	if d.Title != "first title" || d.Source != "The Test Wire" || d.Text == "" {
+		t.Fatalf("doc 0 = %+v", d)
+	}
+	if !d.Date.Equal(time.Date(2005, 11, 7, 0, 0, 0, 0, time.UTC)) {
+		t.Fatalf("date = %v", d.Date)
+	}
+	if c.Doc(3).Title != "second title" {
+		t.Fatal("segment order lost")
+	}
+}
+
+func TestStoreEmptyAppendRejected(t *testing.T) {
+	s, _ := OpenStore(t.TempDir())
+	if err := s.Append(nil); err == nil {
+		t.Fatal("empty append accepted")
+	}
+}
+
+func TestStoreCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	if err := s.Append(testDocs(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the segment.
+	path := filepath.Join(dir, s.SegmentFiles()[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := OpenStore(dir)
+	if _, err := s2.LoadAll(); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestStoreOrphanSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	if err := s.Append(testDocs(1, "real")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: a segment file exists but is not in the manifest.
+	if err := os.WriteFile(filepath.Join(dir, "segment-000099.seg"), []byte(segMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := OpenStore(dir)
+	orphans, err := s2.OrphanSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != 1 || orphans[0] != "segment-000099.seg" {
+		t.Fatalf("orphans = %v", orphans)
+	}
+	// The orphan must not be loaded.
+	c, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("loaded %d docs, want 1", c.Len())
+	}
+}
+
+func TestStoreBadManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(dir); err == nil {
+		t.Fatal("bad manifest accepted")
+	}
+}
+
+func TestQuickDocEncodeDecode(t *testing.T) {
+	f := func(title, source, text string, unix uint32) bool {
+		in := &Document{
+			Title:  title,
+			Source: source,
+			Date:   time.Unix(int64(unix), 0).UTC(),
+			Text:   text,
+		}
+		out, err := decodeDoc(encodeDoc(in))
+		if err != nil {
+			return false
+		}
+		return out.Title == in.Title && out.Source == in.Source &&
+			out.Text == in.Text && out.Date.Equal(in.Date)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeDocRejectsTruncation(t *testing.T) {
+	payload := encodeDoc(&Document{Title: "t", Source: "s", Date: time.Unix(100, 0), Text: "body"})
+	for cut := 1; cut < len(payload); cut++ {
+		if _, err := decodeDoc(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := decodeDoc(append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	for i := 0; i < 4; i++ {
+		if err := s.Append(testDocs(2, "batch")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 1 || s.Docs() != 8 {
+		t.Fatalf("after compact: segments=%d docs=%d", s.Segments(), s.Docs())
+	}
+	// Reopen and verify content survived.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 8 {
+		t.Fatalf("loaded %d docs", c.Len())
+	}
+	// Old segment files are gone.
+	orphans, _ := s2.OrphanSegments()
+	if len(orphans) != 0 {
+		t.Fatalf("orphans after compact: %v", orphans)
+	}
+	// Compacting a single segment is a no-op.
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Segments() != 1 {
+		t.Fatal("no-op compact changed segments")
+	}
+}

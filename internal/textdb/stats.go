@@ -1,0 +1,141 @@
+package textdb
+
+import (
+	"math"
+	"sort"
+)
+
+// DFTable accumulates document frequencies over a collection. The
+// comparative term-frequency analysis (Step 3, Figure 3 of the paper)
+// builds one table for the original database D and one for the
+// contextualized database C(D), both sharing a dictionary.
+type DFTable struct {
+	dict *Dictionary
+	df   []int32
+	docs int
+}
+
+// NewDFTable returns an empty table counting into the given dictionary.
+func NewDFTable(dict *Dictionary) *DFTable {
+	return &DFTable{dict: dict}
+}
+
+// AddDoc counts one document given its deduplicated term IDs.
+func (t *DFTable) AddDoc(termIDs []TermID) {
+	t.docs++
+	for _, id := range termIDs {
+		t.ensure(id)
+		t.df[id]++
+	}
+}
+
+func (t *DFTable) ensure(id TermID) {
+	for int(id) >= len(t.df) {
+		t.df = append(t.df, make([]int32, int(id)+1-len(t.df))...)
+	}
+}
+
+// DF returns the document frequency of a term (0 for never-seen terms).
+func (t *DFTable) DF(id TermID) int {
+	if int(id) >= len(t.df) || id < 0 {
+		return 0
+	}
+	return int(t.df[id])
+}
+
+// NumDocs returns the number of documents counted.
+func (t *DFTable) NumDocs() int { return t.docs }
+
+// Dict returns the dictionary the table counts into.
+func (t *DFTable) Dict() *Dictionary { return t.dict }
+
+// RankTable assigns each term its frequency rank (1 = most frequent).
+// Terms absent from the collection share the sentinel rank maxRank+1,
+// which places them in the deepest bin — exactly the behaviour Step 3
+// needs for facet terms that never occur in the original database.
+type RankTable struct {
+	rank    []int32
+	maxRank int32
+}
+
+// Ranks computes the rank table for the current counts. Ties are broken
+// by term text so that results are deterministic.
+func (t *DFTable) Ranks() *RankTable {
+	type entry struct {
+		id TermID
+		df int32
+	}
+	entries := make([]entry, 0, len(t.df))
+	for id, df := range t.df {
+		if df > 0 {
+			entries = append(entries, entry{TermID(id), df})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].df != entries[b].df {
+			return entries[a].df > entries[b].df
+		}
+		return t.dict.String(entries[a].id) < t.dict.String(entries[b].id)
+	})
+	rt := &RankTable{
+		rank:    make([]int32, len(t.df)),
+		maxRank: int32(len(entries)),
+	}
+	for i := range rt.rank {
+		rt.rank[i] = rt.maxRank + 1
+	}
+	for i, e := range entries {
+		rt.rank[e.id] = int32(i + 1)
+	}
+	return rt
+}
+
+// Rank returns the 1-based frequency rank of the term; unseen terms get
+// maxRank+1.
+func (r *RankTable) Rank(id TermID) int {
+	if int(id) >= len(r.rank) || id < 0 {
+		return int(r.maxRank + 1)
+	}
+	return int(r.rank[id])
+}
+
+// MaxRank returns the number of ranked (seen) terms.
+func (r *RankTable) MaxRank() int { return int(r.maxRank) }
+
+// Bin implements the paper's binning function B(t) = ceil(log2(Rank(t))).
+// Rank 1 maps to bin 0.
+func Bin(rank int) int {
+	if rank <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(rank))))
+}
+
+// TopTerms returns the k most frequent terms (by document frequency,
+// ties by text), excluding terms with df below minDF.
+func (t *DFTable) TopTerms(k, minDF int) []TermID {
+	type entry struct {
+		id TermID
+		df int32
+	}
+	var entries []entry
+	for id, df := range t.df {
+		if int(df) >= minDF && df > 0 {
+			entries = append(entries, entry{TermID(id), df})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].df != entries[b].df {
+			return entries[a].df > entries[b].df
+		}
+		return t.dict.String(entries[a].id) < t.dict.String(entries[b].id)
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	out := make([]TermID, k)
+	for i := 0; i < k; i++ {
+		out[i] = entries[i].id
+	}
+	return out
+}

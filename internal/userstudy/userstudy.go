@@ -1,0 +1,478 @@
+// Package userstudy simulates the paper's user study (Section V-E): five
+// users repeatedly locate news items of interest through an interface
+// combining keyword search with the automatically extracted facet
+// hierarchies. The paper observed that (a) in their first interaction
+// users led with a keyword query, then narrowed with facet clicks, (b)
+// over later sessions keyword use dropped by up to 50% as users shifted
+// to the facet hierarchies, (c) task completion time dropped ~25%, and
+// (d) satisfaction stayed steady near 2.5 on the 0–3 scale.
+//
+// The simulated users implement the same behavioural arc: a facet-affinity
+// parameter grows with familiarity (calibrated to the paper's observed
+// human learning), while everything downstream — how quickly facet clicks
+// shrink the candidate set, whether the target is actually reachable —
+// is measured against the real browse engine running on the really
+// extracted hierarchies. If the extracted facets were useless, facet
+// clicks would not shrink result sets and task times would not improve.
+package userstudy
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/newsgen"
+	"repro/internal/ontology"
+	"repro/internal/textdb"
+	"repro/internal/xrand"
+)
+
+// Config controls the simulation.
+type Config struct {
+	Seed         uint64
+	Users        int // paper: 5
+	TasksPerUser int // paper: 5 (one per session)
+	// BaseFacetAffinity is the probability of choosing a facet action in
+	// the first session; AffinityGain is added per subsequent session.
+	BaseFacetAffinity float64
+	AffinityGain      float64
+	// FoundThreshold: the user stops when the candidate set is at most
+	// this large and contains a target story.
+	FoundThreshold int
+	// MaxActions bounds a session (a user gives up past this).
+	MaxActions int
+}
+
+func (c *Config) defaults() {
+	if c.Users == 0 {
+		c.Users = 5
+	}
+	if c.TasksPerUser == 0 {
+		c.TasksPerUser = 5
+	}
+	if c.BaseFacetAffinity == 0 {
+		c.BaseFacetAffinity = 0.35
+	}
+	if c.AffinityGain == 0 {
+		c.AffinityGain = 0.13
+	}
+	if c.FoundThreshold == 0 {
+		c.FoundThreshold = 12
+	}
+	if c.MaxActions == 0 {
+		c.MaxActions = 40
+	}
+}
+
+// Interaction costs on the virtual clock.
+const (
+	costKeyword = 9 * time.Second         // formulate and type a query
+	costFacet   = 2500 * time.Millisecond // spot and click a facet link
+	costPerDoc  = 3 * time.Second         // read a result enough to judge topicality
+)
+
+// SessionStats aggregates one session index across users.
+type SessionStats struct {
+	Session        int // 1-based
+	KeywordQueries float64
+	FacetClicks    float64
+	Time           time.Duration
+	Satisfaction   float64
+	SuccessRate    float64
+}
+
+// Run simulates the study over a built browsing interface and the dataset
+// it serves. It returns one aggregate row per session index.
+func Run(b *browse.Interface, ds *newsgen.Dataset, cfg Config) ([]SessionStats, error) {
+	cfg.defaults()
+	if b.Corpus().Len() == 0 {
+		return nil, fmt.Errorf("userstudy: empty corpus")
+	}
+	rng := xrand.New(cfg.Seed).Sub("userstudy")
+	agg := make([]SessionStats, cfg.TasksPerUser)
+	for s := range agg {
+		agg[s].Session = s + 1
+	}
+	// Tasks concern broad topics (the paper's example: "war in Iraq"):
+	// concepts that many stories mention, where keyword search alone
+	// returns an unmanageable list.
+	mentions := map[ontology.ConceptID]int{}
+	for _, tr := range ds.Traces {
+		for _, m := range tr.Mentioned {
+			if ds.KB.Concept(m).Kind == ontology.KindEntity {
+				mentions[m]++
+			}
+		}
+	}
+	minTopic := 12
+	var topicDocs []textdb.DocID
+	for {
+		for i, tr := range ds.Traces {
+			if len(tr.Mentioned) > 0 && mentions[tr.Mentioned[0]] >= minTopic {
+				topicDocs = append(topicDocs, textdb.DocID(i))
+			}
+		}
+		if len(topicDocs) > 0 || minTopic <= 1 {
+			break
+		}
+		minTopic /= 2
+	}
+	for u := 0; u < cfg.Users; u++ {
+		// The paper's users repeated the same task five times; the task
+		// (topic) is a per-user draw, sessions vary only in behaviour.
+		taskRng := rng.SubInt("user", u).Sub("task")
+		for s := 0; s < cfg.TasksPerUser; s++ {
+			urng := rng.SubInt("user", u).SubInt("session", s)
+			st := runTask(b, ds, topicDocs, taskRng.Sub("stable"), urng, cfg, s)
+			agg[s].KeywordQueries += st.KeywordQueries
+			agg[s].FacetClicks += st.FacetClicks
+			agg[s].Time += st.Time
+			agg[s].Satisfaction += st.Satisfaction
+			agg[s].SuccessRate += st.SuccessRate
+		}
+	}
+	n := float64(cfg.Users)
+	for s := range agg {
+		agg[s].KeywordQueries /= n
+		agg[s].FacetClicks /= n
+		agg[s].Time = time.Duration(float64(agg[s].Time) / n)
+		agg[s].Satisfaction /= n
+		agg[s].SuccessRate /= n
+	}
+	return agg, nil
+}
+
+// runTask simulates one user session and returns its raw stats.
+//
+// The task mirrors the paper's: "locate news items of interest" on a
+// topic. The user picks a topic (the subject of a randomly chosen target
+// story), knows entity names to type as keyword queries, and recognizes
+// the topic's facet terms when the interface shows them. The session ends
+// when the user has scanned a short result list containing at least one
+// on-topic story (success), or gives up.
+func runTask(b *browse.Interface, ds *newsgen.Dataset, topicDocs []textdb.DocID, taskRng, rng *xrand.RNG, cfg Config, session int) SessionStats {
+	var st SessionStats
+	affinity := cfg.BaseFacetAffinity + cfg.AffinityGain*float64(session)
+	if affinity > 0.92 {
+		affinity = 0.92
+	}
+
+	// The topic is narrow: stories sharing the target's primary concept
+	// plus at least one more of its concepts ("Chirac at the G8 summit",
+	// not just "Chirac"), so a flat keyword result list is imprecise and
+	// must be read selectively, while facet drill-down prunes precisely.
+	kb := ds.KB
+	var target textdb.DocID
+	var trace newsgen.Trace
+	var onTopicSet map[textdb.DocID]bool
+	for attempt := 0; attempt < 40; attempt++ {
+		target = topicDocs[taskRng.Intn(len(topicDocs))]
+		trace = ds.Traces[target]
+		primary := trace.Mentioned[0]
+		// Stories about the primary concept.
+		var primaryDocs []textdb.DocID
+		for i, tr := range ds.Traces {
+			for _, m := range tr.Mentioned {
+				if m == primary {
+					primaryDocs = append(primaryDocs, textdb.DocID(i))
+					break
+				}
+			}
+		}
+		// The aspect: one of the target's facets that only a minority of
+		// the primary's stories carry. A keyword query cannot express it
+		// (facet terms rarely occur in text); the facet hierarchy can.
+		var aspect ontology.ConceptID = ontology.None
+		for _, f := range trace.Facets {
+			n := 0
+			for _, d := range primaryDocs {
+				for _, g := range ds.Traces[d].Facets {
+					if g == f {
+						n++
+						break
+					}
+				}
+			}
+			if n >= 4 && float64(n) <= 0.5*float64(len(primaryDocs)) {
+				aspect = f
+				break
+			}
+		}
+		if aspect == ontology.None {
+			continue
+		}
+		onTopicSet = map[textdb.DocID]bool{}
+		for _, d := range primaryDocs {
+			for _, g := range ds.Traces[d].Facets {
+				if g == aspect {
+					onTopicSet[d] = true
+					break
+				}
+			}
+		}
+		if len(onTopicSet) >= 4 {
+			break
+		}
+	}
+	if len(onTopicSet) == 0 {
+		// Degenerate corpus for this user: fall back to the primary topic.
+		onTopicSet = map[textdb.DocID]bool{}
+		for i, tr := range ds.Traces {
+			for _, m := range tr.Mentioned {
+				if m == trace.Mentioned[0] {
+					onTopicSet[textdb.DocID(i)] = true
+					break
+				}
+			}
+		}
+	}
+	onTopic := func(d textdb.DocID) bool { return onTopicSet[d] }
+	// Goals scale with how much on-topic material exists.
+	narrowNeed := min(3, len(onTopicSet))
+	manualNeed := min(4, len(onTopicSet))
+	// Query material: the name of the topic's subject plus its variant
+	// forms — keyword reformulation tries different spellings of the same
+	// thing, which is why it hits diminishing returns and the facets win.
+	primaryConcept := kb.Concept(trace.Mentioned[0])
+	queries := []string{primaryConcept.Display}
+	for _, v := range primaryConcept.Variants {
+		queries = append(queries, v)
+		if len(queries) >= 3 {
+			break
+		}
+	}
+	interest := map[string]bool{}
+	for _, f := range trace.Facets {
+		interest[kb.Concept(f).Name] = true
+	}
+
+	// The task succeeds when the user has assembled "a small subset of
+	// news stories associated with the same topic": either a narrow
+	// selection (<= FoundThreshold) containing at least two on-topic
+	// stories, or four on-topic stories collected by reading lists.
+	sel := browse.Selection{}
+	elapsed := time.Duration(0)
+	success := false
+	nextQuery := 0
+	scanned := map[textdb.DocID]bool{}
+	found := 0
+	// scan reads up to limit unread documents of the current view (ranked
+	// when it is a pure keyword view) and reports whether anything new was
+	// actually read.
+	scan := func(limit int) bool {
+		var docs []textdb.DocID
+		if len(sel.Terms) == 0 && sel.Query != "" {
+			docs = b.Search(sel.Query, limit+len(scanned)) // rank order
+		} else {
+			docs = b.Docs(sel)
+		}
+		read := false
+		for _, d := range docs {
+			if limit <= 0 {
+				break
+			}
+			if scanned[d] {
+				continue
+			}
+			scanned[d] = true
+			read = true
+			limit--
+			elapsed += costPerDoc
+			if onTopic(d) {
+				found++
+				if found >= manualNeed {
+					success = true
+					return true
+				}
+			}
+		}
+		return read
+	}
+	debug := os.Getenv("REPRO_TRACE") != ""
+	tried := map[string]bool{}
+	for action := 0; action < cfg.MaxActions && !success; action++ {
+		count := b.MatchCount(sel)
+		if debug {
+			fmt.Printf("    action=%d count=%d sel=%v q=%q found=%d/%d scanned=%d elapsed=%v\n",
+				action, count, sel.Terms, sel.Query, found, manualNeed, len(scanned), elapsed)
+		}
+		if count > 0 && count <= cfg.FoundThreshold && (len(sel.Terms) > 0 || sel.Query != "") {
+			// Narrow view: read until the subset is assembled (or the view
+			// is exhausted).
+			onTopicHere := 0
+			for _, d := range b.Docs(sel) {
+				if !scanned[d] {
+					scanned[d] = true
+					elapsed += costPerDoc
+				}
+				if onTopic(d) {
+					onTopicHere++
+					if onTopicHere >= narrowNeed {
+						break
+					}
+				}
+			}
+			if onTopicHere >= narrowNeed {
+				success = true
+				break
+			}
+			// Wrong branch: back out of the last facet selection and keep
+			// exploring (the term stays marked as tried).
+			if len(sel.Terms) > 0 {
+				tried[sel.Terms[len(sel.Terms)-1]] = true
+				sel.Terms = sel.Terms[:len(sel.Terms)-1]
+				continue
+			}
+			// Query alone came back narrow but off-topic: reformulate if
+			// anything is left to try, else fall back to the base query.
+			if nextQuery < len(queries) {
+				st.KeywordQueries++
+				elapsed += costKeyword
+				sel.Query = queries[nextQuery]
+				nextQuery++
+				scan(6)
+				continue
+			}
+			if sel.Query != queries[0] {
+				sel.Query = queries[0]
+				continue
+			}
+			break
+		}
+		// Every session opens with a keyword query (the paper's observed
+		// pattern); facets then narrow within the results.
+		if action == 0 {
+			st.KeywordQueries++
+			elapsed += costKeyword
+			sel.Query = queries[0]
+			nextQuery = 1
+			// Novices start reading the result list immediately; users who
+			// have learned the facets skip straight to them.
+			if !rng.Bool(affinity) {
+				scan(6)
+			}
+			continue
+		}
+		useFacet := rng.Bool(affinity)
+		facetTerm, facetOK := bestFacetMove(b, sel, interest, tried)
+		if debug {
+			fmt.Printf("      useFacet=%v facetOK=%v term=%q\n", useFacet, facetOK, facetTerm)
+		}
+		if useFacet && facetOK {
+			st.FacetClicks++
+			elapsed += costFacet
+			sel.Terms = append(sel.Terms, facetTerm)
+			continue
+		}
+		if !useFacet && nextQuery < len(queries) {
+			// Keyword reformulation: type another query, skim the top of
+			// the new result list.
+			st.KeywordQueries++
+			elapsed += costKeyword
+			sel.Query = queries[nextQuery]
+			nextQuery++
+			scan(6)
+			continue
+		}
+		// Keep reading the current list; when it is exhausted, fall back
+		// to whatever interaction remains.
+		if scan(12) {
+			continue
+		}
+		if facetOK {
+			st.FacetClicks++
+			elapsed += costFacet
+			sel.Terms = append(sel.Terms, facetTerm)
+			continue
+		}
+		if nextQuery < len(queries) {
+			st.KeywordQueries++
+			elapsed += costKeyword
+			sel.Query = queries[nextQuery]
+			nextQuery++
+			scan(6)
+			continue
+		}
+		if sel.Query != queries[0] || len(sel.Terms) > 0 {
+			// Back to the base result view for another pass.
+			sel.Query = queries[0]
+			sel.Terms = nil
+			continue
+		}
+		break // nothing left to try
+	}
+	st.Time = elapsed
+	if success {
+		st.SuccessRate = 1
+		// Fast completion satisfies; slow completion still satisfies
+		// mildly (the paper reports a steady ~2.5 mean).
+		sat := 3.0 - float64(elapsed)/float64(3*time.Minute)
+		if sat < 2 {
+			sat = 2
+		}
+		st.Satisfaction = sat + rng.Norm(0, 0.12)
+	} else {
+		st.Satisfaction = 1.2 + rng.Norm(0, 0.3)
+	}
+	if st.Satisfaction > 3 {
+		st.Satisfaction = 3
+	}
+	if st.Satisfaction < 0 {
+		st.Satisfaction = 0
+	}
+	return st
+}
+
+// bestFacetMove returns the interest facet that, among the children
+// currently displayed (roots plus children of selected terms), best
+// narrows the result set: the user clicks the most specific relevant
+// facet link they can see.
+func bestFacetMove(b *browse.Interface, sel browse.Selection, interest map[string]bool, tried map[string]bool) (string, bool) {
+	already := map[string]bool{}
+	for t := range tried {
+		already[t] = true
+	}
+	for _, t := range sel.Terms {
+		already[t] = true
+	}
+	total := b.MatchCount(sel)
+	var best string
+	bestCount := -1
+	consider := func(fc browse.FacetCount) {
+		if already[fc.Term] || !interest[fc.Term] {
+			return
+		}
+		if fc.Count >= total {
+			return // clicking it would not narrow anything
+		}
+		if fc.Count < 3 {
+			return // suspiciously narrow: probably the wrong branch
+		}
+		// Prefer the smallest acceptable narrowing (most specific visible).
+		if bestCount == -1 || fc.Count < bestCount {
+			bestCount = fc.Count
+			best = fc.Term
+		}
+	}
+	// Faceted UIs show the facet dimensions with their top sub-values, so
+	// the user sees roots, each root's children, and the children of
+	// anything already selected.
+	for _, fc := range b.Children("", sel) {
+		consider(fc)
+		for _, sub := range b.Children(fc.Term, sel) {
+			consider(sub)
+		}
+	}
+	for _, t := range sel.Terms {
+		for _, fc := range b.Children(t, sel) {
+			consider(fc)
+		}
+	}
+	return best, bestCount > 0
+}
+
+func facetAvailable(b *browse.Interface, sel browse.Selection, interest map[string]bool) bool {
+	_, ok := bestFacetMove(b, sel, interest, nil)
+	return ok
+}

@@ -1,0 +1,181 @@
+// Package websearch implements the web-search simulator behind the
+// paper's "Google" external resource (Section IV-B): a BM25 engine over a
+// web-like page collection (the synthetic Wikipedia's pages serve as the
+// web), returning ranked results with titles and snippets; the resource
+// mines the most frequent words and phrases from the result snippets as
+// context terms.
+//
+// As in the paper's implementation, only titles and snippets are mined —
+// not full pages — "introducing a relatively large number of noisy
+// terms", which is the documented reason the Google resource trades
+// precision for recall in Tables V–VII.
+package websearch
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/remote"
+	"repro/internal/textdb"
+	"repro/internal/wiki"
+)
+
+// Engine is a searchable page collection.
+type Engine struct {
+	corpus *textdb.Corpus
+	index  *textdb.Index
+}
+
+// NewEngineFromWiki indexes every wiki page as a web document.
+func NewEngineFromWiki(w *wiki.Wiki) *Engine {
+	c := textdb.NewCorpus()
+	for _, p := range w.Pages() {
+		c.Add(&textdb.Document{Title: p.Title, Source: "web", Text: p.Text})
+	}
+	return NewEngine(c)
+}
+
+// NewEngine wraps an existing corpus as a search engine.
+func NewEngine(c *textdb.Corpus) *Engine {
+	return &Engine{corpus: c, index: textdb.BuildIndex(c)}
+}
+
+// DocFreqFraction returns the fraction of indexed pages containing the
+// term. For multi-word terms the minimum over component words is returned
+// (an upper bound on the phrase's own document frequency).
+func (e *Engine) DocFreqFraction(term string) float64 {
+	if e.corpus.Len() == 0 {
+		return 0
+	}
+	frac := 1.0
+	for _, w := range strings.Fields(term) {
+		f := float64(e.index.DocFreq(w)) / float64(e.corpus.Len())
+		if f < frac {
+			frac = f
+		}
+	}
+	return frac
+}
+
+// Result is one search result: title plus snippet.
+type Result struct {
+	Title   string
+	Snippet string
+}
+
+// Search returns the top-k results for the query.
+func (e *Engine) Search(query string, k int) []Result {
+	hits := e.index.Search(query, k)
+	out := make([]Result, 0, len(hits))
+	for _, h := range hits {
+		doc := e.corpus.Doc(h.Doc)
+		out = append(out, Result{
+			Title:   doc.Title,
+			Snippet: textdb.Snippet(doc, query, 24),
+		})
+	}
+	return out
+}
+
+// Resource is the Google-style context resource.
+type Resource struct {
+	engine *Engine
+	// results per query and context terms returned per query.
+	kResults int
+	mTerms   int
+	clock    *remote.Clock
+}
+
+// NewResource returns the resource. kResults <= 0 defaults to 10 (one
+// result page), mTerms <= 0 defaults to 10. A non-nil clock charges the
+// paper's per-query latency as virtual time.
+func NewResource(e *Engine, kResults, mTerms int, clock *remote.Clock) *Resource {
+	if kResults <= 0 {
+		kResults = 10
+	}
+	if mTerms <= 0 {
+		mTerms = 10
+	}
+	return &Resource{engine: e, kResults: kResults, mTerms: mTerms, clock: clock}
+}
+
+// Name implements the core.Resource convention.
+func (r *Resource) Name() string { return "Google" }
+
+// Context queries the engine with the term and returns the most frequent
+// words and phrases across the returned titles and snippets, excluding
+// the query's own words.
+func (r *Resource) Context(term string) []string {
+	if r.clock != nil {
+		r.clock.Charge(r.Name(), remote.GooglePerQuery)
+	}
+	results := r.engine.Search(term, r.kResults)
+	if len(results) == 0 {
+		return nil
+	}
+	queryWords := map[string]bool{}
+	for _, w := range strings.Fields(lang.NormalizePhrase(term)) {
+		queryWords[w] = true
+	}
+	freq := map[string]int{}
+	var order []string
+	count := func(text string) {
+		for _, sent := range lang.Phrases(lang.Tokenize(text)) {
+			words := lang.Norms(sent)
+			for i, w := range words {
+				if len(w) > 1 && !lang.IsStopword(w) && !queryWords[w] {
+					if freq[w] == 0 {
+						order = append(order, w)
+					}
+					freq[w]++
+				}
+				if i+2 <= len(words) {
+					a, b := words[i], words[i+1]
+					if lang.IsStopword(a) || lang.IsStopword(b) || queryWords[a] || queryWords[b] {
+						continue
+					}
+					p := a + " " + b
+					if freq[p] == 0 {
+						order = append(order, p)
+					}
+					freq[p]++
+				}
+			}
+		}
+	}
+	for _, res := range results {
+		count(res.Title)
+		count(res.Snippet)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if freq[order[a]] != freq[order[b]] {
+			return freq[order[a]] > freq[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	// Keep terms that appear in at least two results' text (low-support terms are
+	// snippet noise), and drop web-wide boilerplate: a term occurring on a
+	// large fraction of ALL pages carries no query-specific signal. Real
+	// web-scale frequency mining has this property implicitly — no single
+	// query inflates the web-wide background — so the explicit cut only
+	// corrects for the reduced scale of the simulated web.
+	var out []string
+	for _, t := range order {
+		if freq[t] < 3 {
+			continue
+		}
+		if r.engine.DocFreqFraction(t) > maxBackgroundDF {
+			continue
+		}
+		out = append(out, t)
+		if len(out) >= r.mTerms {
+			break
+		}
+	}
+	return out
+}
+
+// maxBackgroundDF is the boilerplate cutoff: terms present on more than
+// this fraction of all pages are never returned as context.
+const maxBackgroundDF = 0.12

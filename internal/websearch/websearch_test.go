@@ -1,0 +1,114 @@
+package websearch
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/remote"
+	"repro/internal/textdb"
+	"repro/internal/wiki"
+)
+
+func buildEngine(t *testing.T) (*ontology.KB, *Engine) {
+	t.Helper()
+	kb, err := ontology.Build(ontology.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wiki.Build(kb, wiki.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb, NewEngineFromWiki(w)
+}
+
+func TestSearchReturnsRelevantPages(t *testing.T) {
+	_, e := buildEngine(t)
+	results := e.Search("France", 10)
+	if len(results) == 0 {
+		t.Fatal("no results for France")
+	}
+	found := false
+	for _, r := range results {
+		if r.Title == "France" {
+			found = true
+		}
+		if r.Snippet == "" {
+			t.Fatalf("empty snippet for %q", r.Title)
+		}
+	}
+	if !found {
+		t.Fatalf("France page not among results: %+v", results[:min(3, len(results))])
+	}
+}
+
+func TestResourceContextContainsGeneralTerms(t *testing.T) {
+	kb, e := buildEngine(t)
+	r := NewResource(e, 10, 10, nil)
+	// Query with a politician; the snippets of pages mentioning them (and
+	// of similar pages) should surface general political vocabulary.
+	polFacet, _ := kb.ByName("Political Leaders")
+	var pol *ontology.Concept
+	for _, ent := range kb.Entities() {
+		for _, p := range ent.Parents {
+			if p == polFacet.ID {
+				pol = ent
+			}
+		}
+		if pol != nil {
+			break
+		}
+	}
+	ctx := r.Context(pol.Display)
+	if len(ctx) == 0 {
+		t.Fatalf("no context for %q", pol.Display)
+	}
+	// Query words themselves must be excluded.
+	for _, c := range ctx {
+		if c == pol.Name {
+			t.Fatalf("query term echoed in context: %v", ctx)
+		}
+	}
+}
+
+func TestResourceUnknownTerm(t *testing.T) {
+	_, e := buildEngine(t)
+	r := NewResource(e, 10, 10, nil)
+	if got := r.Context("zzqy unknown blob"); got != nil {
+		t.Fatalf("unknown term returned %v", got)
+	}
+}
+
+func TestResourceMTermsHonored(t *testing.T) {
+	_, e := buildEngine(t)
+	r := NewResource(e, 10, 3, nil)
+	ctx := r.Context("France")
+	if len(ctx) > 3 {
+		t.Fatalf("mTerms violated: %d terms", len(ctx))
+	}
+}
+
+func TestResourceChargesClock(t *testing.T) {
+	_, e := buildEngine(t)
+	clock := remote.NewClock()
+	r := NewResource(e, 10, 10, clock)
+	r.Context("France")
+	r.Context("Germany")
+	if clock.Calls("Google") != 2 {
+		t.Fatalf("calls = %d", clock.Calls("Google"))
+	}
+	if clock.ServiceElapsed("Google") != 2*remote.GooglePerQuery {
+		t.Fatalf("elapsed = %v", clock.ServiceElapsed("Google"))
+	}
+}
+
+func TestEngineOverPlainCorpus(t *testing.T) {
+	c := textdb.NewCorpus()
+	c.Add(&textdb.Document{Title: "alpha", Text: "the quick brown fox jumped over the lazy dog"})
+	c.Add(&textdb.Document{Title: "beta", Text: "foxes hunt rabbits in the forest at night"})
+	e := NewEngine(c)
+	res := e.Search("fox", 5)
+	if len(res) != 1 || res[0].Title != "alpha" {
+		t.Fatalf("got %+v", res)
+	}
+}

@@ -1,0 +1,180 @@
+// Package wordnet implements the WordNet lexical database (Fellbaum 1998)
+// as used by the paper's "WordNet Hypernyms" external resource: a writer
+// and a hand-written parser for the real WordNet database file format
+// (index.noun / data.noun), an in-memory synset graph, and hypernym /
+// hyponym queries.
+//
+// The environment is offline, so the noun taxonomy itself is generated
+// from the ontology's common-noun is-a lexicon; but it is serialized into
+// the genuine WordNet 3.0 file format and then loaded back exclusively
+// through the parser, so the code path a real deployment would use
+// (shipping data.noun/index.noun files) is fully exercised.
+//
+// File format reference (wndb(5WN)):
+//
+//	data.noun:  synset_offset lex_filenum ss_type w_cnt word lex_id
+//	            [word lex_id...] p_cnt [ptr...] | gloss
+//	  ptr:      pointer_symbol synset_offset pos source/target
+//	index.noun: lemma pos synset_cnt p_cnt [ptr_symbol...] sense_cnt
+//	            tagsense_cnt synset_offset [synset_offset...]
+//
+// synset_offset is the byte offset of the synset's line within data.noun,
+// w_cnt is two hexadecimal digits, p_cnt is three decimal digits, and the
+// first lines of every file form a license block whose lines begin with
+// two spaces. All of that is honored here.
+package wordnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pointer symbols used in the noun files (subset relevant to hierarchy
+// construction; the full set is accepted by the parser).
+const (
+	PtrHypernym = "@"
+	PtrHyponym  = "~"
+)
+
+// licenseHeader mimics the WordNet license block: every line begins with
+// two spaces, which is how real parsers (and ours) recognize and skip it.
+var licenseHeader = []string{
+	"  1 This software and database is being provided to you, the LICENSEE, by",
+	"  2 a synthetic reproduction of the WordNet database file format for the",
+	"  3 purposes of offline experimentation. It follows the layout of the",
+	"  4 files distributed with WordNet 3.0 (wndb(5WN)): data.noun carries one",
+	"  5 synset per line addressed by byte offset, and index.noun maps each",
+	"  6 lemma to the offsets of its senses. Lines of this header begin with",
+	"  7 two spaces so that offset arithmetic matches the genuine files.",
+	"  8 ",
+}
+
+// Generate serializes a noun taxonomy into WordNet database file format.
+// The taxonomy maps each lemma (spaces allowed; they become underscores)
+// to its immediate hypernym lemma, with roots mapping to "". Glosses are
+// synthesized. It returns the contents of index.noun and data.noun.
+func Generate(isa map[string]string) (indexNoun, dataNoun []byte, err error) {
+	// Validate: every hypernym must itself be present.
+	lemmas := make([]string, 0, len(isa))
+	for lemma, parent := range isa {
+		if lemma == "" {
+			return nil, nil, fmt.Errorf("wordnet: empty lemma")
+		}
+		if parent != "" {
+			if _, ok := isa[parent]; !ok {
+				return nil, nil, fmt.Errorf("wordnet: lemma %q has unknown hypernym %q", lemma, parent)
+			}
+		}
+		lemmas = append(lemmas, lemma)
+	}
+	sort.Strings(lemmas)
+
+	// Children index for hyponym pointers.
+	children := map[string][]string{}
+	for _, lemma := range lemmas {
+		if p := isa[lemma]; p != "" {
+			children[p] = append(children[p], lemma)
+		}
+	}
+	for _, c := range children {
+		sort.Strings(c)
+	}
+
+	// One synset per lemma. First pass: build each data line with dummy
+	// offsets; because offsets are fixed-width (8 digits), line lengths are
+	// final and real offsets can be computed before the second pass.
+	type synsetPlan struct {
+		lemma string
+		line  string // with placeholder offsets
+		off   int
+	}
+	plans := make([]*synsetPlan, len(lemmas))
+	lineFor := func(lemma string, fill func(string) string) string {
+		var sb strings.Builder
+		sb.WriteString(fill(lemma)) // synset_offset placeholder or real
+		sb.WriteString(" 03 n 01 ") // lex_filenum (noun.object), ss_type, w_cnt
+		sb.WriteString(underscore(lemma))
+		sb.WriteString(" 0 ")
+		var ptrs []string
+		if p := isa[lemma]; p != "" {
+			ptrs = append(ptrs, fmt.Sprintf("%s %s n 0000", PtrHypernym, fill(p)))
+		}
+		for _, c := range children[lemma] {
+			ptrs = append(ptrs, fmt.Sprintf("%s %s n 0000", PtrHyponym, fill(c)))
+		}
+		fmt.Fprintf(&sb, "%03d", len(ptrs))
+		for _, p := range ptrs {
+			sb.WriteString(" ")
+			sb.WriteString(p)
+		}
+		sb.WriteString(" | ")
+		if p := isa[lemma]; p != "" {
+			sb.WriteString("a kind of " + p)
+		} else {
+			sb.WriteString("a most general concept")
+		}
+		return sb.String()
+	}
+
+	placeholder := func(string) string { return "00000000" }
+	offset := 0
+	for _, h := range licenseHeader {
+		offset += len(h) + 1
+	}
+	offsets := map[string]int{}
+	for i, lemma := range lemmas {
+		line := lineFor(lemma, placeholder)
+		plans[i] = &synsetPlan{lemma: lemma, line: line, off: offset}
+		offsets[lemma] = offset
+		offset += len(line) + 1
+	}
+	// Second pass with real offsets.
+	real := func(lemma string) string { return fmt.Sprintf("%08d", offsets[lemma]) }
+	var data strings.Builder
+	for _, h := range licenseHeader {
+		data.WriteString(h)
+		data.WriteByte('\n')
+	}
+	for _, p := range plans {
+		line := lineFor(p.lemma, real)
+		if len(line) != len(p.line) {
+			return nil, nil, fmt.Errorf("wordnet: offset layout drifted for %q", p.lemma)
+		}
+		data.WriteString(line)
+		data.WriteByte('\n')
+	}
+
+	// index.noun: lemma pos synset_cnt p_cnt [ptr_symbol...] sense_cnt
+	// tagsense_cnt synset_offset. Every lemma has exactly one sense here.
+	var index strings.Builder
+	for _, h := range licenseHeader {
+		index.WriteString(h)
+		index.WriteByte('\n')
+	}
+	for _, lemma := range lemmas {
+		symbols := []string{}
+		if isa[lemma] != "" {
+			symbols = append(symbols, PtrHypernym)
+		}
+		if len(children[lemma]) > 0 {
+			symbols = append(symbols, PtrHyponym)
+		}
+		fmt.Fprintf(&index, "%s n 1 %d", underscore(lemma), len(symbols))
+		for _, s := range symbols {
+			index.WriteString(" " + s)
+		}
+		fmt.Fprintf(&index, " 1 0 %08d\n", offsets[lemma])
+	}
+	return []byte(index.String()), []byte(data.String()), nil
+}
+
+// underscore converts a lemma to file form (spaces → underscores, lowercase).
+func underscore(lemma string) string {
+	return strings.ReplaceAll(strings.ToLower(lemma), " ", "_")
+}
+
+// deunderscore converts a file-form lemma back to a phrase.
+func deunderscore(lemma string) string {
+	return strings.ReplaceAll(lemma, "_", " ")
+}

@@ -1,0 +1,242 @@
+package wordnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Synset is one parsed synset from data.noun.
+type Synset struct {
+	Offset     int64    // byte offset in data.noun (the synset's identity)
+	LexFilenum int      // lexicographer file number
+	Words      []string // member lemmas, underscores resolved to spaces
+	Hypernyms  []int64  // offsets of hypernym synsets (@ pointers)
+	Hyponyms   []int64  // offsets of hyponym synsets (~ pointers)
+	Gloss      string
+}
+
+// DB is a parsed WordNet noun database.
+type DB struct {
+	synsets map[int64]*Synset
+	index   map[string][]int64 // lemma (space form) → sense offsets
+}
+
+// ParseError reports a malformed line with its position.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("wordnet: %s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Parse reads index.noun and data.noun and returns the in-memory database.
+// It validates that every index entry points at a parsed synset and that
+// every hypernym/hyponym pointer resolves.
+func Parse(indexNoun, dataNoun io.Reader) (*DB, error) {
+	db := &DB{
+		synsets: map[int64]*Synset{},
+		index:   map[string][]int64{},
+	}
+	if err := db.parseData(dataNoun); err != nil {
+		return nil, err
+	}
+	if err := db.parseIndex(indexNoun); err != nil {
+		return nil, err
+	}
+	// Referential integrity.
+	for _, ss := range db.synsets {
+		for _, h := range ss.Hypernyms {
+			if _, ok := db.synsets[h]; !ok {
+				return nil, fmt.Errorf("wordnet: synset %08d has dangling hypernym %08d", ss.Offset, h)
+			}
+		}
+		for _, h := range ss.Hyponyms {
+			if _, ok := db.synsets[h]; !ok {
+				return nil, fmt.Errorf("wordnet: synset %08d has dangling hyponym %08d", ss.Offset, h)
+			}
+		}
+	}
+	for lemma, offs := range db.index {
+		for _, off := range offs {
+			if _, ok := db.synsets[off]; !ok {
+				return nil, fmt.Errorf("wordnet: index entry %q points at missing synset %08d", lemma, off)
+			}
+		}
+	}
+	return db, nil
+}
+
+// isHeaderLine reports whether a line belongs to the license block (the
+// real files mark those lines with two leading spaces).
+func isHeaderLine(line string) bool {
+	return strings.HasPrefix(line, "  ")
+}
+
+func (db *DB) parseData(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || isHeaderLine(line) {
+			continue
+		}
+		ss, err := parseDataLine(line)
+		if err != nil {
+			return &ParseError{File: "data.noun", Line: lineNo, Msg: err.Error()}
+		}
+		if _, dup := db.synsets[ss.Offset]; dup {
+			return &ParseError{File: "data.noun", Line: lineNo, Msg: fmt.Sprintf("duplicate synset offset %08d", ss.Offset)}
+		}
+		db.synsets[ss.Offset] = ss
+	}
+	return sc.Err()
+}
+
+// parseDataLine parses one data.noun synset line.
+func parseDataLine(line string) (*Synset, error) {
+	gloss := ""
+	if i := strings.Index(line, " | "); i >= 0 {
+		gloss = line[i+3:]
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	// synset_offset lex_filenum ss_type w_cnt word lex_id ... p_cnt ptrs...
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("too few fields (%d)", len(fields))
+	}
+	off, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || len(fields[0]) != 8 {
+		return nil, fmt.Errorf("bad synset_offset %q", fields[0])
+	}
+	lexFile, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("bad lex_filenum %q", fields[1])
+	}
+	ssType := fields[2]
+	if ssType != "n" {
+		return nil, fmt.Errorf("unsupported ss_type %q (noun files only)", ssType)
+	}
+	wcnt, err := strconv.ParseInt(fields[3], 16, 32)
+	if err != nil || wcnt < 1 {
+		return nil, fmt.Errorf("bad w_cnt %q", fields[3])
+	}
+	pos := 4
+	ss := &Synset{Offset: off, LexFilenum: lexFile, Gloss: gloss}
+	for i := int64(0); i < wcnt; i++ {
+		if pos+1 >= len(fields) {
+			return nil, fmt.Errorf("truncated word list")
+		}
+		word := fields[pos]
+		// lex_id is a hex digit; validate but discard.
+		if _, err := strconv.ParseInt(fields[pos+1], 16, 32); err != nil {
+			return nil, fmt.Errorf("bad lex_id %q for word %q", fields[pos+1], word)
+		}
+		ss.Words = append(ss.Words, deunderscore(word))
+		pos += 2
+	}
+	if pos >= len(fields) {
+		return nil, fmt.Errorf("missing p_cnt")
+	}
+	pcnt, err := strconv.Atoi(fields[pos])
+	if err != nil || len(fields[pos]) != 3 {
+		return nil, fmt.Errorf("bad p_cnt %q", fields[pos])
+	}
+	pos++
+	for i := 0; i < pcnt; i++ {
+		if pos+3 > len(fields) {
+			return nil, fmt.Errorf("truncated pointer %d/%d", i+1, pcnt)
+		}
+		symbol := fields[pos]
+		target, err := strconv.ParseInt(fields[pos+1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad pointer offset %q", fields[pos+1])
+		}
+		ptrPOS := fields[pos+2]
+		if ptrPOS != "n" && ptrPOS != "v" && ptrPOS != "a" && ptrPOS != "r" {
+			return nil, fmt.Errorf("bad pointer pos %q", ptrPOS)
+		}
+		if len(fields)-pos < 4 {
+			return nil, fmt.Errorf("missing source/target for pointer %d", i+1)
+		}
+		if _, err := strconv.ParseInt(fields[pos+3], 16, 32); err != nil || len(fields[pos+3]) != 4 {
+			return nil, fmt.Errorf("bad source/target %q", fields[pos+3])
+		}
+		switch symbol {
+		case PtrHypernym:
+			ss.Hypernyms = append(ss.Hypernyms, target)
+		case PtrHyponym:
+			ss.Hyponyms = append(ss.Hyponyms, target)
+		default:
+			// Other relation types (meronyms, antonyms, ...) are accepted
+			// and ignored; the resource only uses the hierarchy.
+		}
+		pos += 4
+	}
+	if pos != len(fields) {
+		return nil, fmt.Errorf("%d trailing fields", len(fields)-pos)
+	}
+	return ss, nil
+}
+
+func (db *DB) parseIndex(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || isHeaderLine(line) {
+			continue
+		}
+		fields := strings.Fields(line)
+		// lemma pos synset_cnt p_cnt [syms...] sense_cnt tagsense_cnt offs...
+		if len(fields) < 6 {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: "too few fields"}
+		}
+		lemma := deunderscore(fields[0])
+		if fields[1] != "n" {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("unsupported pos %q", fields[1])}
+		}
+		synsetCnt, err := strconv.Atoi(fields[2])
+		if err != nil || synsetCnt < 1 {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("bad synset_cnt %q", fields[2])}
+		}
+		pcnt, err := strconv.Atoi(fields[3])
+		if err != nil || pcnt < 0 {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("bad p_cnt %q", fields[3])}
+		}
+		pos := 4 + pcnt // skip the ptr_symbol list
+		if pos+2+synsetCnt > len(fields) {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: "truncated entry"}
+		}
+		// sense_cnt and tagsense_cnt validated as integers.
+		if _, err := strconv.Atoi(fields[pos]); err != nil {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("bad sense_cnt %q", fields[pos])}
+		}
+		if _, err := strconv.Atoi(fields[pos+1]); err != nil {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("bad tagsense_cnt %q", fields[pos+1])}
+		}
+		pos += 2
+		var offs []int64
+		for i := 0; i < synsetCnt; i++ {
+			off, err := strconv.ParseInt(fields[pos+i], 10, 64)
+			if err != nil {
+				return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("bad offset %q", fields[pos+i])}
+			}
+			offs = append(offs, off)
+		}
+		if _, dup := db.index[lemma]; dup {
+			return &ParseError{File: "index.noun", Line: lineNo, Msg: fmt.Sprintf("duplicate lemma %q", lemma)}
+		}
+		db.index[lemma] = offs
+	}
+	return sc.Err()
+}

@@ -1,0 +1,106 @@
+package wordnet
+
+import "strings"
+
+// Resource adapts the database to the pipeline's external-resource
+// interface ("WordNet Hypernyms", Section IV-B of the paper): querying a
+// term returns its hypernyms up to a fixed depth.
+//
+// The paper's characterization — "hypernyms are useful and high-precision
+// terms, but tend to have low recall, especially when dealing with named
+// entities and noun phrases" — is inherent here: lookups only succeed for
+// lemmas the database carries.
+type Resource struct {
+	db    *DB
+	depth int
+}
+
+// NewResource returns the resource; depth <= 0 defaults to 3 levels.
+func NewResource(db *DB, depth int) *Resource {
+	if depth <= 0 {
+		depth = 3
+	}
+	return &Resource{db: db, depth: depth}
+}
+
+// Name implements the core.Resource convention.
+func (r *Resource) Name() string { return "WordNet Hypernyms" }
+
+// uniqueBeginners are the top-ontology synsets ("unique beginners" in
+// WordNet terminology). They carry no browsing information, so the
+// resource never reports them as context — the standard exclusion in
+// systems that consume hypernym chains.
+var uniqueBeginners = map[string]bool{
+	"entity": true, "abstraction": true, "object": true, "act": true,
+	"organism": true, "artifact": true, "substance": true, "group": true,
+	"relation": true, "attribute": true, "measure": true,
+	"phenomenon": true, "communication": true,
+}
+
+// Context returns the hypernyms of the term. The term is first looked up
+// verbatim; failing that, morphological normalization (a small "morphy":
+// plural stripping) is applied; failing that, nothing is returned.
+// Top-ontology synsets are excluded from the output.
+func (r *Resource) Context(term string) []string {
+	lemma, ok := r.db.Morphy(term)
+	if !ok {
+		return nil
+	}
+	hyps := r.db.Hypernyms(lemma, r.depth)
+	out := hyps[:0]
+	for _, h := range hyps {
+		if !uniqueBeginners[h] {
+			out = append(out, h)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Morphy resolves a surface form to a lemma present in the database,
+// implementing the noun subset of WordNet's morphological rules: exact
+// match, then the detachment rules -s → ∅, -ses → -s, -ies → -y,
+// -es → -e / ∅, applied to the final word of a phrase.
+func (db *DB) Morphy(form string) (string, bool) {
+	form = strings.ToLower(strings.TrimSpace(form))
+	if db.Contains(form) {
+		return form, true
+	}
+	words := strings.Fields(form)
+	if len(words) == 0 {
+		return "", false
+	}
+	last := words[len(words)-1]
+	for _, cand := range nounDetachments(last) {
+		words[len(words)-1] = cand
+		lemma := strings.Join(words, " ")
+		if db.Contains(lemma) {
+			return lemma, true
+		}
+	}
+	return "", false
+}
+
+// nounDetachments returns candidate singulars for a plural-looking noun,
+// in WordNet's rule order.
+func nounDetachments(w string) []string {
+	var out []string
+	switch {
+	case strings.HasSuffix(w, "ies") && len(w) > 3:
+		out = append(out, w[:len(w)-3]+"y")
+	case strings.HasSuffix(w, "ses") && len(w) > 3:
+		out = append(out, w[:len(w)-2])
+	case strings.HasSuffix(w, "xes") || strings.HasSuffix(w, "zes") ||
+		strings.HasSuffix(w, "ches") || strings.HasSuffix(w, "shes"):
+		out = append(out, w[:len(w)-2])
+	}
+	if strings.HasSuffix(w, "es") && len(w) > 2 {
+		out = append(out, w[:len(w)-1]) // -es → -e
+	}
+	if strings.HasSuffix(w, "s") && len(w) > 1 && !strings.HasSuffix(w, "ss") {
+		out = append(out, w[:len(w)-1])
+	}
+	return out
+}

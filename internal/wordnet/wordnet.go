@@ -1,0 +1,143 @@
+package wordnet
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Lookup returns the synsets containing the lemma (space form), or nil.
+func (db *DB) Lookup(lemma string) []*Synset {
+	offs := db.index[lemma]
+	if offs == nil {
+		return nil
+	}
+	out := make([]*Synset, 0, len(offs))
+	for _, off := range offs {
+		out = append(out, db.synsets[off])
+	}
+	return out
+}
+
+// Contains reports whether the lemma has at least one noun sense.
+func (db *DB) Contains(lemma string) bool {
+	_, ok := db.index[lemma]
+	return ok
+}
+
+// Synset returns the synset at the given data.noun offset.
+func (db *DB) Synset(off int64) (*Synset, bool) {
+	ss, ok := db.synsets[off]
+	return ss, ok
+}
+
+// Size returns the number of synsets.
+func (db *DB) Size() int { return len(db.synsets) }
+
+// Lemmas returns all indexed lemmas in sorted order.
+func (db *DB) Lemmas() []string {
+	out := make([]string, 0, len(db.index))
+	for l := range db.index {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hypernyms walks the hypernym closure of the lemma up to depth levels
+// (depth 1 = immediate hypernyms) and returns the union of lemma forms,
+// nearest level first, without duplicates. A lemma outside the database
+// returns nil — this is the low-recall behaviour for named entities that
+// the paper reports for the WordNet resource.
+func (db *DB) Hypernyms(lemma string, depth int) []string {
+	senses := db.index[lemma]
+	if senses == nil || depth <= 0 {
+		return nil
+	}
+	var out []string
+	seenWord := map[string]bool{lemma: true}
+	frontier := senses
+	seenSyn := map[int64]bool{}
+	for level := 0; level < depth && len(frontier) > 0; level++ {
+		var next []int64
+		for _, off := range frontier {
+			for _, h := range db.synsets[off].Hypernyms {
+				if seenSyn[h] {
+					continue
+				}
+				seenSyn[h] = true
+				for _, w := range db.synsets[h].Words {
+					if !seenWord[w] {
+						seenWord[w] = true
+						out = append(out, w)
+					}
+				}
+				next = append(next, h)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Hyponyms returns the immediate hyponym lemmas of the given lemma.
+func (db *DB) Hyponyms(lemma string) []string {
+	senses := db.index[lemma]
+	if senses == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, off := range senses {
+		for _, h := range db.synsets[off].Hyponyms {
+			for _, w := range db.synsets[h].Words {
+				if !seen[w] {
+					seen[w] = true
+					out = append(out, w)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FromIsa generates database files from the is-a lexicon and parses them
+// back, returning the resulting DB. This is the standard construction used
+// across the repository: it guarantees the parser is on every code path.
+func FromIsa(isa map[string]string) (*DB, error) {
+	idx, data, err := Generate(isa)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(bytes.NewReader(idx), bytes.NewReader(data))
+}
+
+// WriteFiles writes index.noun and data.noun under dir.
+func WriteFiles(dir string, isa map[string]string) error {
+	idx, data, err := Generate(isa)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "index.noun"), idx, 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "data.noun"), data, 0o644)
+}
+
+// LoadFiles parses index.noun and data.noun from dir.
+func LoadFiles(dir string) (*DB, error) {
+	idx, err := os.ReadFile(filepath.Join(dir, "index.noun"))
+	if err != nil {
+		return nil, fmt.Errorf("wordnet: %w", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "data.noun"))
+	if err != nil {
+		return nil, fmt.Errorf("wordnet: %w", err)
+	}
+	return Parse(bytes.NewReader(idx), bytes.NewReader(data))
+}

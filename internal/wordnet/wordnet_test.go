@@ -1,0 +1,316 @@
+package wordnet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ontology"
+)
+
+var testIsa = map[string]string{
+	"entity":         "",
+	"organism":       "entity",
+	"person":         "organism",
+	"leader":         "person",
+	"politician":     "leader",
+	"senator":        "politician",
+	"artifact":       "entity",
+	"vehicle":        "artifact",
+	"car":            "vehicle",
+	"prime minister": "politician",
+}
+
+func buildTestDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := FromIsa(testIsa)
+	if err != nil {
+		t.Fatalf("FromIsa: %v", err)
+	}
+	return db
+}
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	db := buildTestDB(t)
+	if db.Size() != len(testIsa) {
+		t.Fatalf("got %d synsets, want %d", db.Size(), len(testIsa))
+	}
+	for lemma := range testIsa {
+		if !db.Contains(lemma) {
+			t.Errorf("lemma %q missing after round trip", lemma)
+		}
+	}
+}
+
+func TestOffsetsAreRealByteOffsets(t *testing.T) {
+	idx, data, err := Generate(testIsa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Parse(bytes.NewReader(idx), bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every synset's line in data.noun must literally start at its offset —
+	// this is the property real WordNet tools depend on.
+	for off := range db.synsets {
+		if int(off) >= len(data) {
+			t.Fatalf("offset %d beyond file", off)
+		}
+		line := data[off:]
+		end := bytes.IndexByte(line, '\n')
+		if end < 0 {
+			t.Fatalf("no line at offset %d", off)
+		}
+		fields := strings.Fields(string(line[:end]))
+		if len(fields) == 0 || len(fields[0]) != 8 {
+			t.Fatalf("offset %d does not start a synset line: %q", off, line[:end])
+		}
+	}
+}
+
+func TestHypernymsChain(t *testing.T) {
+	db := buildTestDB(t)
+	got := db.Hypernyms("senator", 3)
+	want := []string{"politician", "leader", "person"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Hypernyms(senator,3) = %v, want %v", got, want)
+	}
+	if got := db.Hypernyms("senator", 1); !reflect.DeepEqual(got, []string{"politician"}) {
+		t.Fatalf("depth 1 = %v", got)
+	}
+	if db.Hypernyms("entity", 3) != nil {
+		t.Fatal("root should have no hypernyms")
+	}
+}
+
+func TestNamedEntitiesNotCovered(t *testing.T) {
+	db := buildTestDB(t)
+	// The paper's central observation about WordNet: no coverage of named
+	// entities.
+	for _, ne := range []string{"jacques chirac", "hillary clinton", "2005 g8 summit"} {
+		if db.Contains(ne) {
+			t.Errorf("named entity %q should not be in WordNet", ne)
+		}
+		if db.Hypernyms(ne, 3) != nil {
+			t.Errorf("named entity %q should have no hypernyms", ne)
+		}
+	}
+}
+
+func TestMultiWordLemma(t *testing.T) {
+	db := buildTestDB(t)
+	if !db.Contains("prime minister") {
+		t.Fatal("collocation lost in round trip")
+	}
+	got := db.Hypernyms("prime minister", 2)
+	want := []string{"politician", "leader"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// The file form must use underscores.
+	idx, _, _ := Generate(testIsa)
+	if !bytes.Contains(idx, []byte("prime_minister")) {
+		t.Fatal("index.noun should store underscored lemma")
+	}
+}
+
+func TestHyponyms(t *testing.T) {
+	db := buildTestDB(t)
+	got := db.Hyponyms("leader")
+	if !reflect.DeepEqual(got, []string{"politician"}) {
+		t.Fatalf("Hyponyms(leader) = %v", got)
+	}
+}
+
+func TestGenerateRejectsDanglingHypernym(t *testing.T) {
+	_, _, err := Generate(map[string]string{"car": "vehicle"})
+	if err == nil {
+		t.Fatal("expected error for dangling hypernym")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name  string
+		index string
+		data  string
+	}{
+		{"bad offset width", "", "123 03 n 01 car 0 000 | gloss\n"},
+		{"bad w_cnt", "", "00000000 03 n zz car 0 000 | gloss\n"},
+		{"truncated pointer", "", "00000000 03 n 01 car 0 001 @ 00000099\n"},
+		{"bad ss_type", "", "00000000 03 v 01 car 0 000 | gloss\n"},
+		{"dangling pointer", "", "00000000 03 n 01 car 0 001 @ 00000099 n 0000 | g\n"},
+		{"bad index count", "car n x 0 1 0 00000000\n", "00000000 03 n 01 car 0 000 | g\n"},
+		{"index points nowhere", "car n 1 0 1 0 00009999\n", "00000000 03 n 01 car 0 000 | g\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.index), strings.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed input")
+			}
+		})
+	}
+}
+
+func TestParseSkipsLicenseHeader(t *testing.T) {
+	db := buildTestDB(t)
+	// The generated files carry a two-space header; parsing succeeded, so
+	// the header was skipped. Also verify header presence explicitly.
+	idx, data, _ := Generate(testIsa)
+	if !bytes.HasPrefix(idx, []byte("  1 ")) || !bytes.HasPrefix(data, []byte("  1 ")) {
+		t.Fatal("generated files lack the license header block")
+	}
+	if db.Size() == 0 {
+		t.Fatal("no synsets parsed")
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse(strings.NewReader(""), strings.NewReader("garbage line\n"))
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.File != "data.noun" || pe.Line != 1 {
+		t.Fatalf("position = %s:%d", pe.File, pe.Line)
+	}
+}
+
+func TestFullOntologyLexiconRoundTrip(t *testing.T) {
+	db, err := FromIsa(ontology.IsaLexicon())
+	if err != nil {
+		t.Fatalf("FromIsa(full lexicon): %v", err)
+	}
+	if db.Size() < 300 {
+		t.Fatalf("full lexicon produced only %d synsets", db.Size())
+	}
+	// Spot-check a chain against the ontology's own traversal.
+	want := ontology.HypernymChain("senator")
+	got := db.Hypernyms("senator", len(want)+2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chains diverge: wordnet %v vs ontology %v", got, want)
+	}
+}
+
+func TestWriteLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFiles(dir, testIsa); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != len(testIsa) {
+		t.Fatalf("loaded %d synsets", db.Size())
+	}
+	if _, err := LoadFiles(t.TempDir()); err == nil {
+		t.Fatal("expected error for missing files")
+	}
+}
+
+func TestLemmasSorted(t *testing.T) {
+	db := buildTestDB(t)
+	lemmas := db.Lemmas()
+	if len(lemmas) != len(testIsa) {
+		t.Fatalf("got %d lemmas", len(lemmas))
+	}
+	for i := 1; i < len(lemmas); i++ {
+		if lemmas[i-1] >= lemmas[i] {
+			t.Fatalf("lemmas not sorted at %d: %q >= %q", i, lemmas[i-1], lemmas[i])
+		}
+	}
+}
+
+func TestQuickGenerateParseAnyTree(t *testing.T) {
+	// Property: any valid parent map (tree over a closed lemma set)
+	// round-trips through the file format with hypernym chains intact.
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	f := func(parents [6]uint8) bool {
+		isa := map[string]string{}
+		for i, w := range words {
+			p := int(parents[i]) % (i + 1) // parent must be an earlier word → acyclic
+			if p == i || i == 0 {
+				isa[w] = ""
+			} else {
+				isa[w] = words[p]
+			}
+		}
+		db, err := FromIsa(isa)
+		if err != nil {
+			return false
+		}
+		for w, p := range isa {
+			hyp := db.Hypernyms(w, 1)
+			if p == "" {
+				if hyp != nil {
+					return false
+				}
+			} else if len(hyp) != 1 || hyp[0] != p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceExcludesUniqueBeginners(t *testing.T) {
+	db := buildTestDB(t)
+	r := NewResource(db, 10)
+	ctx := r.Context("senator")
+	for _, c := range ctx {
+		if c == "entity" || c == "organism" {
+			t.Fatalf("unique beginner %q leaked into context: %v", c, ctx)
+		}
+	}
+	if len(ctx) == 0 {
+		t.Fatal("informative hypernyms should remain")
+	}
+	// A word whose entire chain is top-ontology yields nothing.
+	if got := r.Context("organism"); got != nil {
+		t.Fatalf("organism context = %v, want nil", got)
+	}
+}
+
+func TestResourceMorphy(t *testing.T) {
+	db := buildTestDB(t)
+	r := NewResource(db, 2)
+	plural := r.Context("senators")
+	singular := r.Context("senator")
+	if len(plural) == 0 || len(singular) == 0 {
+		t.Fatal("morphy failed to resolve plural")
+	}
+	if plural[0] != singular[0] {
+		t.Fatalf("plural %v vs singular %v", plural, singular)
+	}
+	if r.Context("jacques chirac") != nil {
+		t.Fatal("named entity should resolve to nothing")
+	}
+}
+
+func TestMorphyDetachments(t *testing.T) {
+	db := buildTestDB(t)
+	cases := map[string]string{
+		"cars":            "car",
+		"prime ministers": "prime minister",
+	}
+	for in, want := range cases {
+		got, ok := db.Morphy(in)
+		if !ok || got != want {
+			t.Errorf("Morphy(%q) = %q/%v, want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := db.Morphy("xyzzys"); ok {
+		t.Error("unknown plural resolved")
+	}
+}

@@ -1,0 +1,286 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator used throughout the repository. Every stochastic component
+// (corpus generation, annotator simulation, user simulation) derives its
+// randomness from an explicit seed so that experiments are byte-for-byte
+// reproducible across runs and platforms.
+//
+// The generator is splitmix64 (Steele, Lea, Flood 2014): tiny state,
+// excellent statistical quality for simulation purposes, and trivially
+// splittable into independent sub-streams, which we use to give each
+// document, annotator, and user its own stream regardless of evaluation
+// order.
+package xrand
+
+import "math"
+
+// RNG is a deterministic splitmix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0; prefer New.
+type RNG struct {
+	seed  uint64 // immutable; used to derive order-independent sub-streams
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{seed: seed, state: seed}
+}
+
+// NewString returns a generator seeded from an arbitrary label. Use it to
+// derive named, order-independent sub-streams ("annotator-3", "doc-17").
+func NewString(label string) *RNG {
+	return New(HashString(label))
+}
+
+// HashString hashes a string to a 64-bit seed using FNV-1a followed by a
+// splitmix64 finalizer to spread low-entropy inputs.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return mix(h)
+}
+
+// mix is the splitmix64 output function.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sub returns an independent generator derived from this generator's seed
+// and the given label. Calling Sub does not advance the parent stream, so
+// sub-stream creation order never affects results.
+func (r *RNG) Sub(label string) *RNG {
+	return New(mix(r.seed ^ HashString(label)))
+}
+
+// SubInt is Sub keyed by an integer (e.g. a document index).
+func (r *RNG) SubInt(label string, n int) *RNG {
+	return New(mix(mix(r.seed^HashString(label)) + uint64(n)*0x9e3779b97f4a7c15))
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded values.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aHi*bLo + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aLo * bHi
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation, using the Box–Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Poisson returns a Poisson-distributed value with the given mean, using
+// Knuth's method for small means and a normal approximation for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		v := int(math.Round(r.Norm(mean, math.Sqrt(mean))))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles a slice of ints in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element of items. It panics on an empty
+// slice, mirroring Intn.
+func Pick[T any](r *RNG, items []T) T {
+	return items[r.Intn(len(items))]
+}
+
+// PickN returns n distinct uniformly chosen elements of items (or all of
+// them when n >= len(items)), in random order.
+func PickN[T any](r *RNG, items []T, n int) []T {
+	if n >= len(items) {
+		out := make([]T, len(items))
+		copy(out, items)
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	idx := r.Perm(len(items))[:n]
+	out := make([]T, n)
+	for i, j := range idx {
+		out[i] = items[j]
+	}
+	return out
+}
+
+// Weighted picks an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero.
+// It panics if no weight is positive.
+func (r *RNG) Weighted(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("xrand: Weighted called with no positive weight")
+	}
+	target := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("unreachable")
+}
+
+// Zipf samples ranks from a Zipf–Mandelbrot distribution over [0, n) with
+// exponent s (s > 0): P(k) ∝ 1/(k+1)^s. Term-frequency distributions in
+// text follow this law (Zipf 1949), and the paper's Step 3 explicitly
+// reasons about it, so the corpus generator uses it for word selection.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s, drawing
+// randomness from r.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	cdf := make([]float64, n)
+	var total float64
+	for k := 0; k < n; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = total
+	}
+	for k := range cdf {
+		cdf[k] /= total
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next sampled rank in [0, n).
+func (z *Zipf) Next() int {
+	target := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the number of ranks the sampler draws from.
+func (z *Zipf) N() int { return len(z.cdf) }

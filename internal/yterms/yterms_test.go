@@ -1,0 +1,100 @@
+package yterms
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/remote"
+	"repro/internal/textdb"
+)
+
+// buildBG creates a background table where "common" words appear in many
+// documents and everything else is rare.
+func buildBG() *textdb.DFTable {
+	c := textdb.NewCorpus()
+	for i := 0; i < 50; i++ {
+		c.Add(&textdb.Document{Title: "t", Text: "people said the report was a common story about the city"})
+	}
+	c.Add(&textdb.Document{Title: "t", Text: "chirac attended the summit on global warming in scotland"})
+	table := textdb.NewDFTable(c.Dict())
+	for i := 0; i < c.Len(); i++ {
+		table.AddDoc(c.DocTerms(textdb.DocID(i)))
+	}
+	return table
+}
+
+func TestRareTermsOutrankCommonOnes(t *testing.T) {
+	bg := buildBG()
+	e := New(bg, 5, nil)
+	got := e.Extract("The report said Chirac discussed global warming. People liked the report about the summit.")
+	if len(got) == 0 {
+		t.Fatal("no terms extracted")
+	}
+	pos := map[string]int{}
+	for i, g := range got {
+		pos[g] = i + 1
+	}
+	if pos["chirac"] == 0 {
+		t.Fatalf("rare entity missing: %v", got)
+	}
+	if p, ok := pos["report"]; ok && p <= pos["chirac"] {
+		t.Fatalf("background-common word ranked above rare entity: %v", got)
+	}
+}
+
+func TestPhrasesExtracted(t *testing.T) {
+	bg := buildBG()
+	e := New(bg, 8, nil)
+	got := e.Extract("Experts discussed global warming at the summit. Global warming dominated.")
+	found := false
+	for _, g := range got {
+		if g == "global warming" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cohesive phrase not extracted: %v", got)
+	}
+}
+
+func TestTopKHonored(t *testing.T) {
+	bg := buildBG()
+	e := New(bg, 3, nil)
+	got := e.Extract("chirac summit warming scotland city story report people common said")
+	if len(got) > 3 {
+		t.Fatalf("topK violated: %d terms", len(got))
+	}
+}
+
+func TestEmptyText(t *testing.T) {
+	e := New(buildBG(), 5, nil)
+	if got := e.Extract(""); got != nil {
+		t.Fatalf("empty text returned %v", got)
+	}
+	if got := e.Extract("the of and a"); got != nil {
+		t.Fatalf("stopword-only text returned %v", got)
+	}
+}
+
+func TestClockCharged(t *testing.T) {
+	clock := remote.NewClock()
+	e := New(buildBG(), 5, clock)
+	e.Extract("chirac visited scotland")
+	e.Extract("another story about paris")
+	if clock.Calls("Yahoo") != 2 {
+		t.Fatalf("calls = %d", clock.Calls("Yahoo"))
+	}
+	if clock.Elapsed() != 2*remote.YahooPerDoc {
+		t.Fatalf("elapsed = %v", clock.Elapsed())
+	}
+}
+
+func TestNormalizedOutput(t *testing.T) {
+	e := New(buildBG(), 10, nil)
+	got := e.Extract("CHIRAC met Warming experts")
+	for _, g := range got {
+		if g != strings.ToLower(g) {
+			t.Fatalf("term %q not normalized", g)
+		}
+	}
+}
