@@ -1,19 +1,44 @@
-// Command facetserve builds a faceted browsing interface over a generated
-// news archive and serves it over HTTP: a server-rendered front end at /
-// and a JSON API under /api/ (facets, docs, dates, cross).
+// Command facetserve builds a faceted browsing interface over a news
+// archive and serves it over HTTP: a server-rendered front end at /, a
+// JSON API under /api/ (facets, docs, dates, cross), and — with -live —
+// streaming document intake with incremental facet rebuilds.
+//
+// Batch mode (default) generates a corpus, extracts facets once, and
+// serves the frozen interface:
 //
 //	facetserve [-addr :8080] [-docs 600] [-profile SNYT] [-seed 42]
+//
+// Live mode turns the server into a long-running ingestion service:
+// documents POSTed to /api/ingest stream through the extraction pipeline,
+// the hierarchy is rebuilt every -epoch-docs documents (or -max-staleness
+// interval), and the browsing interface is swapped atomically with zero
+// downtime. With -store, accepted documents are durably persisted as
+// append-only segments and a restarted server warm-starts from disk:
+//
+//	facetserve -live [-store DIR] [-epoch-docs 200] [-max-staleness 30s]
+//
+// Shutdown on SIGINT/SIGTERM is graceful: HTTP stops accepting, the
+// intake queue drains, and a final epoch publishes and persists every
+// accepted document before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	facet "repro"
 	"repro/internal/browse"
+	"repro/internal/ingest"
 	"repro/internal/serve"
+	"repro/internal/textdb"
 )
 
 func main() {
@@ -23,23 +48,121 @@ func main() {
 	profile := flag.String("profile", "SNYT", "dataset profile")
 	seed := flag.Uint64("seed", 42, "seed")
 	topK := flag.Int("topk", 120, "facet terms to extract")
+	live := flag.Bool("live", false, "enable streaming ingestion (POST /api/ingest) with incremental rebuilds")
+	storeDir := flag.String("store", "", "segment store directory for durable intake (live mode; empty = in-memory only)")
+	epochDocs := flag.Int("epoch-docs", 200, "rebuild the hierarchy after this many new documents (live mode)")
+	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "also rebuild when intake has waited this long (live mode; 0 disables)")
+	queueSize := flag.Int("queue", 1024, "bounded intake queue capacity (live mode)")
+	cacheSize := flag.Int("cache", 4096, "resource LRU cache entries (live mode)")
 	flag.Parse()
 
 	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: *seed})
 	if err != nil {
 		log.Fatal(err)
 	}
-	corpus, err := env.GenerateNewsCorpus(*profile, *docs, *seed+1)
-	if err != nil {
-		log.Fatal(err)
+
+	// Assemble the initial document set: warm-start from the segment
+	// store when it already holds documents, generate otherwise.
+	var store *textdb.Store
+	var initial []facet.Document
+	warmStart := false
+	if *live && *storeDir != "" {
+		if store, err = textdb.OpenStore(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		if orphans, err := store.OrphanSegments(); err == nil && len(orphans) > 0 {
+			log.Printf("note: %d orphan segment(s) in %s from an interrupted append", len(orphans), *storeDir)
+		}
+		if store.Docs() > 0 {
+			corpus, err := store.LoadAll()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < corpus.Len(); i++ {
+				d := corpus.Doc(textdb.DocID(i))
+				initial = append(initial, facet.Document{Title: d.Title, Source: d.Source, Date: d.Date, Text: d.Text})
+			}
+			warmStart = true
+			log.Printf("warm-starting from %s: %d documents in %d segments", *storeDir, store.Docs(), store.Segments())
+		}
 	}
+	if !warmStart && *docs > 0 {
+		if initial, err = env.GenerateNewsCorpus(*profile, *docs, *seed+1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	sys, err := facet.NewSystem(env, facet.Options{TopK: *topK})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, d := range corpus {
+	for _, d := range initial {
 		sys.Add(d)
 	}
+
+	if !*live {
+		serveBatch(sys, *addr, *profile, *topK)
+		return
+	}
+
+	ing, err := ingest.New(ingest.Config{
+		Extractors:   sys.CoreExtractors(),
+		Resources:    sys.CoreResources(),
+		TopK:         *topK,
+		QueueSize:    *queueSize,
+		EpochDocs:    *epochDocs,
+		MaxStaleness: *maxStaleness,
+		CacheSize:    *cacheSize,
+		Store:        store,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bootstrap := make([]*textdb.Document, len(initial))
+	for i, d := range initial {
+		bootstrap[i] = &textdb.Document{Title: d.Title, Source: d.Source, Date: d.Date, Text: d.Text}
+	}
+	log.Printf("bootstrapping live pipeline over %d documents...", len(bootstrap))
+	if err := ing.Bootstrap(bootstrap, !warmStart); err != nil {
+		log.Fatal(err)
+	}
+
+	title := fmt.Sprintf("%s live archive — streaming ingestion enabled", *profile)
+	srv := serve.New(ing.Current(), title)
+	srv.EnableIngest(ing)
+	ing.SetOnPublish(srv.Publish) // every epoch swaps the served interface
+	ing.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// ctx cancels the instant the signal lands, so main must wait on this
+	// channel — not ctx — or it exits while Close is still persisting the
+	// final epoch.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("shutting down: draining intake and finishing the epoch...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+		if err := ing.Close(shutdownCtx); err != nil {
+			log.Printf("ingest close: %v", err)
+		}
+	}()
+	st := ing.Stats()
+	log.Printf("serving %s on %s (%d docs, %d facet terms)", title, *addr, st.DocsPublished, st.FacetTerms)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-shutdownDone
+	log.Printf("shutdown complete: %d documents ingested, %d persisted", ing.Stats().DocsIngested, ing.Stats().PersistedDocs)
+}
+
+// serveBatch is the original frozen-corpus mode.
+func serveBatch(sys *facet.System, addr, profile string, topK int) {
 	log.Printf("extracting facets from %d documents...", sys.Len())
 	res, err := sys.ExtractFacets()
 	if err != nil {
@@ -53,9 +176,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", *profile, sys.Len(), len(res.Facets))
-	log.Printf("serving %s on %s", title, *addr)
-	log.Fatal(http.ListenAndServe(*addr, serve.New(iface, title)))
+	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", profile, sys.Len(), len(res.Facets))
+	log.Printf("serving %s on %s", title, addr)
+	log.Fatal(http.ListenAndServe(addr, serve.New(iface, title)))
 }
 
 // browseInterface reaches beneath the facade for the internal browse

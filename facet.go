@@ -260,6 +260,18 @@ func (s *System) buildResources() []core.Resource {
 	return out
 }
 
+// CoreExtractors assembles the configured term extractors over the
+// currently indexed documents (the Yahoo-style extractor calibrates its
+// background statistics against them). Like BrowseEngine, this is a seam
+// for in-module consumers — the live ingestion subsystem builds its
+// worker pool from it; external users configure extraction through
+// Options.
+func (s *System) CoreExtractors() []core.Extractor { return s.buildExtractors() }
+
+// CoreResources assembles the configured context-expansion resources; see
+// CoreExtractors for the intended consumers.
+func (s *System) CoreResources() []core.Resource { return s.buildResources() }
+
 // FacetTerm is one extracted facet term with its statistical evidence.
 type FacetTerm struct {
 	Term   string

@@ -287,9 +287,6 @@ func Analyze(corpus *textdb.Corpus, context [][]string, topK int) *Result {
 
 // AnalyzeWith is Analyze with explicit options.
 func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts AnalyzeOptions) *Result {
-	if topK <= 0 {
-		topK = 200
-	}
 	dict := corpus.Dict()
 	n := corpus.Len()
 
@@ -323,6 +320,23 @@ func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts Analy
 		dfC.AddDoc(merged)
 	}
 
+	return AnalyzeTables(dict, dfD, dfC, ctxTermSet, n, topK, opts)
+}
+
+// AnalyzeTables runs the Step-3 candidate selection and ranking over
+// prebuilt document-frequency tables: dfD counts the original database,
+// dfC the contextualized one, and ctxTermSet holds every term that gained
+// at least one contextual occurrence (the only terms that can pass
+// Shift_f > 0). Batch runs (AnalyzeWith) build the tables by scanning the
+// corpus; the live ingestion subsystem maintains them incrementally as
+// documents stream in and calls this directly at every rebuild epoch, so
+// both paths share one scoring implementation and produce identical
+// rankings.
+func AnalyzeTables(dict *textdb.Dictionary, dfD, dfC *textdb.DFTable, ctxTermSet map[textdb.TermID]bool, numDocs, topK int, opts AnalyzeOptions) *Result {
+	if topK <= 0 {
+		topK = 200
+	}
+	n := numDocs
 	ranksD := dfD.Ranks()
 	ranksC := dfC.Ranks()
 

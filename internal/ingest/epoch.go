@@ -1,0 +1,180 @@
+package ingest
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/textdb"
+)
+
+// runEpoch executes one incremental rebuild: snapshot the pipeline state
+// under lock, persist the epoch's intake, re-run Step 3 candidate
+// selection over the incrementally maintained DF tables, rebuild the
+// subsumption hierarchy, assemble a fresh browsing interface over the
+// immutable corpus snapshot, and publish it with one atomic swap. Only
+// the snapshot step holds the intake lock; extraction and intake continue
+// while the rebuild runs. runEpoch is never called concurrently (it runs
+// on the scheduler goroutine, or before Start / after scheduler shutdown).
+func (ing *Ingester) runEpoch() error {
+	start := time.Now()
+
+	ing.mu.Lock()
+	n := ing.corpus.Len()
+	snap := ing.corpus.Snapshot()
+	important := append([][]string(nil), ing.important...)
+	votes := append([]map[string]int(nil), ing.votes...)
+	dfD := ing.dfD.Clone()
+	dfC := ing.dfC.Clone()
+	ctxTerms := make(map[textdb.TermID]bool, len(ing.ctxTerms))
+	for id := range ing.ctxTerms {
+		ctxTerms[id] = true
+	}
+	newDocs := ing.pending
+	ing.pending = nil
+	epochDocs := ing.unpublished
+	ing.unpublished = 0
+	ing.mu.Unlock()
+
+	// Durability first: a crash during the rebuild must not lose accepted
+	// intake. Each epoch's documents form one segment; Store.Append is
+	// crash-safe (segment fsync + atomic manifest rename).
+	if ing.cfg.Store != nil && len(newDocs) > 0 {
+		if err := ing.cfg.Store.Append(newDocs); err != nil {
+			ing.mu.Lock()
+			ing.pending = append(append([]*textdb.Document(nil), newDocs...), ing.pending...)
+			ing.unpublished += epochDocs
+			ing.mu.Unlock()
+			return err
+		}
+		ing.persistedDocs.Add(int64(len(newDocs)))
+		ing.persistedSegments.Add(1)
+	}
+
+	// Step 3 over the delta-merged statistics, then hierarchy + browse.
+	res := core.AnalyzeTables(snap.Dict(), dfD, dfC, ctxTerms, n, ing.cfg.TopK, core.AnalyzeOptions{})
+	terms := res.FacetTermStrings()
+	docTerms := assignDocTerms(snap, important, votes, terms)
+	forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{
+		Threshold: ing.cfg.SubsumptionThreshold,
+	})
+	if err != nil {
+		return err
+	}
+	iface, err := browse.Build(snap, forest, docTerms)
+	if err != nil {
+		return err
+	}
+
+	ing.current.Store(iface)
+	ing.publishedTerms.Store(&terms)
+	ing.docsPublished.Store(int64(n))
+	ing.facetTerms.Store(int64(len(terms)))
+	ing.epochs.Add(1)
+	ing.lastEpochDocs.Store(int64(epochDocs))
+	ing.lastEpochMillis.Store(time.Since(start).Milliseconds())
+	if ing.cfg.OnPublish != nil {
+		ing.cfg.OnPublish(iface)
+	}
+	return nil
+}
+
+// persistPending durably appends any unpersisted documents without
+// rebuilding; Close falls back to it when its context has expired.
+func (ing *Ingester) persistPending() error {
+	ing.mu.Lock()
+	newDocs := ing.pending
+	ing.pending = nil
+	ing.mu.Unlock()
+	if ing.cfg.Store == nil || len(newDocs) == 0 {
+		return nil
+	}
+	if err := ing.cfg.Store.Append(newDocs); err != nil {
+		ing.mu.Lock()
+		ing.pending = append(append([]*textdb.Document(nil), newDocs...), ing.pending...)
+		ing.mu.Unlock()
+		return err
+	}
+	ing.persistedDocs.Add(int64(len(newDocs)))
+	ing.persistedSegments.Add(1)
+	return nil
+}
+
+// assignDocTerms computes the document-to-facet assignment for browsing:
+// facet terms appearing in the document text, plus context terms
+// corroborated by at least two of the document's important terms (one
+// when the document has fewer than two). This mirrors the batch facade's
+// assignment so live and batch builds of the same corpus agree.
+func assignDocTerms(corpus *textdb.Corpus, important [][]string, votes []map[string]int, terms []string) [][]string {
+	termSet := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		termSet[t] = true
+	}
+	dict := corpus.Dict()
+	docTerms := make([][]string, corpus.Len())
+	for d := 0; d < corpus.Len(); d++ {
+		present := map[string]bool{}
+		for _, id := range corpus.DocTerms(textdb.DocID(d)) {
+			if s := dict.String(id); termSet[s] {
+				present[s] = true
+			}
+		}
+		need := 2
+		if len(important[d]) < 2 {
+			need = 1
+		}
+		for c, v := range votes[d] {
+			if v >= need && termSet[c] {
+				present[c] = true
+			}
+		}
+		for t := range present {
+			docTerms[d] = append(docTerms[d], t)
+		}
+		sort.Strings(docTerms[d])
+	}
+	return docTerms
+}
+
+// Stats is a point-in-time snapshot of the subsystem's health, exposed
+// over GET /api/ingest/stats.
+type Stats struct {
+	DocsIngested      int64   `json:"docs_ingested"`      // accepted into the pipeline (incl. bootstrap)
+	DocsPublished     int64   `json:"docs_published"`     // visible in the served interface
+	QueueDepth        int     `json:"queue_depth"`        // documents waiting in the intake queue
+	Epochs            int64   `json:"epochs"`             // completed rebuild epochs
+	LastEpochDocs     int64   `json:"last_epoch_docs"`    // documents newly published by the last epoch
+	LastEpochMillis   int64   `json:"last_epoch_millis"`  // wall-clock latency of the last epoch
+	FacetTerms        int64   `json:"facet_terms"`        // facet terms in the served hierarchy
+	CacheHits         int64   `json:"cache_hits"`         // resource-cache hits
+	CacheMisses       int64   `json:"cache_misses"`       // resource-cache misses
+	CacheHitRate      float64 `json:"cache_hit_rate"`     // hits / (hits + misses)
+	CacheEntries      int     `json:"cache_entries"`      // live LRU entries
+	PersistedDocs     int64   `json:"persisted_docs"`     // documents durable in the segment store
+	PersistedSegments int64   `json:"persisted_segments"` // segments in the store
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (ing *Ingester) Stats() Stats {
+	hits, misses := ing.cache.Counters()
+	s := Stats{
+		DocsIngested:      ing.docsIngested.Load(),
+		DocsPublished:     ing.docsPublished.Load(),
+		QueueDepth:        len(ing.queue),
+		Epochs:            ing.epochs.Load(),
+		LastEpochDocs:     ing.lastEpochDocs.Load(),
+		LastEpochMillis:   ing.lastEpochMillis.Load(),
+		FacetTerms:        ing.facetTerms.Load(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEntries:      ing.cache.Len(),
+		PersistedDocs:     ing.persistedDocs.Load(),
+		PersistedSegments: ing.persistedSegments.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		s.CacheHitRate = float64(hits) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,448 @@
+// Package ingest is the live ingestion subsystem: it accepts documents at
+// runtime, runs them through the paper's Fig. 1–3 pipeline incrementally,
+// and republishes the faceted browsing interface without downtime.
+//
+// The batch pipeline (internal/core driven by the facet facade) processes
+// a frozen corpus once; a deployed news archive instead grows
+// continuously, and its facet hierarchy must follow. The subsystem is
+// organized as three cooperating pieces:
+//
+//  1. Intake: a bounded queue feeds a worker pool that shards
+//     per-document important-term extraction (Fig. 1) and context
+//     expansion (Fig. 2) across GOMAXPROCS workers. Context lookups go
+//     through a bounded LRU cache, so the recurring entities of a news
+//     stream skip re-expansion — the streaming analogue of the paper's
+//     Section V-D precomputation. Each accepted document's term sets and
+//     document-frequency deltas are merged into incrementally maintained
+//     DF tables for the original and contextualized databases.
+//  2. Epoch rebuild: when enough documents accumulate (EpochDocs) or the
+//     served interface grows stale (MaxStaleness), the scheduler re-runs
+//     candidate selection (Shift_f, Shift_r, −log λ via
+//     core.AnalyzeTables) over the incremental tables, rebuilds the
+//     subsumption hierarchy, and assembles a fresh browse.Interface over
+//     an immutable corpus snapshot. The heavy work runs off-lock; intake
+//     continues during a rebuild.
+//  3. Publication: the rebuilt interface is swapped atomically
+//     (atomic.Pointer); readers always see a complete, internally
+//     consistent epoch — never a torn mix of old and new state. Accepted
+//     documents are durably persisted through textdb.Store.Append at
+//     every epoch, so a restarted server warm-starts from disk.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/core"
+	"repro/internal/textdb"
+)
+
+// Sentinel errors returned by Submit.
+var (
+	ErrClosed    = errors.New("ingest: ingester closed")
+	ErrQueueFull = errors.New("ingest: intake queue full")
+)
+
+// Config assembles an Ingester. Extractors and Resources must be safe for
+// concurrent use (the built-in substrates are read-only after
+// construction; core.IdentifyImportant already shards them the same way).
+type Config struct {
+	Extractors []core.Extractor
+	Resources  []core.Resource
+
+	// TopK bounds the number of facet terms per rebuild (0 = 200, the
+	// paper's working value).
+	TopK int
+	// SubsumptionThreshold is θ for hierarchy construction (0 = 0.8).
+	SubsumptionThreshold float64
+	// MaxImportantPerDoc caps important terms per document (0 = no cap).
+	MaxImportantPerDoc int
+
+	// Workers sizes the intake pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the intake queue (0 = 1024). A full queue pushes
+	// back on producers: Submit fails fast, SubmitWait blocks.
+	QueueSize int
+
+	// EpochDocs triggers a rebuild epoch once this many documents have
+	// accumulated since the last publication (0 = 64).
+	EpochDocs int
+	// MaxStaleness additionally triggers a rebuild whenever unpublished
+	// documents have been waiting this long (0 = disabled).
+	MaxStaleness time.Duration
+
+	// CacheSize bounds the resource LRU cache in entries (0 = 4096).
+	CacheSize int
+
+	// Store, when set, durably persists accepted documents: one segment
+	// per epoch via Store.Append. The ingester is then warm-startable
+	// from disk (Bootstrap with Store.LoadAll's documents).
+	Store *textdb.Store
+
+	// OnPublish, when set, is invoked with every newly published
+	// interface (after the internal swap); the HTTP server registers its
+	// own atomic swap here.
+	OnPublish func(*browse.Interface)
+
+	// Logf, when set, receives diagnostic messages (epoch failures).
+	Logf func(format string, args ...any)
+}
+
+// Ingester is a running live-ingestion pipeline.
+type Ingester struct {
+	cfg   Config
+	cache *lruCache
+	queue chan *textdb.Document
+
+	current        atomic.Pointer[browse.Interface]
+	publishedTerms atomic.Pointer[[]string]
+
+	// mu guards the incremental pipeline state: the growing corpus, the
+	// per-document extraction results, and the DF delta tables. Workers
+	// do extraction and expansion lock-free and only merge under mu.
+	mu          sync.Mutex
+	corpus      *textdb.Corpus
+	important   [][]string       // important[d]: Fig. 1 output for doc d
+	votes       []map[string]int // votes[d]: context-term corroboration counts
+	dfD         *textdb.DFTable  // document frequencies over D
+	dfC         *textdb.DFTable  // document frequencies over C(D)
+	ctxTerms    map[textdb.TermID]bool
+	pending     []*textdb.Document // accepted but not yet persisted
+	unpublished int                // accepted but not yet in the served interface
+
+	// Lifecycle. submitMu serializes Submit against Close so the queue is
+	// never written after it is closed.
+	submitMu sync.RWMutex
+	closed   bool
+	started  bool
+	kick     chan struct{}
+	stop     chan struct{}
+	wg       sync.WaitGroup // intake workers
+	schedWG  sync.WaitGroup // epoch scheduler
+
+	// Monotonic counters, readable without mu.
+	docsIngested      atomic.Int64
+	docsPublished     atomic.Int64
+	epochs            atomic.Int64
+	lastEpochDocs     atomic.Int64
+	lastEpochMillis   atomic.Int64
+	facetTerms        atomic.Int64
+	persistedDocs     atomic.Int64
+	persistedSegments atomic.Int64
+}
+
+// New validates the configuration and returns an idle ingester. Call
+// Bootstrap to seed and publish the first epoch, then Start to launch the
+// intake workers and the epoch scheduler.
+func New(cfg Config) (*Ingester, error) {
+	if len(cfg.Extractors) == 0 {
+		return nil, fmt.Errorf("ingest: no extractors configured")
+	}
+	if len(cfg.Resources) == 0 {
+		return nil, fmt.Errorf("ingest: no resources configured")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.EpochDocs <= 0 {
+		cfg.EpochDocs = 64
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	corpus := textdb.NewCorpus()
+	ing := &Ingester{
+		cfg:      cfg,
+		cache:    newLRUCache(cfg.CacheSize),
+		queue:    make(chan *textdb.Document, cfg.QueueSize),
+		corpus:   corpus,
+		dfD:      textdb.NewDFTable(corpus.Dict()),
+		dfC:      textdb.NewDFTable(corpus.Dict()),
+		ctxTerms: map[textdb.TermID]bool{},
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		ing.persistedDocs.Store(int64(cfg.Store.Docs()))
+		ing.persistedSegments.Store(int64(cfg.Store.Segments()))
+	}
+	return ing, nil
+}
+
+// analysis is the lock-free part of processing one document.
+type analysis struct {
+	important []string
+	ctx       []string
+	votes     map[string]int
+}
+
+// analyze runs Fig. 1 (important-term identification, the union of all
+// extractors, first-extractor-first) and Fig. 2 (context expansion
+// through the LRU cache) for one document. No locks are held; this is the
+// CPU-bound work the worker pool shards.
+func (ing *Ingester) analyze(doc *textdb.Document) analysis {
+	text := doc.Title + ". " + doc.Text
+	seen := map[string]bool{}
+	var terms []string
+	for _, ex := range ing.cfg.Extractors {
+		for _, t := range ex.Extract(text) {
+			if t == "" || seen[t] {
+				continue
+			}
+			seen[t] = true
+			terms = append(terms, t)
+		}
+	}
+	if max := ing.cfg.MaxImportantPerDoc; max > 0 && len(terms) > max {
+		terms = terms[:max]
+	}
+	a := analysis{important: terms, votes: map[string]int{}}
+	seenCtx := map[string]bool{}
+	for _, t := range terms {
+		seenTerm := map[string]bool{}
+		for _, r := range ing.cfg.Resources {
+			for _, c := range ing.cache.Lookup(r, t) {
+				if c == "" {
+					continue
+				}
+				if !seenTerm[c] { // one vote per (important term, context term)
+					seenTerm[c] = true
+					a.votes[c]++
+				}
+				if !seenCtx[c] {
+					seenCtx[c] = true
+					a.ctx = append(a.ctx, c)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// admit merges one analyzed document into the incremental pipeline state:
+// the corpus, the Fig. 1/2 result rows, and the DF delta tables for D and
+// C(D). persist marks the document for durable Append at the next epoch
+// (false for documents replayed from the store at warm-start).
+func (ing *Ingester) admit(doc *textdb.Document, a analysis, persist bool) {
+	ing.mu.Lock()
+	id := ing.corpus.Add(doc)
+	orig := ing.corpus.DocTerms(id)
+	ing.dfD.AddDoc(orig)
+	scratch := make(map[textdb.TermID]bool, len(orig)+len(a.ctx))
+	merged := make([]textdb.TermID, 0, len(orig)+len(a.ctx))
+	for _, tid := range orig {
+		scratch[tid] = true
+		merged = append(merged, tid)
+	}
+	dict := ing.corpus.Dict()
+	for _, c := range a.ctx {
+		tid := dict.Intern(c)
+		if !scratch[tid] {
+			scratch[tid] = true
+			merged = append(merged, tid)
+			ing.ctxTerms[tid] = true
+		}
+	}
+	ing.dfC.AddDoc(merged)
+	ing.important = append(ing.important, a.important)
+	ing.votes = append(ing.votes, a.votes)
+	if persist && ing.cfg.Store != nil {
+		ing.pending = append(ing.pending, doc)
+	}
+	ing.unpublished++
+	due := ing.unpublished >= ing.cfg.EpochDocs
+	ing.mu.Unlock()
+
+	ing.docsIngested.Add(1)
+	if due {
+		select {
+		case ing.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Bootstrap seeds the ingester with an initial document set — sharding
+// the Fig. 1/2 analysis across the worker count — and synchronously runs
+// the first epoch so Current returns a complete interface before any
+// traffic is served. With persist set (and a Store configured) the
+// documents are durably appended as the first segment; pass persist=false
+// when replaying documents already loaded from the store. Bootstrap must
+// be called before Start.
+func (ing *Ingester) Bootstrap(docs []*textdb.Document, persist bool) error {
+	if ing.started {
+		return fmt.Errorf("ingest: bootstrap after start")
+	}
+	analyses := make([]analysis, len(docs))
+	if len(docs) > 0 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < ing.cfg.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(docs) {
+						return
+					}
+					analyses[i] = ing.analyze(docs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Sequential admission keeps document IDs aligned with input order
+	// (and with segment order on the warm-start path).
+	for i, doc := range docs {
+		ing.admit(doc, analyses[i], persist)
+	}
+	return ing.runEpoch()
+}
+
+// SetOnPublish installs the publication hook after construction — the
+// usual wiring order builds the Ingester (and bootstraps it) before the
+// HTTP server that consumes its swaps exists. It must be called before
+// Start; the hook then fires on every subsequent epoch.
+func (ing *Ingester) SetOnPublish(fn func(*browse.Interface)) {
+	ing.cfg.OnPublish = fn
+}
+
+// Start launches the intake worker pool and the epoch scheduler.
+func (ing *Ingester) Start() {
+	if ing.started {
+		return
+	}
+	ing.started = true
+	for w := 0; w < ing.cfg.Workers; w++ {
+		ing.wg.Add(1)
+		go func() {
+			defer ing.wg.Done()
+			for doc := range ing.queue {
+				ing.admit(doc, ing.analyze(doc), true)
+			}
+		}()
+	}
+	ing.schedWG.Add(1)
+	go ing.schedule()
+}
+
+func (ing *Ingester) schedule() {
+	defer ing.schedWG.Done()
+	var tick <-chan time.Time
+	if ing.cfg.MaxStaleness > 0 {
+		t := time.NewTicker(ing.cfg.MaxStaleness)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ing.stop:
+			return
+		case <-ing.kick:
+		case <-tick:
+		}
+		ing.mu.Lock()
+		due := ing.unpublished
+		ing.mu.Unlock()
+		if due == 0 {
+			continue
+		}
+		if err := ing.runEpoch(); err != nil && ing.cfg.Logf != nil {
+			ing.cfg.Logf("ingest: epoch rebuild failed: %v", err)
+		}
+	}
+}
+
+// Submit enqueues one document without blocking; it fails fast with
+// ErrQueueFull when the bounded intake queue is saturated (backpressure)
+// and ErrClosed after Close.
+func (ing *Ingester) Submit(doc *textdb.Document) error {
+	ing.submitMu.RLock()
+	defer ing.submitMu.RUnlock()
+	if ing.closed {
+		return ErrClosed
+	}
+	select {
+	case ing.queue <- doc:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// SubmitWait enqueues one document, blocking while the queue is full
+// until space frees up or ctx is done — the natural backpressure mode for
+// an HTTP intake handler.
+func (ing *Ingester) SubmitWait(ctx context.Context, doc *textdb.Document) error {
+	ing.submitMu.RLock()
+	defer ing.submitMu.RUnlock()
+	if ing.closed {
+		return ErrClosed
+	}
+	select {
+	case ing.queue <- doc:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Current returns the most recently published browsing interface. The
+// pointer swap is atomic: every caller sees a complete epoch.
+func (ing *Ingester) Current() *browse.Interface {
+	return ing.current.Load()
+}
+
+// FacetTerms returns the facet terms selected by the served epoch, most
+// significant first (the Step-3 ranking before hierarchy assembly, which
+// may prune terms with too little document support).
+func (ing *Ingester) FacetTerms() []string {
+	if p := ing.publishedTerms.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close gracefully drains the subsystem: it stops accepting documents,
+// waits for the workers to finish every queued document, stops the
+// scheduler, and runs one final epoch so all accepted intake is both
+// published and durably persisted before exit. If ctx expires mid-drain
+// the final rebuild is skipped, but pending documents are still persisted
+// so no accepted intake is lost.
+func (ing *Ingester) Close(ctx context.Context) error {
+	ing.submitMu.Lock()
+	if ing.closed {
+		ing.submitMu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	if ing.started {
+		close(ing.queue)
+	}
+	ing.submitMu.Unlock()
+
+	ing.wg.Wait() // drain queued documents
+	close(ing.stop)
+	ing.schedWG.Wait()
+
+	ing.mu.Lock()
+	due := ing.unpublished > 0 || len(ing.pending) > 0
+	ing.mu.Unlock()
+	if !due {
+		return nil
+	}
+	if ctx.Err() != nil {
+		return ing.persistPending()
+	}
+	return ing.runEpoch()
+}

@@ -11,22 +11,29 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/browse"
+	"repro/internal/ingest"
 	"repro/internal/textdb"
 )
 
-// Server handles HTTP requests over a built browsing interface.
+// Server handles HTTP requests over a built browsing interface. The
+// interface is held behind an atomic pointer so a live-ingestion epoch
+// can republish it mid-flight: every request loads the pointer exactly
+// once and serves that complete, immutable epoch — concurrent swaps can
+// never produce a torn read mixing counts from two hierarchies.
 type Server struct {
-	iface *browse.Interface
+	iface atomic.Pointer[browse.Interface]
 	mux   *http.ServeMux
 	title string
 }
 
-// New builds the server.
+// New builds the server over an initial interface.
 func New(iface *browse.Interface, title string) *Server {
-	s := &Server{iface: iface, title: title}
+	s := &Server{title: title}
+	s.iface.Store(iface)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/facets", s.handleFacets)
 	mux.HandleFunc("GET /api/docs", s.handleDocs)
@@ -35,6 +42,30 @@ func New(iface *browse.Interface, title string) *Server {
 	mux.HandleFunc("GET /", s.handleIndex)
 	s.mux = mux
 	return s
+}
+
+// Publish atomically swaps the served browsing interface; in-flight
+// requests finish on the epoch they started with. It is the OnPublish
+// hook a live Ingester calls after every rebuild.
+func (s *Server) Publish(iface *browse.Interface) {
+	s.iface.Store(iface)
+}
+
+// current returns the interface snapshot a request should serve.
+func (s *Server) current() *browse.Interface {
+	return s.iface.Load()
+}
+
+// EnableIngest registers the live-ingestion endpoints: POST /api/ingest
+// (accept documents) and GET /api/ingest/stats (subsystem health). It
+// must be called before the server starts handling traffic.
+func (s *Server) EnableIngest(ing *ingest.Ingester) {
+	s.mux.HandleFunc("POST /api/ingest", func(w http.ResponseWriter, r *http.Request) {
+		s.handleIngest(w, r, ing)
+	})
+	s.mux.HandleFunc("GET /api/ingest/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ing.Stats())
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -85,8 +116,36 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// ErrorResponse is the JSON body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ErrorResponse{Error: err.Error()})
+}
+
 func badRequest(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), http.StatusBadRequest)
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// parseLimit validates an optional positive bounded integer query
+// parameter; strconv.Atoi alone would admit negative, zero, and
+// overflowing values that misbehave downstream.
+func parseLimit(r *http.Request, def, max int) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def, nil
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit < 1 || limit > max {
+		return 0, fmt.Errorf("bad limit %q (want 1..%d)", raw, max)
+	}
+	return limit, nil
 }
 
 // FacetsResponse is the /api/facets payload.
@@ -102,11 +161,12 @@ func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	iface := s.current()
 	parent := r.URL.Query().Get("parent")
 	writeJSON(w, FacetsResponse{
 		Parent: parent,
-		Total:  s.iface.MatchCount(sel),
-		Facets: s.iface.Children(parent, sel),
+		Total:  iface.MatchCount(sel),
+		Facets: iface.Children(parent, sel),
 	})
 }
 
@@ -131,21 +191,19 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	limit := 20
-	if raw := r.URL.Query().Get("limit"); raw != "" {
-		limit, err = strconv.Atoi(raw)
-		if err != nil || limit < 1 || limit > 500 {
-			badRequest(w, fmt.Errorf("bad limit %q", raw))
-			return
-		}
+	limit, err := parseLimit(r, 20, 500)
+	if err != nil {
+		badRequest(w, err)
+		return
 	}
-	ids := s.iface.Docs(sel)
+	iface := s.current()
+	ids := iface.Docs(sel)
 	resp := DocsResponse{Total: len(ids)}
 	for i, id := range ids {
 		if i >= limit {
 			break
 		}
-		doc := s.iface.Corpus().Doc(id)
+		doc := iface.Corpus().Doc(id)
 		resp.Docs = append(resp.Docs, DocSummary{
 			ID:      int(id),
 			Title:   doc.Title,
@@ -173,7 +231,7 @@ func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
 	if gran == "" {
 		gran = "day"
 	}
-	hist, err := s.iface.DateHistogram(sel, gran)
+	hist, err := s.current().DateHistogram(sel, gran)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -196,7 +254,7 @@ func (s *Server) handleCross(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, fmt.Errorf("need a and b facet parameters"))
 		return
 	}
-	ct, err := s.iface.Cross(a, b, sel)
+	ct, err := s.current().Cross(a, b, sel)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -263,11 +321,12 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	iface := s.current()
 	data := indexData{
 		Title:    s.title,
 		Query:    sel.Query,
 		TermsRaw: strings.Join(sel.Terms, ","),
-		Total:    s.iface.MatchCount(sel),
+		Total:    iface.MatchCount(sel),
 	}
 	urlFor := func(terms []string) string {
 		q := "/?terms=" + strings.Join(terms, ",")
@@ -282,7 +341,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	// Facet links: roots plus children of selected terms.
 	appendFacets := func(parent string) {
-		for _, fc := range s.iface.Children(parent, sel) {
+		for _, fc := range iface.Children(parent, sel) {
 			data.Facets = append(data.Facets, indexFacet{
 				Name:  fc.Term,
 				Count: fc.Count,
@@ -297,11 +356,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if len(data.Facets) > 40 {
 		data.Facets = data.Facets[:40]
 	}
-	for i, id := range s.iface.Docs(sel) {
+	for i, id := range iface.Docs(sel) {
 		if i >= 15 {
 			break
 		}
-		doc := s.iface.Corpus().Doc(id)
+		doc := iface.Corpus().Doc(id)
 		data.Docs = append(data.Docs, DocSummary{
 			ID: int(id), Title: doc.Title, Source: doc.Source,
 			Date:    doc.Date.Format("2006-01-02"),
@@ -310,4 +369,66 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_ = indexTemplate.Execute(w, data)
+}
+
+// IngestDoc is one document in the POST /api/ingest payload. Date
+// accepts RFC 3339 or YYYY-MM-DD and defaults to the server's current
+// time when empty.
+type IngestDoc struct {
+	Title  string `json:"title"`
+	Source string `json:"source"`
+	Date   string `json:"date"`
+	Text   string `json:"text"`
+}
+
+// IngestRequest is the POST /api/ingest payload.
+type IngestRequest struct {
+	Documents []IngestDoc `json:"documents"`
+}
+
+// IngestResponse is the POST /api/ingest reply.
+type IngestResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+const maxIngestBody = 64 << 20 // bytes; one request cannot exhaust memory
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ing *ingest.Ingester) {
+	var req IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		badRequest(w, fmt.Errorf("bad ingest payload: %w", err))
+		return
+	}
+	if len(req.Documents) == 0 {
+		badRequest(w, fmt.Errorf("no documents in payload"))
+		return
+	}
+	docs := make([]*textdb.Document, len(req.Documents))
+	for i, d := range req.Documents {
+		if strings.TrimSpace(d.Text) == "" {
+			badRequest(w, fmt.Errorf("document %d has empty text", i))
+			return
+		}
+		date := time.Now().UTC()
+		if d.Date != "" {
+			var err error
+			if date, err = time.Parse(time.RFC3339, d.Date); err != nil {
+				if date, err = time.Parse("2006-01-02", d.Date); err != nil {
+					badRequest(w, fmt.Errorf("document %d: bad date %q (want RFC3339 or YYYY-MM-DD)", i, d.Date))
+					return
+				}
+			}
+		}
+		docs[i] = &textdb.Document{Title: d.Title, Source: d.Source, Date: date, Text: d.Text}
+	}
+	// SubmitWait blocks on a saturated queue (backpressure) until the
+	// client gives up or the server drains.
+	for i, doc := range docs {
+		if err := ing.SubmitWait(r.Context(), doc); err != nil {
+			status := http.StatusServiceUnavailable
+			writeError(w, status, fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err))
+			return
+		}
+	}
+	writeJSON(w, IngestResponse{Accepted: len(docs)})
 }

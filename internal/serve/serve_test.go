@@ -158,3 +158,66 @@ func TestBadDateRejected(t *testing.T) {
 		t.Fatal("bad date accepted")
 	}
 }
+
+// TestErrorResponsesAreJSON: every 4xx carries a machine-readable JSON
+// body, and limit validation rejects negative, zero, huge, and
+// overflowing values.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/api/docs?limit=-5",
+		"/api/docs?limit=0",
+		"/api/docs?limit=billion",
+		"/api/docs?limit=501",
+		"/api/docs?limit=99999999999999999999", // overflows int64
+		"/api/docs?from=notadate",
+		"/api/dates?granularity=decade",
+		"/api/cross?a=europe",
+	} {
+		rec := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+			continue
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content-type %q", path, ct)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", path, rec.Body.String())
+		}
+	}
+	// A valid limit still works.
+	if rec := get(t, s, "/api/docs?limit=2"); rec.Code != http.StatusOK {
+		t.Fatalf("valid limit rejected: %d", rec.Code)
+	}
+}
+
+// TestPublishSwapsInterface: Publish atomically replaces what the
+// handlers serve.
+func TestPublishSwapsInterface(t *testing.T) {
+	s := testServer(t)
+	var before FacetsResponse
+	json.Unmarshal(get(t, s, "/api/facets").Body.Bytes(), &before)
+	if before.Total != 4 {
+		t.Fatalf("before swap: %d docs", before.Total)
+	}
+
+	corpus := textdb.NewCorpus()
+	corpus.Add(&textdb.Document{Title: "solo", Source: "wire", Text: "one lonely document", Date: time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)})
+	forest, err := hierarchy.BuildSubsumption([]string{"misc"}, [][]string{{"misc"}}, hierarchy.SubsumptionConfig{MinDF: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := browse.Build(corpus, forest, [][]string{{"misc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Publish(iface)
+
+	var after FacetsResponse
+	json.Unmarshal(get(t, s, "/api/facets").Body.Bytes(), &after)
+	if after.Total != 1 {
+		t.Fatalf("after swap: %d docs, want 1", after.Total)
+	}
+}

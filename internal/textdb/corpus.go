@@ -83,6 +83,25 @@ func (c *Corpus) DocTerms(id DocID) []TermID {
 	return ids
 }
 
+// Snapshot returns an immutable copy-on-write view of the corpus: a new
+// Corpus sharing the dictionary, document pointers, and cached term sets.
+// Later Adds to the original do not affect the snapshot, and documents
+// are never mutated after Add, so a snapshot is safe for concurrent
+// readers while the original keeps growing — the property the live
+// ingestion subsystem relies on to serve one epoch while building the
+// next. All lazily-built term sets are materialized first so snapshot
+// readers never write the shared cache.
+func (c *Corpus) Snapshot() *Corpus {
+	for i := range c.docs {
+		c.DocTerms(DocID(i))
+	}
+	return &Corpus{
+		docs:     append([]*Document(nil), c.docs...),
+		dict:     c.dict,
+		docTerms: append([][]TermID(nil), c.docTerms...),
+	}
+}
+
 // Validate checks internal consistency; it is used by tests and by the
 // corpus generator's self-checks.
 func (c *Corpus) Validate() error {

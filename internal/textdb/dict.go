@@ -7,7 +7,10 @@
 // the web-search simulator.
 package textdb
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // TermID is a dense identifier for an interned term.
 type TermID int32
@@ -17,7 +20,15 @@ const NoTerm TermID = -1
 
 // Dictionary interns term strings to dense IDs. The zero value is not
 // usable; call NewDictionary.
+//
+// A Dictionary is safe for concurrent use. The live-ingestion subsystem
+// shares one dictionary between the mutating intake corpus and the
+// immutable corpus snapshots served behind the HTTP API, so query-time
+// lookups (keyword search resolving terms) race against intake-time
+// interning; the RWMutex keeps both sides coherent at negligible cost on
+// the batch path.
 type Dictionary struct {
+	mu     sync.RWMutex
 	byTerm map[string]TermID
 	terms  []string
 }
@@ -29,10 +40,18 @@ func NewDictionary() *Dictionary {
 
 // Intern returns the ID for the term, assigning a new one if needed.
 func (d *Dictionary) Intern(term string) TermID {
+	d.mu.RLock()
+	id, ok := d.byTerm[term]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byTerm[term]; ok {
 		return id
 	}
-	id := TermID(len(d.terms))
+	id = TermID(len(d.terms))
 	d.terms = append(d.terms, term)
 	d.byTerm[term] = id
 	return id
@@ -40,6 +59,8 @@ func (d *Dictionary) Intern(term string) TermID {
 
 // Lookup returns the ID for the term, or NoTerm if it was never interned.
 func (d *Dictionary) Lookup(term string) TermID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id, ok := d.byTerm[term]; ok {
 		return id
 	}
@@ -47,14 +68,24 @@ func (d *Dictionary) Lookup(term string) TermID {
 }
 
 // String returns the term text for an ID. It panics on an invalid ID.
-func (d *Dictionary) String(id TermID) string { return d.terms[id] }
+func (d *Dictionary) String(id TermID) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.terms[id]
+}
 
 // Len returns the number of interned terms.
-func (d *Dictionary) Len() int { return len(d.terms) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // SortedIDs returns all term IDs ordered by term text; used where
 // deterministic iteration over a dictionary is required.
 func (d *Dictionary) SortedIDs() []TermID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	ids := make([]TermID, len(d.terms))
 	for i := range ids {
 		ids[i] = TermID(i)

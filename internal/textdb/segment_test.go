@@ -3,6 +3,7 @@ package textdb
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -124,6 +125,146 @@ func TestStoreBadManifest(t *testing.T) {
 	}
 	if _, err := OpenStore(dir); err == nil {
 		t.Fatal("bad manifest accepted")
+	}
+}
+
+// TestStoreManifestReferencesMissingSegment is the inverse crash shape of
+// TestStoreOrphanSegments: the manifest registers a segment whose file is
+// gone (disk corruption or manual deletion — never a crashed Append,
+// which orders file-then-manifest). The store must fail loudly at load,
+// not silently serve a truncated collection.
+func TestStoreManifestReferencesMissingSegment(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	if err := s.Append(testDocs(2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testDocs(3, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, s.SegmentFiles()[0])); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir) // opening only reads the manifest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Docs() != 5 {
+		t.Fatalf("manifest docs = %d, want 5", s2.Docs())
+	}
+	if _, err := s2.LoadAll(); err == nil {
+		t.Fatal("missing segment file not detected")
+	}
+}
+
+// TestStoreManifestOverstatesDocCount: a manifest that promises more
+// records than the segment holds (torn segment write that somehow passed
+// the rename) must fail the load rather than under-read silently.
+func TestStoreManifestOverstatesDocCount(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	if err := s.Append(testDocs(2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, manifestName)
+	data, _ := os.ReadFile(manifest)
+	bad := strings.Replace(string(data), " 2", " 3", 1)
+	if err := os.WriteFile(manifest, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.LoadAll(); err == nil {
+		t.Fatal("overstated doc count not detected")
+	}
+}
+
+// TestStoreCompactCrashLeavesRecoverableState simulates a crash between
+// Compact's manifest swap and its old-file cleanup: the merged segment is
+// live, the stale files are orphans, and a restart loads the full
+// collection then reclaims the orphans.
+func TestStoreCompactCrashLeavesRecoverableState(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(testDocs(2, "seg")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := s.SegmentFiles()
+	// Preserve copies of the pre-compact segment files, then compact and
+	// restore them — the on-disk state of a crash after the manifest swap
+	// but before cleanup.
+	saved := map[string][]byte{}
+	for _, name := range old {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved[name] = data
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range saved {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s2.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("recovered %d docs, want 6", c.Len())
+	}
+	orphans, err := s2.OrphanSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orphans) != len(old) {
+		t.Fatalf("orphans = %v, want the %d stale segments", orphans, len(old))
+	}
+	for _, name := range orphans {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	orphans, _ = s2.OrphanSegments()
+	if len(orphans) != 0 {
+		t.Fatalf("orphans remain after reclaim: %v", orphans)
+	}
+	if c2, err := s2.LoadAll(); err != nil || c2.Len() != 6 {
+		t.Fatalf("post-reclaim load: %d docs, err %v", c2.Len(), err)
+	}
+}
+
+// TestStoreAppendAfterCrashOverwritesOrphan: a crashed Append leaves an
+// unregistered segment file under the name the next Append will choose;
+// the rewrite must supersede it cleanly.
+func TestStoreAppendAfterCrashOverwritesOrphan(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenStore(dir)
+	// Crash artifact: an orphan under the first segment name.
+	if err := os.WriteFile(filepath.Join(dir, "segment-000000.seg"), []byte("torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testDocs(2, "fresh")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Doc(0).Title != "fresh title" {
+		t.Fatalf("orphan not superseded: %d docs", c.Len())
 	}
 }
 

@@ -1,0 +1,143 @@
+package textdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func snapDoc(i int) *Document {
+	return &Document{
+		Title:  fmt.Sprintf("title %d", i),
+		Source: "wire",
+		Date:   time.Date(2006, 8, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, i),
+		Text:   fmt.Sprintf("body text number %d with shared words", i),
+	}
+}
+
+// TestCorpusSnapshotIsolation: a snapshot is frozen at its length while
+// the original keeps growing, and both share the dictionary.
+func TestCorpusSnapshotIsolation(t *testing.T) {
+	c := NewCorpus()
+	c.Add(snapDoc(0))
+	c.Add(snapDoc(1))
+	snap := c.Snapshot()
+	c.Add(snapDoc(2))
+
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot grew: %d docs", snap.Len())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("original = %d docs", c.Len())
+	}
+	if snap.Dict() != c.Dict() {
+		t.Fatal("snapshot does not share the dictionary")
+	}
+	if snap.Doc(1) != c.Doc(1) {
+		t.Fatal("snapshot copied documents instead of sharing them")
+	}
+	// Term sets were materialized at snapshot time.
+	if len(snap.DocTerms(0)) == 0 || len(snap.DocTerms(1)) == 0 {
+		t.Fatal("snapshot term sets empty")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorpusSnapshotConcurrentReads: readers over a snapshot race against
+// writers growing the original — the exact serve-while-ingest shape. Run
+// under -race this guards the copy-on-write contract.
+func TestCorpusSnapshotConcurrentReads(t *testing.T) {
+	c := NewCorpus()
+	for i := 0; i < 50; i++ {
+		c.Add(snapDoc(i))
+	}
+	snap := c.Snapshot()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // writer keeps growing the original
+		defer wg.Done()
+		for i := 50; i < 200; i++ {
+			c.Add(snapDoc(i))
+			c.DocTerms(DocID(i))
+		}
+	}()
+	go func() { // reader works the frozen snapshot
+		defer wg.Done()
+		for pass := 0; pass < 20; pass++ {
+			for i := 0; i < snap.Len(); i++ {
+				if len(snap.DocTerms(DocID(i))) == 0 {
+					t.Error("empty term set in snapshot")
+					return
+				}
+				_ = snap.Dict().String(snap.DocTerms(DocID(i))[0])
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestDFTableClone(t *testing.T) {
+	c := NewCorpus()
+	c.Add(snapDoc(0))
+	c.Add(snapDoc(1))
+	tbl := NewDFTable(c.Dict())
+	tbl.AddDoc(c.DocTerms(0))
+	clone := tbl.Clone()
+	tbl.AddDoc(c.DocTerms(1))
+
+	if clone.NumDocs() != 1 || tbl.NumDocs() != 2 {
+		t.Fatalf("clone docs=%d original docs=%d, want 1/2", clone.NumDocs(), tbl.NumDocs())
+	}
+	shared := c.Dict().Lookup("shared words")
+	if shared == NoTerm {
+		t.Fatal("fixture term missing")
+	}
+	if clone.DF(shared) != 1 || tbl.DF(shared) != 2 {
+		t.Fatalf("clone df=%d original df=%d, want 1/2", clone.DF(shared), tbl.DF(shared))
+	}
+	if clone.Dict() != tbl.Dict() {
+		t.Fatal("clone does not share the dictionary")
+	}
+}
+
+// TestDictionaryConcurrent interns overlapping term sets from many
+// goroutines while readers resolve them; under -race this verifies the
+// dictionary's locking, and functionally that every term keeps exactly
+// one stable ID.
+func TestDictionaryConcurrent(t *testing.T) {
+	d := NewDictionary()
+	const goroutines = 8
+	const terms = 300
+	ids := make([][]TermID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]TermID, terms)
+			for i := 0; i < terms; i++ {
+				ids[g][i] = d.Intern(fmt.Sprintf("term-%d", i))
+				if got := d.String(ids[g][i]); got != fmt.Sprintf("term-%d", i) {
+					t.Errorf("String(%d) = %q", ids[g][i], got)
+					return
+				}
+				_ = d.Lookup("term-0")
+				_ = d.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < terms; i++ {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("term-%d interned as both %d and %d", i, ids[0][i], ids[g][i])
+			}
+		}
+	}
+	if d.Len() != terms {
+		t.Fatalf("dictionary holds %d terms, want %d", d.Len(), terms)
+	}
+}

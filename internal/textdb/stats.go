@@ -35,6 +35,13 @@ func (t *DFTable) ensure(id TermID) {
 	}
 }
 
+// Clone returns an independent copy of the table (sharing the
+// dictionary). The live ingestion subsystem clones its incrementally
+// maintained tables under lock and scores candidates off-lock.
+func (t *DFTable) Clone() *DFTable {
+	return &DFTable{dict: t.dict, df: append([]int32(nil), t.df...), docs: t.docs}
+}
+
 // DF returns the document frequency of a term (0 for never-seen terms).
 func (t *DFTable) DF(id TermID) int {
 	if int(id) >= len(t.df) || id < 0 {
