@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|hierarchy]
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy]
 //	            [-full] [-seed N] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
@@ -21,13 +21,15 @@ import (
 	"strings"
 	"time"
 
+	facet "repro"
 	"repro/internal/eval"
 	"repro/internal/newsgen"
+	"repro/internal/obsv"
 )
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, hierarchy)")
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	out := flag.String("out", "", "also write output to this file")
@@ -210,6 +212,12 @@ func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) er
 		}
 		fmt.Fprintln(w, res.Format())
 	}
+	if want("stagereport") {
+		section("Stage report — runtime per-stage timing (StageReport)")
+		if err := stageReport(w, seed); err != nil {
+			return err
+		}
+	}
 	if want("hierarchy") {
 		dr, err := runFor("SNYT")
 		if err != nil {
@@ -223,5 +231,43 @@ func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) er
 		fmt.Fprintln(w, res.Format())
 	}
 	fmt.Fprintf(w, "\nTotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// stageReport runs the public facade end to end with latency charging on
+// and prints Result.StageReport() — the same per-stage numbers any
+// library user gets — next to the virtual network time the environment
+// accumulated, the runtime complement to the Section V-D cost model.
+func stageReport(w io.Writer, seed uint64) error {
+	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: seed, ChargeLatency: true})
+	if err != nil {
+		return err
+	}
+	docs, err := env.GenerateNewsCorpus("SNYT", 300, seed+1)
+	if err != nil {
+		return err
+	}
+	sys, err := facet.NewSystem(env, facet.Options{TopK: 100})
+	if err != nil {
+		return err
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		return err
+	}
+	if _, err := res.BuildHierarchy(); err != nil {
+		return err
+	}
+	samples := make([]obsv.StageSample, 0, 4)
+	for _, st := range res.StageReport() {
+		samples = append(samples, obsv.StageSample{Stage: st.Stage, Calls: st.Calls, Total: st.Total})
+	}
+	fmt.Fprint(w, obsv.FormatReport(samples))
+	fmt.Fprintf(w, "\nvirtual network time charged by the simulated services: %v\n",
+		env.VirtualNetworkTime().Round(time.Microsecond))
+	fmt.Fprintln(w, "(wall-clock stage totals above exclude virtual latency — the clock is charged, not slept)")
 	return nil
 }

@@ -1,7 +1,15 @@
 // Command facetserve builds a faceted browsing interface over a news
 // archive and serves it over HTTP: a server-rendered front end at /, a
-// JSON API under /api/ (facets, docs, dates, cross), and — with -live —
-// streaming document intake with incremental facet rebuilds.
+// versioned JSON API under /api/v1/ (facets, docs, dates, cross,
+// metrics; the unversioned /api/ paths remain as deprecated aliases),
+// and — with -live — streaming document intake with incremental facet
+// rebuilds.
+//
+// Observability: GET /api/v1/metrics returns a JSON snapshot of every
+// counter, gauge, and latency histogram (per-route HTTP metrics, ingest
+// queue/epoch state, segment-store timing); -pprof additionally mounts
+// the runtime profiler under /debug/pprof/; -access-log writes one JSON
+// line per request to stderr.
 //
 // Batch mode (default) generates a corpus, extracts facets once, and
 // serves the frozen interface:
@@ -9,7 +17,7 @@
 //	facetserve [-addr :8080] [-docs 600] [-profile SNYT] [-seed 42]
 //
 // Live mode turns the server into a long-running ingestion service:
-// documents POSTed to /api/ingest stream through the extraction pipeline,
+// documents POSTed to /api/v1/ingest stream through the extraction pipeline,
 // the hierarchy is rebuilt every -epoch-docs documents (or -max-staleness
 // interval), and the browsing interface is swapped atomically with zero
 // downtime. With -store, accepted documents are durably persisted as
@@ -37,6 +45,7 @@ import (
 	facet "repro"
 	"repro/internal/browse"
 	"repro/internal/ingest"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/textdb"
 )
@@ -48,13 +57,23 @@ func main() {
 	profile := flag.String("profile", "SNYT", "dataset profile")
 	seed := flag.Uint64("seed", 42, "seed")
 	topK := flag.Int("topk", 120, "facet terms to extract")
-	live := flag.Bool("live", false, "enable streaming ingestion (POST /api/ingest) with incremental rebuilds")
+	live := flag.Bool("live", false, "enable streaming ingestion (POST /api/v1/ingest) with incremental rebuilds")
 	storeDir := flag.String("store", "", "segment store directory for durable intake (live mode; empty = in-memory only)")
 	epochDocs := flag.Int("epoch-docs", 200, "rebuild the hierarchy after this many new documents (live mode)")
 	maxStaleness := flag.Duration("max-staleness", 30*time.Second, "also rebuild when intake has waited this long (live mode; 0 disables)")
 	queueSize := flag.Int("queue", 1024, "bounded intake queue capacity (live mode)")
 	cacheSize := flag.Int("cache", 4096, "resource LRU cache entries (live mode)")
+	pprofOn := flag.Bool("pprof", false, "mount the runtime profiler under /debug/pprof/")
+	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 	flag.Parse()
+
+	// One registry spans every layer: HTTP routes, the ingester, and the
+	// segment store all surface through GET /api/v1/metrics.
+	metrics := obsv.NewRegistry()
+	serveOpts := []serve.Option{serve.WithMetrics(metrics)}
+	if *accessLog {
+		serveOpts = append(serveOpts, serve.WithAccessLog(os.Stderr))
+	}
 
 	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: *seed})
 	if err != nil {
@@ -70,6 +89,7 @@ func main() {
 		if store, err = textdb.OpenStore(*storeDir); err != nil {
 			log.Fatal(err)
 		}
+		store.SetMetrics(metrics)
 		if orphans, err := store.OrphanSegments(); err == nil && len(orphans) > 0 {
 			log.Printf("note: %d orphan segment(s) in %s from an interrupted append", len(orphans), *storeDir)
 		}
@@ -101,7 +121,7 @@ func main() {
 	}
 
 	if !*live {
-		serveBatch(sys, *addr, *profile, *topK)
+		serveBatch(sys, *addr, *profile, *topK, serveOpts, *pprofOn)
 		return
 	}
 
@@ -115,6 +135,7 @@ func main() {
 		CacheSize:    *cacheSize,
 		Store:        store,
 		Logf:         log.Printf,
+		Metrics:      metrics,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -129,8 +150,11 @@ func main() {
 	}
 
 	title := fmt.Sprintf("%s live archive — streaming ingestion enabled", *profile)
-	srv := serve.New(ing.Current(), title)
+	srv := serve.New(ing.Current(), title, serveOpts...)
 	srv.EnableIngest(ing)
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 	ing.SetOnPublish(srv.Publish) // every epoch swaps the served interface
 	ing.Start()
 
@@ -162,7 +186,7 @@ func main() {
 }
 
 // serveBatch is the original frozen-corpus mode.
-func serveBatch(sys *facet.System, addr, profile string, topK int) {
+func serveBatch(sys *facet.System, addr, profile string, topK int, opts []serve.Option, pprofOn bool) {
 	log.Printf("extracting facets from %d documents...", sys.Len())
 	res, err := sys.ExtractFacets()
 	if err != nil {
@@ -172,13 +196,20 @@ func serveBatch(sys *facet.System, addr, profile string, topK int) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, st := range res.StageReport() {
+		log.Printf("stage %-20s %3d call(s)  %v", st.Stage, st.Calls, st.Total.Round(time.Millisecond))
+	}
 	iface, err := browseInterface(res, h)
 	if err != nil {
 		log.Fatal(err)
 	}
 	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", profile, sys.Len(), len(res.Facets))
+	srv := serve.New(iface, title, opts...)
+	if pprofOn {
+		srv.EnablePprof()
+	}
 	log.Printf("serving %s on %s", title, addr)
-	log.Fatal(http.ListenAndServe(addr, serve.New(iface, title)))
+	log.Fatal(http.ListenAndServe(addr, srv))
 }
 
 // browseInterface reaches beneath the facade for the internal browse

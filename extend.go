@@ -58,8 +58,12 @@ const (
 )
 
 // BuildHierarchyWith is BuildHierarchy with an explicit construction
-// method.
+// method. Its wall-clock cost is recorded as the build_hierarchy stage
+// of Result.StageReport.
 func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) {
+	if r.stages != nil {
+		defer r.stages.Start("build_hierarchy")()
+	}
 	terms := r.Terms()
 	docTerms := r.assignDocTerms(terms)
 	switch method {

@@ -31,7 +31,9 @@
 package facet
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -40,6 +42,7 @@ import (
 	"repro/internal/hierarchy"
 	"repro/internal/ner"
 	"repro/internal/newsgen"
+	"repro/internal/obsv"
 	"repro/internal/ontology"
 	"repro/internal/remote"
 	"repro/internal/textdb"
@@ -79,6 +82,11 @@ type Environment struct {
 
 // NewSimulatedEnvironment synthesizes the full resource stack.
 func NewSimulatedEnvironment(cfg EnvConfig) (*Environment, error) {
+	// ontology.Build would silently misbehave on a negative or non-finite
+	// Scale (entity counts truncate toward zero); reject loudly here.
+	if cfg.Scale < 0 || math.IsNaN(cfg.Scale) || math.IsInf(cfg.Scale, 0) {
+		return nil, fmt.Errorf("facet: invalid Scale %v (want a finite value >= 0; 0 selects the default of 1)", cfg.Scale)
+	}
 	kb, err := ontology.Build(ontology.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	if err != nil {
 		return nil, err
@@ -288,10 +296,20 @@ type Result struct {
 	Facets []FacetTerm
 	sys    *System
 	inner  *core.Result
+	stages *obsv.StageTimer
 }
 
 // ExtractFacets runs the three pipeline steps over the indexed documents.
+// It is the context-free wrapper around ExtractFacetsContext.
 func (s *System) ExtractFacets() (*Result, error) {
+	return s.ExtractFacetsContext(context.Background())
+}
+
+// ExtractFacetsContext runs the three pipeline steps over the indexed
+// documents, honoring cancellation: ctx is checked between stages and
+// between documents within the extraction and expansion stages, so a
+// canceled call returns promptly with ctx's error.
+func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 	if s.corpus.Len() == 0 {
 		return nil, fmt.Errorf("facet: no documents added")
 	}
@@ -303,11 +321,14 @@ func (s *System) ExtractFacets() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, err := p.Run(s.corpus)
+	inner, err := p.RunContext(ctx, s.corpus)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{sys: s, inner: inner}
+	res := &Result{sys: s, inner: inner, stages: obsv.NewStageTimer()}
+	for _, st := range inner.Stages {
+		res.stages.Record(st.Stage, st.Total)
+	}
 	for _, f := range inner.Facets {
 		res.Facets = append(res.Facets, FacetTerm{
 			Term: f.Term, DF: f.DF, DFC: f.DFC,
@@ -315,6 +336,34 @@ func (s *System) ExtractFacets() (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// StageTiming is one pipeline stage's accumulated wall-clock cost.
+type StageTiming struct {
+	// Stage names the phase: identify_important, derive_context, analyze,
+	// and — after BuildHierarchy — build_hierarchy.
+	Stage string
+	// Calls is how many times the stage ran (hierarchy construction can
+	// run more than once with different methods).
+	Calls int64
+	// Total is the stage's accumulated wall-clock time.
+	Total time.Duration
+}
+
+// StageReport returns where this extraction's time went, stage by stage
+// in execution order — the library-level counterpart of the paper's
+// Section V-D efficiency analysis. Hierarchy construction is included
+// once BuildHierarchy (or BuildHierarchyWith) has run.
+func (r *Result) StageReport() []StageTiming {
+	if r.stages == nil {
+		return nil
+	}
+	samples := r.stages.Report()
+	out := make([]StageTiming, len(samples))
+	for i, s := range samples {
+		out[i] = StageTiming{Stage: s.Stage, Calls: s.Calls, Total: s.Total}
+	}
+	return out
 }
 
 // Terms returns the extracted facet terms in rank order.

@@ -20,12 +20,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/stats"
 	"repro/internal/textdb"
 )
@@ -54,6 +57,10 @@ type Config struct {
 	// MaxImportantPerDoc caps important terms per document (0 = no cap);
 	// extractors already bound their own output, so this is a safety net.
 	MaxImportantPerDoc int
+	// Metrics, when set, additionally records each stage's duration into
+	// the registry as core.stage.<name> histograms, so long-running
+	// servers see pipeline cost continuously, not just per run.
+	Metrics *obsv.Registry
 }
 
 // Pipeline is a configured facet-discovery run. It caches resource
@@ -136,31 +143,77 @@ type Result struct {
 	Resources []Resource
 	// NumDocs is the collection size |D|.
 	NumDocs int
+	// Stages reports each pipeline stage's wall-clock cost in execution
+	// order — the per-run counterpart of the Section V-D efficiency table.
+	Stages []obsv.StageSample
 }
 
 // Run executes the three steps over the corpus.
 func (p *Pipeline) Run(corpus *textdb.Corpus) (*Result, error) {
+	return p.RunContext(context.Background(), corpus)
+}
+
+// RunContext executes the three steps over the corpus, honoring
+// cancellation: ctx is checked between stages and between documents
+// inside the two expensive stages, so a canceled extraction stops within
+// one document's worth of work.
+func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Result, error) {
 	if corpus.Len() == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
-	important := IdentifyImportant(corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc)
-	context := DeriveContext(important, p.cfg.Resources, p.cache)
-	res := Analyze(corpus, context, p.cfg.TopK)
+	timer := obsv.NewStageTimer()
+	observe := func(stage string, d time.Duration) {
+		timer.Record(stage, d)
+		if p.cfg.Metrics != nil {
+			p.cfg.Metrics.Histogram("core.stage." + stage).Observe(d)
+		}
+	}
+
+	start := time.Now()
+	important, err := IdentifyImportantContext(ctx, corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc)
+	if err != nil {
+		return nil, err
+	}
+	observe("identify_important", time.Since(start))
+
+	start = time.Now()
+	contextTerms, err := DeriveContextContext(ctx, important, p.cfg.Resources, p.cache)
+	if err != nil {
+		return nil, err
+	}
+	observe("derive_context", time.Since(start))
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	res := Analyze(corpus, contextTerms, p.cfg.TopK)
+	observe("analyze", time.Since(start))
+
 	res.Important = important
-	res.Context = context
+	res.Context = contextTerms
 	res.Resources = p.cfg.Resources
+	res.Stages = timer.Report()
 	return res, nil
 }
 
 // IdentifyImportant is Step 1 (Figure 1): per document, the union of all
 // extractors' terms, first-extractor-first order preserved. maxPerDoc <= 0
 // means no cap.
+func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc int) [][]string {
+	out, _ := IdentifyImportantContext(context.Background(), corpus, extractors, maxPerDoc)
+	return out
+}
+
+// IdentifyImportantContext is IdentifyImportant with cancellation: every
+// worker checks ctx before each document and the first ctx error aborts
+// the run.
 //
 // Documents are sharded across GOMAXPROCS workers: extraction is
 // CPU-bound and per-document independent, and the built-in extractors are
 // read-only after construction. Output is deterministic — each worker
 // writes only its own documents' slots.
-func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc int) [][]string {
+func IdentifyImportantContext(ctx context.Context, corpus *textdb.Corpus, extractors []Extractor, maxPerDoc int) ([][]string, error) {
 	out := make([][]string, corpus.Len())
 	extractOne := func(i int) {
 		doc := corpus.Doc(textdb.DocID(i))
@@ -184,9 +237,12 @@ func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc 
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || corpus.Len() < 2*workers {
 		for i := 0; i < corpus.Len(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			extractOne(i)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	var next atomic.Int64
@@ -195,6 +251,9 @@ func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc 
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= corpus.Len() {
 					return
@@ -204,20 +263,34 @@ func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc 
 		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // DeriveContext is Step 2 (Figure 2): per document, the union of all
 // resources' context terms for each important term, deduplicated. A nil
 // cache allocates a private one.
 func DeriveContext(important [][]string, resources []Resource, cache *ResourceCache) [][]string {
+	out, _ := DeriveContextContext(context.Background(), important, resources, cache)
+	return out
+}
+
+// DeriveContextContext is DeriveContext with cancellation, checked
+// between documents — a canceled expansion stops after at most one
+// document's resource queries.
+func DeriveContextContext(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache) ([][]string, error) {
 	if cache == nil {
 		cache = NewResourceCache()
 	}
 	out := make([][]string, len(important))
 	for i, terms := range important {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		seen := map[string]bool{}
-		var ctx []string
+		var ctxTerms []string
 		for _, t := range terms {
 			for _, r := range resources {
 				for _, c := range cache.Lookup(r, t) {
@@ -225,13 +298,13 @@ func DeriveContext(important [][]string, resources []Resource, cache *ResourceCa
 						continue
 					}
 					seen[c] = true
-					ctx = append(ctx, c)
+					ctxTerms = append(ctxTerms, c)
 				}
 			}
 		}
-		out[i] = ctx
+		out[i] = ctxTerms
 	}
-	return out
+	return out, nil
 }
 
 // AnalyzeOptions selects variants of Step 3 for ablation studies. The

@@ -68,13 +68,18 @@ func (ing *Ingester) runEpoch() error {
 		return err
 	}
 
+	elapsed := time.Since(start)
 	ing.current.Store(iface)
 	ing.publishedTerms.Store(&terms)
 	ing.docsPublished.Store(int64(n))
 	ing.facetTerms.Store(int64(len(terms)))
 	ing.epochs.Add(1)
 	ing.lastEpochDocs.Store(int64(epochDocs))
-	ing.lastEpochMillis.Store(time.Since(start).Milliseconds())
+	ing.lastEpochMillis.Store(elapsed.Milliseconds())
+	if ing.cfg.Metrics != nil {
+		ing.cfg.Metrics.Histogram("ingest.epoch_duration").Observe(elapsed)
+		ing.cfg.Metrics.Counter("ingest.epoch_published_docs").Add(int64(epochDocs))
+	}
 	if ing.cfg.OnPublish != nil {
 		ing.cfg.OnPublish(iface)
 	}
@@ -141,19 +146,20 @@ func assignDocTerms(corpus *textdb.Corpus, important [][]string, votes []map[str
 // Stats is a point-in-time snapshot of the subsystem's health, exposed
 // over GET /api/ingest/stats.
 type Stats struct {
-	DocsIngested      int64   `json:"docs_ingested"`      // accepted into the pipeline (incl. bootstrap)
-	DocsPublished     int64   `json:"docs_published"`     // visible in the served interface
-	QueueDepth        int     `json:"queue_depth"`        // documents waiting in the intake queue
-	Epochs            int64   `json:"epochs"`             // completed rebuild epochs
-	LastEpochDocs     int64   `json:"last_epoch_docs"`    // documents newly published by the last epoch
-	LastEpochMillis   int64   `json:"last_epoch_millis"`  // wall-clock latency of the last epoch
-	FacetTerms        int64   `json:"facet_terms"`        // facet terms in the served hierarchy
-	CacheHits         int64   `json:"cache_hits"`         // resource-cache hits
-	CacheMisses       int64   `json:"cache_misses"`       // resource-cache misses
-	CacheHitRate      float64 `json:"cache_hit_rate"`     // hits / (hits + misses)
-	CacheEntries      int     `json:"cache_entries"`      // live LRU entries
-	PersistedDocs     int64   `json:"persisted_docs"`     // documents durable in the segment store
-	PersistedSegments int64   `json:"persisted_segments"` // segments in the store
+	DocsIngested        int64   `json:"docs_ingested"`           // accepted into the pipeline (incl. bootstrap)
+	DocsPublished       int64   `json:"docs_published"`          // visible in the served interface
+	QueueDepth          int     `json:"queue_depth"`             // documents waiting in the intake queue
+	Epochs              int64   `json:"epochs"`                  // completed rebuild epochs
+	LastEpochDocs       int64   `json:"last_epoch_docs"`         // documents newly published by the last epoch
+	LastEpochMillis     int64   `json:"last_epoch_millis"`       // wall-clock latency of the last epoch
+	LastEpochDocsPerSec float64 `json:"last_epoch_docs_per_sec"` // publication throughput of the last epoch
+	FacetTerms          int64   `json:"facet_terms"`             // facet terms in the served hierarchy
+	CacheHits           int64   `json:"cache_hits"`              // resource-cache hits
+	CacheMisses         int64   `json:"cache_misses"`            // resource-cache misses
+	CacheHitRate        float64 `json:"cache_hit_rate"`          // hits / (hits + misses)
+	CacheEntries        int     `json:"cache_entries"`           // live LRU entries
+	PersistedDocs       int64   `json:"persisted_docs"`          // documents durable in the segment store
+	PersistedSegments   int64   `json:"persisted_segments"`      // segments in the store
 }
 
 // Stats returns a consistent snapshot of the counters.
@@ -175,6 +181,9 @@ func (ing *Ingester) Stats() Stats {
 	}
 	if total := hits + misses; total > 0 {
 		s.CacheHitRate = float64(hits) / float64(total)
+	}
+	if s.LastEpochMillis > 0 {
+		s.LastEpochDocsPerSec = float64(s.LastEpochDocs) / (float64(s.LastEpochMillis) / 1000)
 	}
 	return s
 }

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/browse"
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/textdb"
 )
 
@@ -89,6 +90,12 @@ type Config struct {
 	// interface (after the internal swap); the HTTP server registers its
 	// own atomic swap here.
 	OnPublish func(*browse.Interface)
+
+	// Metrics, when set, receives the subsystem's gauges (queue depth,
+	// cache hit/miss, docs ingested/published) and epoch timing
+	// histograms. The HTTP server additionally registers the same gauges
+	// via RegisterMetrics when it enables ingestion.
+	Metrics *obsv.Registry
 
 	// Logf, when set, receives diagnostic messages (epoch failures).
 	Logf func(format string, args ...any)
@@ -175,7 +182,34 @@ func New(cfg Config) (*Ingester, error) {
 		ing.persistedDocs.Store(int64(cfg.Store.Docs()))
 		ing.persistedSegments.Store(int64(cfg.Store.Segments()))
 	}
+	if cfg.Metrics != nil {
+		ing.RegisterMetrics(cfg.Metrics)
+	}
 	return ing, nil
+}
+
+// RegisterMetrics exposes the subsystem's live state through reg as
+// ingest.* gauges. Registering the same ingester twice (or into two
+// registries) is harmless — gauges read the authoritative atomic
+// counters at snapshot time. When no registry was configured at
+// construction, reg also becomes the sink for epoch timing histograms;
+// like EnableIngest, this must happen before traffic starts.
+func (ing *Ingester) RegisterMetrics(reg *obsv.Registry) {
+	if ing.cfg.Metrics == nil {
+		ing.cfg.Metrics = reg
+	}
+	reg.GaugeFunc("ingest.queue_depth", func() int64 { return int64(len(ing.queue)) })
+	reg.GaugeFunc("ingest.docs_ingested", ing.docsIngested.Load)
+	reg.GaugeFunc("ingest.docs_published", ing.docsPublished.Load)
+	reg.GaugeFunc("ingest.epochs", ing.epochs.Load)
+	reg.GaugeFunc("ingest.last_epoch_docs", ing.lastEpochDocs.Load)
+	reg.GaugeFunc("ingest.last_epoch_millis", ing.lastEpochMillis.Load)
+	reg.GaugeFunc("ingest.facet_terms", ing.facetTerms.Load)
+	reg.GaugeFunc("ingest.cache_hits", func() int64 { h, _ := ing.cache.Counters(); return h })
+	reg.GaugeFunc("ingest.cache_misses", func() int64 { _, m := ing.cache.Counters(); return m })
+	reg.GaugeFunc("ingest.cache_entries", func() int64 { return int64(ing.cache.Len()) })
+	reg.GaugeFunc("ingest.persisted_docs", ing.persistedDocs.Load)
+	reg.GaugeFunc("ingest.persisted_segments", ing.persistedSegments.Load)
 }
 
 // analysis is the lock-free part of processing one document.
@@ -380,10 +414,10 @@ func (ing *Ingester) Submit(doc *textdb.Document) error {
 	}
 }
 
-// SubmitWait enqueues one document, blocking while the queue is full
+// SubmitContext enqueues one document, blocking while the queue is full
 // until space frees up or ctx is done — the natural backpressure mode for
-// an HTTP intake handler.
-func (ing *Ingester) SubmitWait(ctx context.Context, doc *textdb.Document) error {
+// an HTTP intake handler. Submit is the context-free fast-fail variant.
+func (ing *Ingester) SubmitContext(ctx context.Context, doc *textdb.Document) error {
 	ing.submitMu.RLock()
 	defer ing.submitMu.RUnlock()
 	if ing.closed {
@@ -395,6 +429,11 @@ func (ing *Ingester) SubmitWait(ctx context.Context, doc *textdb.Document) error
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// SubmitWait is a backward-compatible alias for SubmitContext.
+func (ing *Ingester) SubmitWait(ctx context.Context, doc *textdb.Document) error {
+	return ing.SubmitContext(ctx, doc)
 }
 
 // Current returns the most recently published browsing interface. The

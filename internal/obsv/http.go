@@ -1,0 +1,139 @@
+package obsv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers: per-route request counters,
+// status-class counters, latency histograms, and an optional structured
+// (JSON lines) access log. One HTTPMetrics wraps every route of a
+// server, all recording into one Registry under the names
+//
+//	http.requests.<route>        counter
+//	http.status.<route>.<class>  counter (class is "2xx".."5xx")
+//	http.latency.<route>         histogram
+type HTTPMetrics struct {
+	reg *Registry
+	log atomic.Pointer[AccessLog]
+}
+
+// NewHTTPMetrics returns middleware recording into reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{reg: reg}
+}
+
+// Registry returns the backing registry.
+func (m *HTTPMetrics) Registry() *Registry { return m.reg }
+
+// SetAccessLog starts writing one JSON line per request to w (nil
+// disables). Safe to call while traffic is being served.
+func (m *HTTPMetrics) SetAccessLog(w io.Writer) {
+	if w == nil {
+		m.log.Store(nil)
+		return
+	}
+	m.log.Store(&AccessLog{w: w})
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// Wrap instruments next under the given route name. The route is a
+// stable label ("facets", "docs", "ingest"), not the request path, so
+// versioned and legacy aliases of the same endpoint share one series.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	requests := m.reg.Counter("http.requests." + route)
+	latency := m.reg.Histogram("http.latency." + route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		requests.Inc()
+		m.reg.Counter("http.status." + route + "." + statusClass(sw.status)).Inc()
+		latency.Observe(elapsed)
+		if l := m.log.Load(); l != nil {
+			l.Record(r.Method, route, r.URL.Path, sw.status, sw.bytes, elapsed)
+		}
+	})
+}
+
+// AccessLog serializes request records as JSON lines. Writes are
+// serialized under a mutex so concurrent handlers never interleave
+// mid-line.
+type AccessLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// accessRecord is one structured access-log line.
+type accessRecord struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Route    string  `json:"route"`
+	Path     string  `json:"path"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	ElapsedM float64 `json:"elapsed_millis"`
+}
+
+// Record writes one line; marshal errors are swallowed (logging must
+// never fail a request).
+func (l *AccessLog) Record(method, route, path string, status int, bytes int64, elapsed time.Duration) {
+	line, err := json.Marshal(accessRecord{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Method:   method,
+		Route:    route,
+		Path:     path,
+		Status:   status,
+		Bytes:    bytes,
+		ElapsedM: float64(elapsed) / float64(time.Millisecond),
+	})
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(append(line, '\n'))
+}

@@ -1,0 +1,248 @@
+// Package obsv is the observability layer: a dependency-free metrics
+// subsystem (atomic counters, gauges, and fixed-bucket latency
+// histograms in a named registry) plus a StageTimer for pipeline phases
+// and HTTP middleware for per-route request accounting.
+//
+// The paper's efficiency analysis (Section V-D) attributes pipeline cost
+// to individual stages — term extraction vs. context expansion vs.
+// comparative analysis — and a deployed archive needs the same
+// attribution continuously, not just in a one-off experiment. Every hot
+// path (core pipeline, live ingestion, segment store, HTTP server)
+// records into a Registry, and GET /api/v1/metrics serializes a
+// consistent JSON snapshot.
+//
+// All instruments are safe for concurrent use and built purely on
+// sync/atomic: recording on a hot path is a single atomic add (plus one
+// binary search for histograms), never a lock.
+package obsv
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency histogram layout: 1ms..10s in a
+// roughly logarithmic progression, wide enough for both sub-millisecond
+// API reads and multi-second epoch rebuilds.
+var DefBuckets = []time.Duration{
+	1 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+	25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+	250 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2500 * time.Millisecond, 5 * time.Second, 10 * time.Second,
+}
+
+// Histogram accumulates durations into fixed buckets. Bounds are upper
+// bounds, ascending; observations above the last bound land in an
+// implicit overflow bucket. Count and Sum are exact regardless of the
+// bucket layout.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64   // nanoseconds
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// LeMillis is the bucket's inclusive upper bound in milliseconds.
+	LeMillis float64 `json:"le_millis"`
+	// Count is the cumulative number of observations ≤ LeMillis.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of a Histogram. Buckets
+// are cumulative; observations above the last bound are included in
+// Count but not in any bucket.
+type HistogramSnapshot struct {
+	Count      int64         `json:"count"`
+	SumMillis  float64       `json:"sum_millis"`
+	MeanMillis float64       `json:"mean_millis"`
+	Buckets    []BucketCount `json:"buckets"`
+}
+
+// Snapshot returns a point-in-time copy. Concurrent observations may
+// straddle the copy; each individual bucket is still internally exact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:     h.count.Load(),
+		SumMillis: float64(h.sum.Load()) / float64(time.Millisecond),
+	}
+	if s.Count > 0 {
+		s.MeanMillis = s.SumMillis / float64(s.Count)
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, BucketCount{
+			LeMillis: float64(b) / float64(time.Millisecond),
+			Count:    cum,
+		})
+	}
+	return s
+}
+
+// Registry is a named collection of instruments. Counter, Gauge, and
+// Histogram are get-or-create: the first caller allocates, later callers
+// with the same name share the instrument, so independently wired
+// subsystems can meet at a name without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() int64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a lazy gauge evaluated at snapshot
+// time — the natural shape for values another subsystem already
+// maintains (queue depth, cache entries).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds (DefBuckets when none) on first use. Later callers get
+// the existing histogram regardless of the bounds they pass.
+func (r *Registry) Histogram(name string, bounds ...time.Duration) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is the serializable state of a whole registry — the payload
+// of GET /api/v1/metrics.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every instrument. Lazy gauges are evaluated outside
+// the registry lock so a slow callback cannot stall concurrent
+// recording.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFns)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	fns := make(map[string]func() int64, len(r.gaugeFns))
+	for name, fn := range r.gaugeFns {
+		fns[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, fn := range fns {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

@@ -1,0 +1,184 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := reg.Counter("c").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := reg.Gauge("g").Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	reg.GaugeFunc("lazy", func() int64 { return 42 })
+	snap := reg.Snapshot()
+	if snap.Counters["c"] != 5 || snap.Gauges["g"] != 7 || snap.Gauges["lazy"] != 42 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	for _, d := range []time.Duration{
+		500 * time.Microsecond, // bucket 0
+		time.Millisecond,       // bucket 0 (inclusive upper bound)
+		5 * time.Millisecond,   // bucket 1
+		50 * time.Millisecond,  // bucket 2
+		time.Second,            // overflow
+	} {
+		h.Observe(d)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	s := h.Snapshot()
+	wantCum := []int64{2, 3, 4} // cumulative; overflow only in Count
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cum = %d, want %d (%+v)", i, b.Count, wantCum[i], s.Buckets)
+		}
+	}
+	wantSum := float64(1056500000) / float64(time.Millisecond)
+	if s.SumMillis != wantSum {
+		t.Fatalf("sum = %v, want %v", s.SumMillis, wantSum)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("bounds = %d, want %d", len(h.bounds), len(DefBuckets))
+	}
+	if reg.Histogram("lat") != h {
+		t.Fatal("get-or-create returned a different histogram")
+	}
+}
+
+func TestStageTimerOrderAndTotals(t *testing.T) {
+	st := NewStageTimer()
+	st.Record("identify_important", 30*time.Millisecond)
+	st.Record("derive_context", 20*time.Millisecond)
+	st.Record("identify_important", 10*time.Millisecond)
+	done := st.Start("analyze")
+	done()
+	rep := st.Report()
+	if len(rep) != 3 {
+		t.Fatalf("stages = %+v", rep)
+	}
+	if rep[0].Stage != "identify_important" || rep[0].Calls != 2 || rep[0].Total != 40*time.Millisecond {
+		t.Fatalf("stage 0 = %+v", rep[0])
+	}
+	if rep[1].Stage != "derive_context" || rep[2].Stage != "analyze" {
+		t.Fatalf("order = %+v", rep)
+	}
+	if st.Total() < 60*time.Millisecond {
+		t.Fatalf("total = %v", st.Total())
+	}
+	table := FormatReport(rep)
+	for _, want := range []string{"identify_important", "derive_context", "analyze", "total"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRegistryConcurrent exercises every instrument from many goroutines;
+// run under -race it proves recording and snapshotting never conflict.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("fn", func() int64 { return 1 })
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("shared").Inc()
+				reg.Gauge("depth").Set(int64(i))
+				reg.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if snap.Counters["shared"] != workers*iters {
+		t.Fatalf("shared = %d, want %d", snap.Counters["shared"], workers*iters)
+	}
+	if snap.Histograms["lat"].Count != workers*iters {
+		t.Fatalf("lat count = %d", snap.Histograms["lat"].Count)
+	}
+}
+
+func TestHTTPMetricsWrap(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg)
+	var logBuf bytes.Buffer
+	m.SetAccessLog(&logBuf)
+
+	h := m.Wrap("echo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("fail") != "" {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	for _, path := range []string{"/x", "/x", "/x?fail=1"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["http.requests.echo"] != 3 {
+		t.Fatalf("requests = %d", snap.Counters["http.requests.echo"])
+	}
+	if snap.Counters["http.status.echo.2xx"] != 2 || snap.Counters["http.status.echo.4xx"] != 1 {
+		t.Fatalf("status classes = %+v", snap.Counters)
+	}
+	if snap.Histograms["http.latency.echo"].Count != 3 {
+		t.Fatalf("latency count = %d", snap.Histograms["http.latency.echo"].Count)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("access log lines = %d:\n%s", len(lines), logBuf.String())
+	}
+	var rec struct {
+		Method string `json:"method"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+		Bytes  int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("access log line is not JSON: %v", err)
+	}
+	if rec.Method != "GET" || rec.Route != "echo" || rec.Status != 200 || rec.Bytes != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for status, want := range map[int]string{200: "2xx", 204: "2xx", 301: "3xx", 404: "4xx", 503: "5xx"} {
+		if got := statusClass(status); got != want {
+			t.Errorf("statusClass(%d) = %q, want %q", status, got, want)
+		}
+	}
+}

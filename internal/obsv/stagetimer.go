@@ -1,0 +1,111 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageTimer attributes wall-clock time to named pipeline phases — the
+// runtime counterpart of the paper's Section V-D per-stage cost table.
+// Stages are reported in first-start order, so a report over the facet
+// pipeline reads in execution order: important-term extraction, context
+// derivation, comparative analysis, hierarchy build.
+type StageTimer struct {
+	mu    sync.Mutex
+	order []string
+	agg   map[string]*stageAgg
+}
+
+type stageAgg struct {
+	calls int64
+	total time.Duration
+}
+
+// StageSample is one stage's accumulated cost.
+type StageSample struct {
+	Stage string        `json:"stage"`
+	Calls int64         `json:"calls"`
+	Total time.Duration `json:"total"`
+}
+
+// NewStageTimer returns an empty timer.
+func NewStageTimer() *StageTimer {
+	return &StageTimer{agg: map[string]*stageAgg{}}
+}
+
+// Start begins timing one invocation of the stage and returns the
+// function that records its elapsed time:
+//
+//	done := timer.Start("derive_context")
+//	...
+//	done()
+func (t *StageTimer) Start(stage string) func() {
+	start := time.Now()
+	return func() { t.Record(stage, time.Since(start)) }
+}
+
+// Record adds one invocation of the stage with an explicit duration.
+func (t *StageTimer) Record(stage string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a := t.agg[stage]
+	if a == nil {
+		a = &stageAgg{}
+		t.agg[stage] = a
+		t.order = append(t.order, stage)
+	}
+	a.calls++
+	a.total += d
+}
+
+// Report returns every stage in first-start order.
+func (t *StageTimer) Report() []StageSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageSample, 0, len(t.order))
+	for _, stage := range t.order {
+		a := t.agg[stage]
+		out = append(out, StageSample{Stage: stage, Calls: a.calls, Total: a.total})
+	}
+	return out
+}
+
+// Total returns the sum of all stages' recorded time.
+func (t *StageTimer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, a := range t.agg {
+		total += a.total
+	}
+	return total
+}
+
+// FormatReport renders samples as an aligned text table (stage, calls,
+// total, share of the grand total) — what cmd/experiments prints.
+func FormatReport(samples []StageSample) string {
+	var grand time.Duration
+	for _, s := range samples {
+		grand += s.Total
+	}
+	width := len("stage")
+	for _, s := range samples {
+		if len(s.Stage) > width {
+			width = len(s.Stage)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s  %8s  %12s  %6s\n", width, "stage", "calls", "total", "share")
+	for _, s := range samples {
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(s.Total) / float64(grand)
+		}
+		fmt.Fprintf(&sb, "%-*s  %8d  %12s  %5.1f%%\n",
+			width, s.Stage, s.Calls, s.Total.Round(time.Microsecond), share)
+	}
+	fmt.Fprintf(&sb, "%-*s  %8s  %12s\n", width, "total", "", grand.Round(time.Microsecond))
+	return sb.String()
+}

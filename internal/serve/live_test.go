@@ -134,8 +134,8 @@ func TestIngestEndpoints(t *testing.T) {
 			t.Errorf("%s: status %d, want 400", name, rec.Code)
 		}
 		var er ErrorResponse
-		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
-			t.Errorf("%s: body %q is not a JSON error", name, rec.Body.String())
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != ErrCodeBadRequest || er.Error.Message == "" {
+			t.Errorf("%s: body %q is not the unified error envelope", name, rec.Body.String())
 		}
 	}
 
@@ -193,7 +193,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			paths := []string{"/api/facets", "/api/docs?limit=5", "/api/facets?terms=france", "/api/ingest/stats"}
+			paths := []string{"/api/facets", "/api/docs?limit=5", "/api/facets?terms=france", "/api/ingest/stats", "/api/v1/metrics"}
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -265,5 +265,23 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	}
 	if st.CacheHitRate == 0 {
 		t.Fatal("resource cache never hit")
+	}
+
+	// The shared registry saw the whole run: per-route HTTP series plus
+	// the ingester's gauges, all snapshotted concurrently above.
+	snap := s.Metrics().Snapshot()
+	if snap.Counters["http.requests.ingest"] != int64(batches) {
+		t.Errorf("ingest requests = %d, want %d", snap.Counters["http.requests.ingest"], batches)
+	}
+	if got := snap.Gauges["ingest.docs_published"]; got != int64(total) {
+		t.Errorf("ingest.docs_published gauge = %d, want %d", got, total)
+	}
+	if snap.Gauges["ingest.epochs"] < 2 {
+		t.Errorf("ingest.epochs gauge = %d, want >= 2", snap.Gauges["ingest.epochs"])
+	}
+	// The bootstrap epoch predates EnableIngest's registry wiring, so only
+	// the epochs after it are timed.
+	if h := snap.Histograms["ingest.epoch_duration"]; h.Count < 1 {
+		t.Errorf("epoch_duration histogram count = %d, want >= 1", h.Count)
 	}
 }

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestLegacyAliasesDeprecated: every unversioned /api/ route answers
+// with a body identical to its /api/v1/ successor plus the Deprecation
+// and successor-version Link headers, which the v1 route must not carry.
+func TestLegacyAliasesDeprecated(t *testing.T) {
+	s := testServer(t)
+	for _, route := range []string{
+		"facets",
+		"docs?terms=france",
+		"dates?granularity=day",
+		"cross?a=europe&b=sports",
+		"metrics",
+	} {
+		v1 := get(t, s, "/api/v1/"+route)
+		legacy := get(t, s, "/api/"+route)
+		if v1.Code != http.StatusOK || legacy.Code != v1.Code {
+			t.Fatalf("%s: status v1=%d legacy=%d", route, v1.Code, legacy.Code)
+		}
+		if route != "metrics" && legacy.Body.String() != v1.Body.String() {
+			// metrics is excluded: serving the alias itself moves the
+			// counters it reports.
+			t.Errorf("%s: alias body differs from v1 body", route)
+		}
+		if dep := legacy.Header().Get("Deprecation"); dep != "true" {
+			t.Errorf("%s: legacy Deprecation header = %q", route, dep)
+		}
+		path := "/api/v1/" + strings.SplitN(route, "?", 2)[0]
+		if link := legacy.Header().Get("Link"); !strings.Contains(link, path) || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s: legacy Link header = %q", route, link)
+		}
+		if v1.Header().Get("Deprecation") != "" {
+			t.Errorf("%s: v1 route carries a Deprecation header", route)
+		}
+	}
+}
+
+// TestMetricsEndpoint: the middleware records request counts, status
+// classes, and latencies per route, v1 and legacy hits share one series,
+// and /api/v1/metrics serves the snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	get(t, s, "/api/v1/facets")
+	get(t, s, "/api/facets") // legacy alias, same series
+	get(t, s, "/api/v1/docs?limit=0")
+	get(t, s, "/")
+
+	rec := get(t, s, "/api/v1/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	var snap obsv.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics body is not a snapshot: %v", err)
+	}
+	if got := snap.Counters["http.requests.facets"]; got != 2 {
+		t.Errorf("facets requests = %d, want 2 (v1 + alias)", got)
+	}
+	if got := snap.Counters["http.status.facets.2xx"]; got != 2 {
+		t.Errorf("facets 2xx = %d, want 2", got)
+	}
+	if got := snap.Counters["http.status.docs.4xx"]; got != 1 {
+		t.Errorf("docs 4xx = %d, want 1", got)
+	}
+	if got := snap.Counters["http.requests.index"]; got != 1 {
+		t.Errorf("index requests = %d, want 1", got)
+	}
+	for _, h := range []string{"http.latency.facets", "http.latency.docs"} {
+		hist, ok := snap.Histograms[h]
+		if !ok || hist.Count == 0 {
+			t.Errorf("histogram %s missing or empty: %+v", h, hist)
+		}
+	}
+	// The Server.Metrics accessor exposes the same registry.
+	if s.Metrics().Counter("http.requests.facets").Value() != 2 {
+		t.Error("Metrics() returned a different registry")
+	}
+}
+
+// TestWithMetricsSharedRegistry: an externally supplied registry receives
+// the HTTP series, the way facetserve shares one registry across layers.
+func TestWithMetricsSharedRegistry(t *testing.T) {
+	reg := obsv.NewRegistry()
+	shared := New(testServer(t).current(), "shared", WithMetrics(reg))
+	get(t, shared, "/api/v1/facets")
+	if reg.Counter("http.requests.facets").Value() != 1 {
+		t.Fatal("shared registry did not receive the request counter")
+	}
+	if shared.Metrics() != reg {
+		t.Fatal("Metrics() is not the supplied registry")
+	}
+}
+
+// TestPprofDisabledByDefault: the profiler is mounted only after
+// EnablePprof.
+func TestPprofDisabledByDefault(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/debug/pprof/"); rec.Code == http.StatusOK {
+		t.Fatal("pprof served without EnablePprof")
+	}
+	s2 := testServer(t)
+	s2.EnablePprof()
+	if rec := get(t, s2, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof index status %d after EnablePprof", rec.Code)
+	}
+}

@@ -1,14 +1,29 @@
-// Package serve exposes a faceted browsing interface over HTTP: a JSON
-// API (facet counts, documents, date histogram, cross-tabulation) plus a
-// minimal server-rendered HTML front end with clickable facet links —
-// the Flamenco-style deployment surface for the extracted hierarchies.
+// Package serve exposes a faceted browsing interface over HTTP: a
+// versioned JSON API under /api/v1/ (facet counts, documents, date
+// histogram, cross-tabulation, ingest, metrics) plus a minimal
+// server-rendered HTML front end with clickable facet links — the
+// Flamenco-style deployment surface for the extracted hierarchies.
+//
+// Every route is instrumented through obsv.HTTPMetrics (request counts,
+// status classes, latency histograms per route) and the registry is
+// served at GET /api/v1/metrics. The unversioned /api/ paths remain as
+// thin aliases that answer identically but carry a Deprecation header
+// and a Link to their successor.
+//
+// Every non-2xx API response is the unified envelope
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// written by a single writeError path.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -16,6 +31,7 @@ import (
 
 	"repro/internal/browse"
 	"repro/internal/ingest"
+	"repro/internal/obsv"
 	"repro/internal/textdb"
 )
 
@@ -25,23 +41,71 @@ import (
 // once and serves that complete, immutable epoch — concurrent swaps can
 // never produce a torn read mixing counts from two hierarchies.
 type Server struct {
-	iface atomic.Pointer[browse.Interface]
-	mux   *http.ServeMux
-	title string
+	iface     atomic.Pointer[browse.Interface]
+	mux       *http.ServeMux
+	title     string
+	metrics   *obsv.Registry
+	httpm     *obsv.HTTPMetrics
+	accessLog io.Writer
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithMetrics records into an externally owned registry, so the HTTP
+// layer, the ingester, and the segment store can share one snapshot.
+// Without it the server allocates a private registry.
+func WithMetrics(reg *obsv.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
+// WithAccessLog writes one structured (JSON) line per request to w.
+func WithAccessLog(w io.Writer) Option {
+	return func(s *Server) { s.accessLog = w }
 }
 
 // New builds the server over an initial interface.
-func New(iface *browse.Interface, title string) *Server {
+func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	s := &Server{title: title}
 	s.iface.Store(iface)
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/facets", s.handleFacets)
-	mux.HandleFunc("GET /api/docs", s.handleDocs)
-	mux.HandleFunc("GET /api/dates", s.handleDates)
-	mux.HandleFunc("GET /api/cross", s.handleCross)
-	mux.HandleFunc("GET /", s.handleIndex)
-	s.mux = mux
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.metrics == nil {
+		s.metrics = obsv.NewRegistry()
+	}
+	s.httpm = obsv.NewHTTPMetrics(s.metrics)
+	if s.accessLog != nil {
+		s.httpm.SetAccessLog(s.accessLog)
+	}
+	s.mux = http.NewServeMux()
+	s.handle(http.MethodGet, "facets", "facets", s.handleFacets)
+	s.handle(http.MethodGet, "docs", "docs", s.handleDocs)
+	s.handle(http.MethodGet, "dates", "dates", s.handleDates)
+	s.handle(http.MethodGet, "cross", "cross", s.handleCross)
+	s.handle(http.MethodGet, "metrics", "metrics", s.handleMetrics)
+	s.mux.Handle("GET /", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
 	return s
+}
+
+// handle registers one API route twice: the canonical versioned path
+// /api/v1/<path> and the legacy alias /api/<path>, which serves the
+// identical body but marks itself deprecated. Both share the same
+// instrumented handler, so a route's metrics aggregate across versions.
+func (s *Server) handle(method, path, route string, h http.HandlerFunc) {
+	wrapped := s.httpm.Wrap(route, h)
+	s.mux.Handle(method+" /api/v1/"+path, wrapped)
+	s.mux.Handle(method+" /api/"+path, deprecated("/api/v1/"+path, wrapped))
+}
+
+// deprecated wraps a legacy alias: same handler, plus the Deprecation
+// header (RFC 9745) and a Link to the successor route.
+func deprecated(successor string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Publish atomically swaps the served browsing interface; in-flight
@@ -56,21 +120,61 @@ func (s *Server) current() *browse.Interface {
 	return s.iface.Load()
 }
 
-// EnableIngest registers the live-ingestion endpoints: POST /api/ingest
-// (accept documents) and GET /api/ingest/stats (subsystem health). It
-// must be called before the server starts handling traffic.
+// Metrics returns the server's registry so other subsystems (ingester,
+// segment store) can record into the same /api/v1/metrics snapshot.
+func (s *Server) Metrics() *obsv.Registry { return s.metrics }
+
+// SetAccessLog starts (w != nil) or stops (w == nil) the structured
+// access log; safe while serving traffic.
+func (s *Server) SetAccessLog(w io.Writer) { s.httpm.SetAccessLog(w) }
+
+// EnableIngest registers the live-ingestion endpoints — POST
+// /api/v1/ingest (accept documents) and GET /api/v1/ingest/stats
+// (subsystem health), plus their deprecated /api/ aliases — and exposes
+// the ingester's gauges through the server's metrics registry. It must
+// be called before the server starts handling traffic.
 func (s *Server) EnableIngest(ing *ingest.Ingester) {
-	s.mux.HandleFunc("POST /api/ingest", func(w http.ResponseWriter, r *http.Request) {
+	ing.RegisterMetrics(s.metrics)
+	s.handle(http.MethodPost, "ingest", "ingest", func(w http.ResponseWriter, r *http.Request) {
 		s.handleIngest(w, r, ing)
 	})
-	s.mux.HandleFunc("GET /api/ingest/stats", func(w http.ResponseWriter, r *http.Request) {
+	s.handle(http.MethodGet, "ingest/stats", "ingest_stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ing.Stats())
 	})
+}
+
+// EnablePprof mounts the standard runtime profiling handlers under
+// /debug/pprof/ (facetserve gates this behind -pprof: profiling
+// endpoints leak implementation detail and cost CPU, so production
+// deployments opt in explicitly).
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// parseDate accepts RFC 3339 or YYYY-MM-DD; empty means the zero time.
+// It is the single date parser for both selection query parameters and
+// ingest payloads.
+func parseDate(raw string) (time.Time, error) {
+	if raw == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, raw); err == nil {
+		return t, nil
+	}
+	t, err := time.Parse("2006-01-02", raw)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad date %q (want RFC3339 or YYYY-MM-DD)", raw)
+	}
+	return t, nil
 }
 
 // selection parses the shared query parameters: terms (comma separated),
@@ -85,26 +189,12 @@ func parseSelection(r *http.Request) (browse.Selection, error) {
 			}
 		}
 	}
-	parseDate := func(key string) (time.Time, error) {
-		raw := r.URL.Query().Get(key)
-		if raw == "" {
-			return time.Time{}, nil
-		}
-		if t, err := time.Parse(time.RFC3339, raw); err == nil {
-			return t, nil
-		}
-		t, err := time.Parse("2006-01-02", raw)
-		if err != nil {
-			return time.Time{}, fmt.Errorf("bad %s %q (want RFC3339 or YYYY-MM-DD)", key, raw)
-		}
-		return t, nil
-	}
 	var err error
-	if sel.From, err = parseDate("from"); err != nil {
-		return sel, err
+	if sel.From, err = parseDate(r.URL.Query().Get("from")); err != nil {
+		return sel, fmt.Errorf("from: %w", err)
 	}
-	if sel.To, err = parseDate("to"); err != nil {
-		return sel, err
+	if sel.To, err = parseDate(r.URL.Query().Get("to")); err != nil {
+		return sel, fmt.Errorf("to: %w", err)
 	}
 	return sel, nil
 }
@@ -116,39 +206,57 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
-// ErrorResponse is the JSON body of every non-2xx API response.
-type ErrorResponse struct {
-	Error string `json:"error"`
+// Stable machine-readable error codes of the unified envelope.
+const (
+	ErrCodeBadRequest  = "bad_request"
+	ErrCodeUnavailable = "unavailable"
+)
+
+// ErrorDetail is the payload of the unified error envelope.
+type ErrorDetail struct {
+	// Code is a stable machine-readable identifier (bad_request,
+	// unavailable); Message is human-readable detail.
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// ErrorResponse is the JSON body of every non-2xx API response:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// writeError is the single exit path for API errors; every handler's
+// failure funnels through it so clients see one envelope shape.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(ErrorResponse{Error: err.Error()})
+	_ = enc.Encode(ErrorResponse{Error: ErrorDetail{Code: code, Message: err.Error()}})
 }
 
 func badRequest(w http.ResponseWriter, err error) {
-	writeError(w, http.StatusBadRequest, err)
+	writeError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 }
 
-// parseLimit validates an optional positive bounded integer query
+// queryBoundedInt validates an optional positive bounded integer query
 // parameter; strconv.Atoi alone would admit negative, zero, and
-// overflowing values that misbehave downstream.
-func parseLimit(r *http.Request, def, max int) (int, error) {
-	raw := r.URL.Query().Get("limit")
+// overflowing values that misbehave downstream. It is shared by every
+// handler with a count-like parameter (docs and facets limits).
+func queryBoundedInt(r *http.Request, name string, def, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return def, nil
 	}
-	limit, err := strconv.Atoi(raw)
-	if err != nil || limit < 1 || limit > max {
-		return 0, fmt.Errorf("bad limit %q (want 1..%d)", raw, max)
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 || v > max {
+		return 0, fmt.Errorf("bad %s %q (want 1..%d)", name, raw, max)
 	}
-	return limit, nil
+	return v, nil
 }
 
-// FacetsResponse is the /api/facets payload.
+// FacetsResponse is the /api/v1/facets payload.
 type FacetsResponse struct {
 	Parent string              `json:"parent"`
 	Total  int                 `json:"total"`
@@ -161,16 +269,29 @@ func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	limit, err := queryBoundedInt(r, "limit", 100, 1000)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
 	iface := s.current()
 	parent := r.URL.Query().Get("parent")
+	facets := iface.Children(parent, sel)
+	if len(facets) > limit {
+		facets = facets[:limit]
+	}
 	writeJSON(w, FacetsResponse{
 		Parent: parent,
 		Total:  iface.MatchCount(sel),
-		Facets: iface.Children(parent, sel),
+		Facets: facets,
 	})
 }
 
-// DocSummary is one document in the /api/docs payload.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.Snapshot())
+}
+
+// DocSummary is one document in the /api/v1/docs payload.
 type DocSummary struct {
 	ID      int    `json:"id"`
 	Title   string `json:"title"`
@@ -179,7 +300,7 @@ type DocSummary struct {
 	Snippet string `json:"snippet"`
 }
 
-// DocsResponse is the /api/docs payload.
+// DocsResponse is the /api/v1/docs payload.
 type DocsResponse struct {
 	Total int          `json:"total"`
 	Docs  []DocSummary `json:"docs"`
@@ -191,7 +312,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	limit, err := parseLimit(r, 20, 500)
+	limit, err := queryBoundedInt(r, "limit", 20, 500)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -215,7 +336,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// DateBucket is one histogram bucket in the /api/dates payload.
+// DateBucket is one histogram bucket in the /api/v1/dates payload.
 type DateBucket struct {
 	Bucket string `json:"bucket"`
 	Count  int    `json:"count"`
@@ -371,7 +492,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	_ = indexTemplate.Execute(w, data)
 }
 
-// IngestDoc is one document in the POST /api/ingest payload. Date
+// IngestDoc is one document in the POST /api/v1/ingest payload. Date
 // accepts RFC 3339 or YYYY-MM-DD and defaults to the server's current
 // time when empty.
 type IngestDoc struct {
@@ -381,12 +502,12 @@ type IngestDoc struct {
 	Text   string `json:"text"`
 }
 
-// IngestRequest is the POST /api/ingest payload.
+// IngestRequest is the POST /api/v1/ingest payload.
 type IngestRequest struct {
 	Documents []IngestDoc `json:"documents"`
 }
 
-// IngestResponse is the POST /api/ingest reply.
+// IngestResponse is the POST /api/v1/ingest reply.
 type IngestResponse struct {
 	Accepted int `json:"accepted"`
 }
@@ -412,21 +533,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ing *inges
 		date := time.Now().UTC()
 		if d.Date != "" {
 			var err error
-			if date, err = time.Parse(time.RFC3339, d.Date); err != nil {
-				if date, err = time.Parse("2006-01-02", d.Date); err != nil {
-					badRequest(w, fmt.Errorf("document %d: bad date %q (want RFC3339 or YYYY-MM-DD)", i, d.Date))
-					return
-				}
+			if date, err = parseDate(d.Date); err != nil {
+				badRequest(w, fmt.Errorf("document %d: %w", i, err))
+				return
 			}
 		}
 		docs[i] = &textdb.Document{Title: d.Title, Source: d.Source, Date: date, Text: d.Text}
 	}
-	// SubmitWait blocks on a saturated queue (backpressure) until the
+	// SubmitContext blocks on a saturated queue (backpressure) until the
 	// client gives up or the server drains.
 	for i, doc := range docs {
-		if err := ing.SubmitWait(r.Context(), doc); err != nil {
-			status := http.StatusServiceUnavailable
-			writeError(w, status, fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err))
+		if err := ing.SubmitContext(r.Context(), doc); err != nil {
+			writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+				fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err))
 			return
 		}
 	}

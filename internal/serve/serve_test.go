@@ -159,19 +159,22 @@ func TestBadDateRejected(t *testing.T) {
 	}
 }
 
-// TestErrorResponsesAreJSON: every 4xx carries a machine-readable JSON
-// body, and limit validation rejects negative, zero, huge, and
-// overflowing values.
+// TestErrorResponsesAreJSON: every 4xx carries the unified envelope
+// {"error":{"code","message"}}, on both the v1 and the legacy paths, and
+// limit validation rejects negative, zero, huge, and overflowing values.
 func TestErrorResponsesAreJSON(t *testing.T) {
 	s := testServer(t)
 	for _, path := range []string{
-		"/api/docs?limit=-5",
-		"/api/docs?limit=0",
-		"/api/docs?limit=billion",
-		"/api/docs?limit=501",
-		"/api/docs?limit=99999999999999999999", // overflows int64
-		"/api/docs?from=notadate",
-		"/api/dates?granularity=decade",
+		"/api/v1/docs?limit=-5",
+		"/api/v1/docs?limit=0",
+		"/api/v1/docs?limit=billion",
+		"/api/v1/docs?limit=501",
+		"/api/v1/docs?limit=99999999999999999999", // overflows int64
+		"/api/v1/docs?from=notadate",
+		"/api/v1/facets?limit=0",
+		"/api/v1/dates?granularity=decade",
+		"/api/v1/cross?a=europe",
+		"/api/docs?limit=0", // legacy alias funnels through the same path
 		"/api/cross?a=europe",
 	} {
 		rec := get(t, s, path)
@@ -183,12 +186,12 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 			t.Errorf("%s: content-type %q", path, ct)
 		}
 		var er ErrorResponse
-		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
-			t.Errorf("%s: body %q is not a JSON error", path, rec.Body.String())
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != ErrCodeBadRequest || er.Error.Message == "" {
+			t.Errorf("%s: body %q is not the unified error envelope", path, rec.Body.String())
 		}
 	}
 	// A valid limit still works.
-	if rec := get(t, s, "/api/docs?limit=2"); rec.Code != http.StatusOK {
+	if rec := get(t, s, "/api/v1/docs?limit=2"); rec.Code != http.StatusOK {
 		t.Fatalf("valid limit rejected: %d", rec.Code)
 	}
 }

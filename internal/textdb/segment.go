@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // Store is a disk-backed document store: documents are written in
@@ -34,7 +36,13 @@ import (
 type Store struct {
 	dir      string
 	segments []segmentInfo
+	metrics  *obsv.Registry
 }
+
+// SetMetrics starts recording segment flush and compaction timing into
+// reg as textdb.segment_append / textdb.segment_compact histograms plus
+// a textdb.appended_docs counter. Call before serving traffic.
+func (s *Store) SetMetrics(reg *obsv.Registry) { s.metrics = reg }
 
 type segmentInfo struct {
 	name string
@@ -95,6 +103,12 @@ func (s *Store) Docs() int {
 func (s *Store) Append(docs []*Document) error {
 	if len(docs) == 0 {
 		return fmt.Errorf("textdb: empty segment append")
+	}
+	if s.metrics != nil {
+		defer func(start time.Time) {
+			s.metrics.Histogram("textdb.segment_append").Observe(time.Since(start))
+			s.metrics.Counter("textdb.appended_docs").Add(int64(len(docs)))
+		}(time.Now())
 	}
 	name := fmt.Sprintf("segment-%06d.seg", len(s.segments))
 	tmp := filepath.Join(s.dir, name+".tmp")
@@ -283,6 +297,11 @@ func (s *Store) SegmentFiles() []string {
 func (s *Store) Compact() error {
 	if len(s.segments) <= 1 {
 		return nil
+	}
+	if s.metrics != nil {
+		defer func(start time.Time) {
+			s.metrics.Histogram("textdb.segment_compact").Observe(time.Since(start))
+		}(time.Now())
 	}
 	corpus, err := s.LoadAll()
 	if err != nil {

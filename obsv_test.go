@@ -1,0 +1,76 @@
+package facet
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEnvConfigScaleValidation(t *testing.T) {
+	for _, scale := range []float64{-1, -0.01, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := NewSimulatedEnvironment(EnvConfig{Scale: scale}); err == nil {
+			t.Errorf("Scale %v accepted", scale)
+		}
+	}
+	// Zero (default) and positive scales remain valid.
+	for _, scale := range []float64{0, 0.5, 2} {
+		if _, err := NewSimulatedEnvironment(EnvConfig{Seed: 3, Scale: scale}); err != nil {
+			t.Errorf("Scale %v rejected: %v", scale, err)
+		}
+	}
+}
+
+// TestExtractFacetsContextCancellation: a canceled context aborts the
+// pipeline with ctx.Err() instead of running the remaining stages.
+func TestExtractFacetsContextCancellation(t *testing.T) {
+	sys := loadedSystem(t, 150)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := sys.ExtractFacetsContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", elapsed)
+	}
+	// An expired deadline aborts the same way.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := sys.ExtractFacetsContext(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestStageReport: the result carries wall-clock timing for every
+// pipeline stage in execution order, and BuildHierarchy appends its own
+// stage.
+func TestStageReport(t *testing.T) {
+	sys := loadedSystem(t, 120)
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stages := res.StageReport()
+	want := []string{"identify_important", "derive_context", "analyze"}
+	if len(stages) != len(want) {
+		t.Fatalf("StageReport = %+v, want stages %v", stages, want)
+	}
+	for i, st := range stages {
+		if st.Stage != want[i] {
+			t.Fatalf("stage[%d] = %q, want %q", i, st.Stage, want[i])
+		}
+		if st.Calls != 1 || st.Total < 0 {
+			t.Fatalf("stage %q has calls=%d total=%v", st.Stage, st.Calls, st.Total)
+		}
+	}
+	if _, err := res.BuildHierarchy(); err != nil {
+		t.Fatal(err)
+	}
+	stages = res.StageReport()
+	if len(stages) != 4 || stages[3].Stage != "build_hierarchy" {
+		t.Fatalf("after BuildHierarchy StageReport = %+v, want build_hierarchy appended", stages)
+	}
+}
