@@ -7,6 +7,11 @@ package facet
 // cmd/experiments regenerates the full-size artifacts.
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -299,4 +304,90 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPipelineWorkers measures end-to-end pipeline throughput
+// (extract + hierarchy, docs/sec) across worker-pool sizes — the
+// runtime counterpart of the ISSUE acceptance criterion that sharding
+// scales. After the sub-benchmarks finish it records the curve in
+// BENCH_pipeline.json via writePipelineBench, so the scaling numbers
+// survive the run. On a single-CPU machine every worker count
+// collapses to ~the sequential rate; the file records whatever the
+// host could actually deliver.
+func BenchmarkPipelineWorkers(b *testing.B) {
+	env, err := NewSimulatedEnvironment(EnvConfig{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nDocs = 200
+	docs, err := env.GenerateNewsCorpus("SNYT", nDocs, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	docsPerSec := map[int]float64{}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys, err := NewSystem(env, Options{TopK: 80, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, d := range docs {
+					sys.Add(d)
+				}
+				res, err := sys.ExtractFacets()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.BuildHierarchy(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rate := float64(nDocs*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "docs/s")
+			docsPerSec[workers] = rate
+		})
+	}
+	if err := writePipelineBench(docsPerSec); err != nil {
+		b.Logf("writePipelineBench: %v", err)
+	}
+}
+
+// writePipelineBench stores the worker-count → docs/sec curve from
+// BenchmarkPipelineWorkers as BENCH_pipeline.json next to the package
+// sources, with GOMAXPROCS recorded so a flat curve on a small host is
+// interpretable.
+func writePipelineBench(docsPerSec map[int]float64) error {
+	if len(docsPerSec) == 0 {
+		return nil
+	}
+	workers := make([]int, 0, len(docsPerSec))
+	for w := range docsPerSec {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	type point struct {
+		Workers    int     `json:"workers"`
+		DocsPerSec float64 `json:"docs_per_sec"`
+		Speedup    float64 `json:"speedup_vs_sequential"`
+	}
+	out := struct {
+		Benchmark  string  `json:"benchmark"`
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Points     []point `json:"points"`
+	}{Benchmark: "BenchmarkPipelineWorkers", GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	base := docsPerSec[workers[0]]
+	for _, w := range workers {
+		sp := 0.0
+		if base > 0 {
+			sp = docsPerSec[w] / base
+		}
+		out.Points = append(out.Points, point{Workers: w, DocsPerSec: docsPerSec[w], Speedup: sp})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_pipeline.json", append(data, '\n'), 0o644)
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy]
-//	            [-full] [-seed N] [-out FILE]
+//	            [-full] [-seed N] [-workers N] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
 // 5000 documents) so a full regeneration finishes in minutes on a laptop;
@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +33,7 @@ func main() {
 	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
 	seed := flag.Uint64("seed", 42, "master seed")
+	workers := flag.Int("workers", 0, "pipeline worker pool size for the stage report (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "also write output to this file")
 	csvDir := flag.String("csvdir", "", "also write each recall/precision table as CSV into this directory")
 	flag.Parse()
@@ -45,7 +47,7 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	if err := runAll(w, *run, *full, *seed, *csvDir); err != nil {
+	if err := runAll(w, *run, *full, *seed, *workers, *csvDir); err != nil {
 		log.Fatalf("experiments: %v", err)
 	}
 }
@@ -61,7 +63,7 @@ func writeCSV(dir, name string, table *eval.Table) error {
 	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(table.CSV()), 0o644)
 }
 
-func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) error {
+func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvDir string) error {
 	start := time.Now()
 	lab, err := eval.NewLab(seed)
 	if err != nil {
@@ -214,7 +216,7 @@ func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) er
 	}
 	if want("stagereport") {
 		section("Stage report — runtime per-stage timing (StageReport)")
-		if err := stageReport(w, seed); err != nil {
+		if err := stageReport(w, seed, workers); err != nil {
 			return err
 		}
 	}
@@ -237,8 +239,14 @@ func runAll(w io.Writer, which string, full bool, seed uint64, csvDir string) er
 // stageReport runs the public facade end to end with latency charging on
 // and prints Result.StageReport() — the same per-stage numbers any
 // library user gets — next to the virtual network time the environment
-// accumulated, the runtime complement to the Section V-D cost model.
-func stageReport(w io.Writer, seed uint64) error {
+// accumulated, the runtime complement to the Section V-D cost model. The
+// pipeline runs twice, sequentially (Workers=1) and sharded across the
+// requested worker pool, and the report includes the per-stage parallel
+// speedup; the two runs produce identical facets by construction.
+func stageReport(w io.Writer, seed uint64, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: seed, ChargeLatency: true})
 	if err != nil {
 		return err
@@ -247,25 +255,59 @@ func stageReport(w io.Writer, seed uint64) error {
 	if err != nil {
 		return err
 	}
-	sys, err := facet.NewSystem(env, facet.Options{TopK: 100})
+	runOnce := func(workers int) ([]facet.StageTiming, error) {
+		sys, err := facet.NewSystem(env, facet.Options{TopK: 100, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range docs {
+			sys.Add(d)
+		}
+		res, err := sys.ExtractFacets()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := res.BuildHierarchy(); err != nil {
+			return nil, err
+		}
+		return res.StageReport(), nil
+	}
+	seq, err := runOnce(1)
 	if err != nil {
 		return err
 	}
-	for _, d := range docs {
-		sys.Add(d)
-	}
-	res, err := sys.ExtractFacets()
+	par, err := runOnce(workers)
 	if err != nil {
 		return err
 	}
-	if _, err := res.BuildHierarchy(); err != nil {
-		return err
-	}
-	samples := make([]obsv.StageSample, 0, 4)
-	for _, st := range res.StageReport() {
+	samples := make([]obsv.StageSample, 0, len(seq))
+	for _, st := range seq {
 		samples = append(samples, obsv.StageSample{Stage: st.Stage, Calls: st.Calls, Total: st.Total})
 	}
-	fmt.Fprint(w, obsv.FormatReport(samples))
+	fmt.Fprintf(w, "sequential (workers=1):\n%s\n", obsv.FormatReport(samples))
+	parByStage := make(map[string]time.Duration, len(par))
+	for _, st := range par {
+		parByStage[st.Stage] = st.Total
+	}
+	fmt.Fprintf(w, "parallel speedup (workers=%d):\n", workers)
+	fmt.Fprintf(w, "%-20s  %12s  %12s  %8s\n", "stage", "sequential", "parallel", "speedup")
+	var seqTotal, parTotal time.Duration
+	for _, st := range seq {
+		pt := parByStage[st.Stage]
+		seqTotal += st.Total
+		parTotal += pt
+		speedup := "-"
+		if pt > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(st.Total)/float64(pt))
+		}
+		fmt.Fprintf(w, "%-20s  %12s  %12s  %8s\n",
+			st.Stage, st.Total.Round(time.Microsecond), pt.Round(time.Microsecond), speedup)
+	}
+	if parTotal > 0 {
+		fmt.Fprintf(w, "%-20s  %12s  %12s  %7.2fx\n",
+			"total", seqTotal.Round(time.Microsecond), parTotal.Round(time.Microsecond),
+			float64(seqTotal)/float64(parTotal))
+	}
 	fmt.Fprintf(w, "\nvirtual network time charged by the simulated services: %v\n",
 		env.VirtualNetworkTime().Round(time.Microsecond))
 	fmt.Fprintln(w, "(wall-clock stage totals above exclude virtual latency — the clock is charged, not slept)")

@@ -3,7 +3,7 @@
 // facet terms, builds the hierarchy, and prints both.
 //
 //	facetcli [-docs N] [-profile SNYT|SNB|MNYT] [-topk K] [-seed N]
-//	         [-extractors NE,Yahoo,Wikipedia] [-resources ...]
+//	         [-workers N] [-extractors NE,Yahoo,Wikipedia] [-resources ...]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	profile := flag.String("profile", "SNYT", "dataset profile (SNYT, SNB, MNYT)")
 	topK := flag.Int("topk", 100, "facet terms to extract")
 	seed := flag.Uint64("seed", 42, "seed")
+	workers := flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 	extractors := flag.String("extractors", "", "comma-separated extractor subset (default: all)")
 	resources := flag.String("resources", "", "comma-separated resource subset (default: all)")
 	dotOut := flag.String("dot", "", "write the hierarchy as Graphviz DOT to this file")
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := facet.Options{TopK: *topK}
+	opts := facet.Options{TopK: *topK, Workers: *workers}
 	if *extractors != "" {
 		opts.Extractors = strings.Split(*extractors, ",")
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hierarchy"
+	"repro/internal/parallel"
 )
 
 // This file implements the paper's extension points (Section VII): custom
@@ -66,6 +67,7 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 	}
 	terms := r.Terms()
 	docTerms := r.assignDocTerms(terms)
+	workers := parallel.Workers(r.sys.opts.Workers)
 	switch method {
 	case HierarchyEvidence:
 		env := r.sys.env
@@ -107,6 +109,7 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 			Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
 			Weights:   []float64{0.5, 0.5},
 			Threshold: 0.6,
+			Workers:   workers,
 		})
 		if err != nil {
 			return nil, err
@@ -125,7 +128,10 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
 	default:
 		th := r.sys.opts.SubsumptionThreshold
-		forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{Threshold: th})
+		forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{
+			Threshold: th,
+			Workers:   workers,
+		})
 		if err != nil {
 			return nil, err
 		}

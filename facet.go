@@ -168,6 +168,13 @@ type Options struct {
 	// see NewGlossaryExtractor / NewGlossaryResource).
 	ExtraExtractors []TermExtractor
 	ExtraResources  []ContextResource
+	// Workers bounds the worker pool the pipeline stages and hierarchy
+	// construction shard across. 0 selects GOMAXPROCS; 1 runs fully
+	// sequentially. The result is identical for every worker count; see
+	// README "Parallelism". ExtraExtractors and ExtraResources must be
+	// safe for concurrent use when Workers != 1 (pure functions of their
+	// input, like the built-ins, qualify).
+	Workers int
 }
 
 // System is a facet-extraction session over a document collection.
@@ -184,6 +191,9 @@ func NewSystem(env *Environment, opts Options) (*System, error) {
 	}
 	if opts.TopK < 0 {
 		return nil, fmt.Errorf("facet: negative TopK")
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("facet: negative Workers")
 	}
 	for _, e := range opts.Extractors {
 		switch e {
@@ -317,6 +327,7 @@ func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 		Extractors: s.buildExtractors(),
 		Resources:  s.buildResources(),
 		TopK:       s.opts.TopK,
+		Workers:    s.opts.Workers,
 	})
 	if err != nil {
 		return nil, err

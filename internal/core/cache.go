@@ -1,0 +1,84 @@
+package core
+
+import "sync"
+
+// ResourceCache memoizes Context lookups per resource name, so that
+// pipelines and evaluation harnesses sharing a cache across many
+// configurations pay for each distinct (resource, term) query once — the
+// offline precomputation strategy of Section V-D.
+//
+// The cache is safe for concurrent use: the parallel batch pipeline
+// shares one instance across all derive-context workers. Entries are
+// spread over sharded locks to keep hot-term lookups from serializing,
+// and each entry carries a single-flight guard so a term that several
+// workers miss simultaneously is derived exactly once — every other
+// worker blocks on that first derivation and reuses its result.
+type ResourceCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+// cacheEntry is one (resource, term) slot; once guards the single
+// derivation that fills ctx.
+type cacheEntry struct {
+	once sync.Once
+	ctx  []string
+}
+
+// NewResourceCache returns an empty cache.
+func NewResourceCache() *ResourceCache {
+	c := &ResourceCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*cacheEntry{}
+	}
+	return c
+}
+
+// Lookup queries the resource through the cache. Concurrent lookups of
+// the same (resource, term) pair share one underlying Context call.
+func (c *ResourceCache) Lookup(r Resource, term string) []string {
+	key := r.Name() + "\x00" + term
+	sh := &c.shards[fnv32a(key)%cacheShards]
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		e = &cacheEntry{}
+		sh.m[key] = e
+	}
+	sh.mu.Unlock()
+	e.once.Do(func() { e.ctx = r.Context(term) })
+	return e.ctx
+}
+
+// Len returns the number of cached (resource, term) entries.
+func (c *ResourceCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// fnv32a is the 32-bit FNV-1a hash, inlined to keep the shard selector
+// allocation-free.
+func fnv32a(s string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}

@@ -22,13 +22,11 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/textdb"
 )
@@ -61,6 +59,16 @@ type Config struct {
 	// the registry as core.stage.<name> histograms, so long-running
 	// servers see pipeline cost continuously, not just per run.
 	Metrics *obsv.Registry
+	// Workers bounds the worker pool every pipeline stage shards across:
+	// important-term identification, context derivation, DF-table
+	// accumulation, and candidate scoring. 0 selects
+	// runtime.GOMAXPROCS(0); 1 takes the sequential path. Output is
+	// identical for every worker count — the stages shard documents (and
+	// candidate terms) into per-worker slots and merge deterministically.
+	// Extractors and Resources must be safe for concurrent use when
+	// Workers > 1 (the built-in substrates are read-only after
+	// construction).
+	Workers int
 }
 
 // Pipeline is a configured facet-discovery run. It caches resource
@@ -86,35 +94,16 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.TopK < 0 {
 		return nil, fmt.Errorf("core: negative TopK %d", cfg.TopK)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: negative Workers %d", cfg.Workers)
+	}
+	cfg.Workers = parallel.Workers(cfg.Workers)
 	return &Pipeline{cfg: cfg, cache: NewResourceCache()}, nil
 }
 
-// ResourceCache memoizes Context lookups per resource name, so that
-// evaluation harnesses sharing a cache across many pipeline
-// configurations pay for each distinct (resource, term) query once.
-type ResourceCache struct {
-	m map[string]map[string][]string
-}
-
-// NewResourceCache returns an empty cache.
-func NewResourceCache() *ResourceCache {
-	return &ResourceCache{m: map[string]map[string][]string{}}
-}
-
-// Lookup queries the resource through the cache.
-func (c *ResourceCache) Lookup(r Resource, term string) []string {
-	byTerm := c.m[r.Name()]
-	if byTerm == nil {
-		byTerm = map[string][]string{}
-		c.m[r.Name()] = byTerm
-	}
-	if ctx, ok := byTerm[term]; ok {
-		return ctx
-	}
-	ctx := r.Context(term)
-	byTerm[term] = ctx
-	return ctx
-}
+// background aliases context.Background() for use inside functions whose
+// per-document context-term parameter shadows the context package.
+var background = context.Background()
 
 // FacetTerm is one discovered facet term with its evidence.
 type FacetTerm struct {
@@ -170,14 +159,14 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 	}
 
 	start := time.Now()
-	important, err := IdentifyImportantContext(ctx, corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc)
+	important, err := IdentifyImportantWorkers(ctx, corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	observe("identify_important", time.Since(start))
 
 	start = time.Now()
-	contextTerms, err := DeriveContextContext(ctx, important, p.cfg.Resources, p.cache)
+	contextTerms, err := DeriveContextWorkers(ctx, important, p.cfg.Resources, p.cache, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +176,7 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 		return nil, err
 	}
 	start = time.Now()
-	res := Analyze(corpus, contextTerms, p.cfg.TopK)
+	res := AnalyzeWith(corpus, contextTerms, p.cfg.TopK, AnalyzeOptions{Workers: p.cfg.Workers})
 	observe("analyze", time.Since(start))
 
 	res.Important = important
@@ -207,15 +196,21 @@ func IdentifyImportant(corpus *textdb.Corpus, extractors []Extractor, maxPerDoc 
 
 // IdentifyImportantContext is IdentifyImportant with cancellation: every
 // worker checks ctx before each document and the first ctx error aborts
-// the run.
-//
-// Documents are sharded across GOMAXPROCS workers: extraction is
-// CPU-bound and per-document independent, and the built-in extractors are
-// read-only after construction. Output is deterministic — each worker
-// writes only its own documents' slots.
+// the run. Documents are sharded across GOMAXPROCS workers; use
+// IdentifyImportantWorkers for an explicit worker count.
 func IdentifyImportantContext(ctx context.Context, corpus *textdb.Corpus, extractors []Extractor, maxPerDoc int) ([][]string, error) {
+	return IdentifyImportantWorkers(ctx, corpus, extractors, maxPerDoc, 0)
+}
+
+// IdentifyImportantWorkers shards Step 1 across a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS, 1 runs sequentially on the calling
+// goroutine): extraction is CPU-bound and per-document independent, and
+// the built-in extractors are read-only after construction. Output is
+// identical for every worker count — each worker writes only its own
+// documents' slots.
+func IdentifyImportantWorkers(ctx context.Context, corpus *textdb.Corpus, extractors []Extractor, maxPerDoc, workers int) ([][]string, error) {
 	out := make([][]string, corpus.Len())
-	extractOne := func(i int) {
+	err := parallel.For(ctx, corpus.Len(), parallel.Workers(workers), func(_, i int) {
 		doc := corpus.Doc(textdb.DocID(i))
 		text := doc.Title + ". " + doc.Text
 		seen := map[string]bool{}
@@ -233,37 +228,8 @@ func IdentifyImportantContext(ctx context.Context, corpus *textdb.Corpus, extrac
 			terms = terms[:maxPerDoc]
 		}
 		out[i] = terms
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || corpus.Len() < 2*workers {
-		for i := 0; i < corpus.Len(); i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			extractOne(i)
-		}
-		return out, nil
-	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= corpus.Len() {
-					return
-				}
-				extractOne(i)
-			}
-		}()
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -279,19 +245,27 @@ func DeriveContext(important [][]string, resources []Resource, cache *ResourceCa
 
 // DeriveContextContext is DeriveContext with cancellation, checked
 // between documents — a canceled expansion stops after at most one
-// document's resource queries.
+// document's resource queries. Documents are sharded across GOMAXPROCS
+// workers; use DeriveContextWorkers for an explicit worker count.
 func DeriveContextContext(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache) ([][]string, error) {
+	return DeriveContextWorkers(ctx, important, resources, cache, 0)
+}
+
+// DeriveContextWorkers shards Step 2 across a bounded worker pool
+// (workers <= 0 selects GOMAXPROCS, 1 runs sequentially). The shared
+// cache is safe for this: lookups are single-flight per (resource,
+// term), so a hot term missed by several workers at once is still
+// derived exactly once. Output is identical for every worker count —
+// per-document rows depend only on that document's important terms.
+func DeriveContextWorkers(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache, workers int) ([][]string, error) {
 	if cache == nil {
 		cache = NewResourceCache()
 	}
 	out := make([][]string, len(important))
-	for i, terms := range important {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	err := parallel.For(ctx, len(important), parallel.Workers(workers), func(_, i int) {
 		seen := map[string]bool{}
 		var ctxTerms []string
-		for _, t := range terms {
+		for _, t := range important[i] {
 			for _, r := range resources {
 				for _, c := range cache.Lookup(r, t) {
 					if c == "" || seen[c] {
@@ -303,6 +277,9 @@ func DeriveContextContext(ctx context.Context, important [][]string, resources [
 			}
 		}
 		out[i] = ctxTerms
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -318,6 +295,47 @@ type AnalyzeOptions struct {
 	// −log λ. The paper argues chi-square (stats.ChiSquare) misbehaves on
 	// Zipfian frequencies; the ablation experiment substitutes it here.
 	Scorer func(df, dfC, n int) float64
+	// Workers shards DF-table accumulation and candidate scoring across a
+	// bounded worker pool; <= 1 (the zero value) takes the sequential
+	// path. Results are identical for every worker count: document
+	// frequencies are additive across shards, and the final ranking's
+	// (Score, Term) order is total. The Scorer must be safe for
+	// concurrent use when Workers > 1 (a pure function of its arguments,
+	// as both built-in statistics are).
+	Workers int
+}
+
+// ExpandDocTerms builds one document's contextualized term row (the
+// Fig. 2 → Fig. 3 hand-off): the document's own term IDs followed by its
+// context terms, interned and deduplicated. IDs of terms that gained
+// their first occurrence through context — the only terms able to pass
+// Shift_f > 0 — are recorded in ctxSet (when non-nil). scratch is an
+// optional reusable dedup map, cleared on entry; nil allocates one. Both
+// the batch analysis and the live-ingestion delta path build their
+// contextualized DF tables through this one helper, so the two always
+// agree on what C(D) contains.
+func ExpandDocTerms(dict *textdb.Dictionary, orig []textdb.TermID, context []string, scratch map[textdb.TermID]bool, ctxSet map[textdb.TermID]bool) []textdb.TermID {
+	if scratch == nil {
+		scratch = make(map[textdb.TermID]bool, len(orig)+len(context))
+	} else {
+		clear(scratch)
+	}
+	merged := make([]textdb.TermID, 0, len(orig)+len(context))
+	for _, id := range orig {
+		scratch[id] = true
+		merged = append(merged, id)
+	}
+	for _, c := range context {
+		id := dict.Intern(c)
+		if !scratch[id] {
+			scratch[id] = true
+			merged = append(merged, id)
+			if ctxSet != nil {
+				ctxSet[id] = true
+			}
+		}
+	}
+	return merged
 }
 
 // ContextVotes returns, per document, how many distinct important terms
@@ -358,41 +376,63 @@ func Analyze(corpus *textdb.Corpus, context [][]string, topK int) *Result {
 	return AnalyzeWith(corpus, context, topK, AnalyzeOptions{})
 }
 
-// AnalyzeWith is Analyze with explicit options.
+// AnalyzeWith is Analyze with explicit options. With opts.Workers > 1
+// the DF tables for D and C(D) are accumulated as per-worker delta
+// tables over document shards and merged before scoring; document
+// frequencies are additive across disjoint shards, so the merged tables
+// equal the sequentially built ones.
 func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts AnalyzeOptions) *Result {
 	dict := corpus.Dict()
 	n := corpus.Len()
 
-	// df over the original database.
-	dfD := textdb.NewDFTable(dict)
-	for i := 0; i < n; i++ {
-		dfD.AddDoc(corpus.DocTerms(textdb.DocID(i)))
+	workers := opts.Workers
+	if workers <= 1 {
+		// Sequential path: one pass, one table pair.
+		dfD := textdb.NewDFTable(dict)
+		for i := 0; i < n; i++ {
+			dfD.AddDoc(corpus.DocTerms(textdb.DocID(i)))
+		}
+		dfC := textdb.NewDFTable(dict)
+		ctxTermSet := map[textdb.TermID]bool{}
+		scratch := map[textdb.TermID]bool{}
+		for i := 0; i < n; i++ {
+			orig := corpus.DocTerms(textdb.DocID(i))
+			dfC.AddDoc(ExpandDocTerms(dict, orig, context[i], scratch, ctxTermSet))
+		}
+		return AnalyzeTables(dict, dfD, dfC, ctxTermSet, n, topK, opts)
 	}
 
-	// df over the contextualized database: original terms plus context
-	// terms, deduplicated per document.
-	dfC := textdb.NewDFTable(dict)
-	ctxTermSet := map[textdb.TermID]bool{}
-	scratch := map[textdb.TermID]bool{}
-	for i := 0; i < n; i++ {
+	// Parallel path: per-worker DF deltas and context-term sets, merged
+	// in worker order below.
+	type delta struct {
+		dfD, dfC *textdb.DFTable
+		ctxSet   map[textdb.TermID]bool
+		scratch  map[textdb.TermID]bool
+	}
+	deltas := make([]*delta, workers)
+	for w := range deltas {
+		deltas[w] = &delta{
+			dfD:     textdb.NewDFTable(dict),
+			dfC:     textdb.NewDFTable(dict),
+			ctxSet:  map[textdb.TermID]bool{},
+			scratch: map[textdb.TermID]bool{},
+		}
+	}
+	parallel.For(background, n, workers, func(w, i int) {
+		d := deltas[w]
 		orig := corpus.DocTerms(textdb.DocID(i))
-		clear(scratch)
-		merged := make([]textdb.TermID, 0, len(orig)+len(context[i]))
-		for _, id := range orig {
-			scratch[id] = true
-			merged = append(merged, id)
+		d.dfD.AddDoc(orig)
+		d.dfC.AddDoc(ExpandDocTerms(dict, orig, context[i], d.scratch, d.ctxSet))
+	})
+	dfD, dfC := textdb.NewDFTable(dict), textdb.NewDFTable(dict)
+	ctxTermSet := map[textdb.TermID]bool{}
+	for _, d := range deltas {
+		dfD.Merge(d.dfD)
+		dfC.Merge(d.dfC)
+		for id := range d.ctxSet {
+			ctxTermSet[id] = true
 		}
-		for _, c := range context[i] {
-			id := dict.Intern(c)
-			if !scratch[id] {
-				scratch[id] = true
-				merged = append(merged, id)
-				ctxTermSet[id] = true
-			}
-		}
-		dfC.AddDoc(merged)
 	}
-
 	return AnalyzeTables(dict, dfD, dfC, ctxTermSet, n, topK, opts)
 }
 
@@ -419,26 +459,51 @@ func AnalyzeTables(dict *textdb.Dictionary, dfD, dfC *textdb.DFTable, ctxTermSet
 	}
 	// Only terms that gained at least one contextual occurrence can pass
 	// Shift_f > 0, so candidate enumeration is restricted to ctxTermSet.
-	var cands []FacetTerm
-	for id := range ctxTermSet {
+	// Both shift tests and the score are pure functions of the frozen
+	// tables, so candidates shard across workers; the final (Score, Term)
+	// sort is a total order, making the ranking identical for every
+	// worker count.
+	score := func(id textdb.TermID) (FacetTerm, bool) {
 		df := dfD.DF(id)
 		dfc := dfC.DF(id)
 		shiftF := dfc - df
 		if shiftF <= 0 && !opts.SkipShiftF {
-			continue
+			return FacetTerm{}, false
 		}
 		shiftR := textdb.Bin(ranksD.Rank(id)) - textdb.Bin(ranksC.Rank(id))
 		if shiftR <= 0 && !opts.SkipShiftR {
-			continue
+			return FacetTerm{}, false
 		}
-		cands = append(cands, FacetTerm{
+		return FacetTerm{
 			Term:   dict.String(id),
 			DF:     df,
 			DFC:    dfc,
 			ShiftF: shiftF,
 			ShiftR: shiftR,
 			Score:  scorer(df, dfc, n),
+		}, true
+	}
+	var cands []FacetTerm
+	if workers := opts.Workers; workers > 1 && len(ctxTermSet) > 1 {
+		ids := make([]textdb.TermID, 0, len(ctxTermSet))
+		for id := range ctxTermSet {
+			ids = append(ids, id)
+		}
+		parts := make([][]FacetTerm, workers)
+		parallel.For(background, len(ids), workers, func(w, i int) {
+			if ft, ok := score(ids[i]); ok {
+				parts[w] = append(parts[w], ft)
+			}
 		})
+		for _, p := range parts {
+			cands = append(cands, p...)
+		}
+	} else {
+		for id := range ctxTermSet {
+			if ft, ok := score(id); ok {
+				cands = append(cands, ft)
+			}
+		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].Score != cands[b].Score {

@@ -1,10 +1,12 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/parallel"
 )
 
 // TaxonomicEvidence scores the hypothesis "parent is-a-broader-term-of
@@ -43,6 +45,10 @@ type EvidenceConfig struct {
 	Threshold float64
 	// MinDF as in SubsumptionConfig.
 	MinDF int
+	// Workers as in SubsumptionConfig: shards the pairwise evidence
+	// scoring, <= 1 runs sequentially, output is identical either way.
+	// Sources must be safe for concurrent use when Workers > 1.
+	Workers int
 }
 
 // BuildWithEvidence builds a forest like BuildSubsumption but chooses each
@@ -110,8 +116,12 @@ func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) 
 	for _, i := range alive {
 		nodes[i] = &Node{Term: uniq[i], DF: df[i]}
 	}
-	parentOf := map[int]int{}
-	for _, y := range alive {
+	// As in BuildSubsumption, every term's best parent is computed
+	// independently, so the pairwise evidence combination shards across
+	// workers into per-term slots merged deterministically afterwards.
+	parents := make([]int, len(alive))
+	parallel.For(context.Background(), len(alive), cfg.Workers, func(_, yi int) {
+		y := alive[yi]
 		bestScore := 0.0
 		bestIdx := -1
 		for _, x := range alive {
@@ -133,8 +143,15 @@ func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) 
 				bestIdx = x
 			}
 		}
+		parents[yi] = -1
 		if bestIdx >= 0 && bestScore >= cfg.Threshold {
-			parentOf[y] = bestIdx
+			parents[yi] = bestIdx
+		}
+	})
+	parentOf := map[int]int{}
+	for yi, y := range alive {
+		if parents[yi] >= 0 {
+			parentOf[y] = parents[yi]
 		}
 	}
 	// Cycle guard as in BuildSubsumption.

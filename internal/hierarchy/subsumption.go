@@ -13,10 +13,12 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
+	"repro/internal/parallel"
 )
 
 // Node is one term in a hierarchy.
@@ -69,6 +71,12 @@ type SubsumptionConfig struct {
 	// almost any x by saturation, not by meaning). 0 selects 0.6;
 	// set >= 1 to disable.
 	MaxChildDFFraction float64
+	// Workers shards the O(terms²) pairwise co-occurrence counting — the
+	// dominant cost of hierarchy construction — across a bounded worker
+	// pool. <= 1 (the zero value) runs sequentially; the forest is
+	// identical for every worker count, since each term's parent is
+	// selected independently from the frozen bitsets.
+	Workers int
 }
 
 // BuildSubsumption builds a subsumption forest over the given terms.
@@ -136,11 +144,17 @@ func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig
 	// Sanderson & Croft's directionality P(x|y) > P(y|x); enforcing it on
 	// document frequencies keeps the forest layered even when the
 	// co-occurrence estimates saturate.
-	parentOf := make(map[int]int)
+	// Each term's parent is selected independently from the frozen
+	// bitsets, so the O(terms²) AndCount sweep shards across workers;
+	// every worker writes only its own terms' slots, and the slot array
+	// is folded into parentOf in deterministic order afterwards.
+	parents := make([]int, len(alive))
 	maxChildDF := int(cfg.MaxChildDFFraction * float64(nDocs))
-	for _, y := range alive {
+	parallel.For(context.Background(), len(alive), cfg.Workers, func(_, yi int) {
+		parents[yi] = -1
+		y := alive[yi]
 		if nDocs > 0 && df[y] > maxChildDF {
-			continue // saturated term: keep as a facet-dimension root
+			return // saturated term: keep as a facet-dimension root
 		}
 		var best *parentCand
 		for _, x := range alive {
@@ -159,7 +173,13 @@ func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig
 			}
 		}
 		if best != nil {
-			parentOf[y] = best.idx
+			parents[yi] = best.idx
+		}
+	})
+	parentOf := make(map[int]int)
+	for yi, y := range alive {
+		if parents[yi] >= 0 {
+			parentOf[y] = parents[yi]
 		}
 	}
 

@@ -54,11 +54,15 @@ func (ing *Ingester) runEpoch() error {
 	}
 
 	// Step 3 over the delta-merged statistics, then hierarchy + browse.
-	res := core.AnalyzeTables(snap.Dict(), dfD, dfC, ctxTerms, n, ing.cfg.TopK, core.AnalyzeOptions{})
+	// Candidate scoring and the pairwise subsumption sweep shard across
+	// the same worker pool that sizes intake (results are identical for
+	// any worker count, so live and batch builds still agree).
+	res := core.AnalyzeTables(snap.Dict(), dfD, dfC, ctxTerms, n, ing.cfg.TopK, core.AnalyzeOptions{Workers: ing.cfg.Workers})
 	terms := res.FacetTermStrings()
 	docTerms := assignDocTerms(snap, important, votes, terms)
 	forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{
 		Threshold: ing.cfg.SubsumptionThreshold,
+		Workers:   ing.cfg.Workers,
 	})
 	if err != nil {
 		return err

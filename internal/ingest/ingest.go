@@ -41,6 +41,7 @@ import (
 	"repro/internal/browse"
 	"repro/internal/core"
 	"repro/internal/obsv"
+	"repro/internal/parallel"
 	"repro/internal/textdb"
 )
 
@@ -271,22 +272,7 @@ func (ing *Ingester) admit(doc *textdb.Document, a analysis, persist bool) {
 	id := ing.corpus.Add(doc)
 	orig := ing.corpus.DocTerms(id)
 	ing.dfD.AddDoc(orig)
-	scratch := make(map[textdb.TermID]bool, len(orig)+len(a.ctx))
-	merged := make([]textdb.TermID, 0, len(orig)+len(a.ctx))
-	for _, tid := range orig {
-		scratch[tid] = true
-		merged = append(merged, tid)
-	}
-	dict := ing.corpus.Dict()
-	for _, c := range a.ctx {
-		tid := dict.Intern(c)
-		if !scratch[tid] {
-			scratch[tid] = true
-			merged = append(merged, tid)
-			ing.ctxTerms[tid] = true
-		}
-	}
-	ing.dfC.AddDoc(merged)
+	ing.dfC.AddDoc(core.ExpandDocTerms(ing.corpus.Dict(), orig, a.ctx, nil, ing.ctxTerms))
 	ing.important = append(ing.important, a.important)
 	ing.votes = append(ing.votes, a.votes)
 	if persist && ing.cfg.Store != nil {
@@ -317,24 +303,9 @@ func (ing *Ingester) Bootstrap(docs []*textdb.Document, persist bool) error {
 		return fmt.Errorf("ingest: bootstrap after start")
 	}
 	analyses := make([]analysis, len(docs))
-	if len(docs) > 0 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < ing.cfg.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(docs) {
-						return
-					}
-					analyses[i] = ing.analyze(docs[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	parallel.For(context.Background(), len(docs), ing.cfg.Workers, func(_, i int) {
+		analyses[i] = ing.analyze(docs[i])
+	})
 	// Sequential admission keeps document IDs aligned with input order
 	// (and with segment order on the warm-start path).
 	for i, doc := range docs {

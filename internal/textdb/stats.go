@@ -42,6 +42,25 @@ func (t *DFTable) Clone() *DFTable {
 	return &DFTable{dict: t.dict, df: append([]int32(nil), t.df...), docs: t.docs}
 }
 
+// Merge folds another table's counts into t. Document frequencies are
+// additive across disjoint document shards, so the parallel batch
+// pipeline has each worker accumulate a private delta table over its
+// shard and merges the deltas here before the comparative analysis —
+// the result is identical to counting every document into one table.
+// Both tables must share t's dictionary.
+func (t *DFTable) Merge(other *DFTable) {
+	if other == nil || other.docs == 0 && len(other.df) == 0 {
+		return
+	}
+	t.docs += other.docs
+	if n := len(other.df); n > 0 {
+		t.ensure(TermID(n - 1))
+		for id, c := range other.df {
+			t.df[id] += c
+		}
+	}
+}
+
 // DF returns the document frequency of a term (0 for never-seen terms).
 func (t *DFTable) DF(id TermID) int {
 	if int(id) >= len(t.df) || id < 0 {

@@ -134,6 +134,49 @@ func TestDFTableCounts(t *testing.T) {
 	}
 }
 
+func TestDFTableMergeMatchesSingleTable(t *testing.T) {
+	c := newTestCorpus(
+		"war in iraq", "war ends", "peace treaty",
+		"markets rally", "war peace markets", "treaty signed",
+	)
+	// One table over all documents...
+	whole := NewDFTable(c.Dict())
+	for i := 0; i < c.Len(); i++ {
+		whole.AddDoc(c.DocTerms(DocID(i)))
+	}
+	// ...must equal per-shard delta tables merged together, regardless of
+	// shard boundaries.
+	for _, cut := range []int{0, 2, 4, 6} {
+		merged := NewDFTable(c.Dict())
+		left, right := NewDFTable(c.Dict()), NewDFTable(c.Dict())
+		for i := 0; i < c.Len(); i++ {
+			if i < cut {
+				left.AddDoc(c.DocTerms(DocID(i)))
+			} else {
+				right.AddDoc(c.DocTerms(DocID(i)))
+			}
+		}
+		merged.Merge(left)
+		merged.Merge(right)
+		if merged.NumDocs() != whole.NumDocs() {
+			t.Fatalf("cut %d: NumDocs = %d, want %d", cut, merged.NumDocs(), whole.NumDocs())
+		}
+		for id := 0; id < c.Dict().Len(); id++ {
+			if merged.DF(TermID(id)) != whole.DF(TermID(id)) {
+				t.Fatalf("cut %d: DF(%q) = %d, want %d",
+					cut, c.Dict().String(TermID(id)), merged.DF(TermID(id)), whole.DF(TermID(id)))
+			}
+		}
+	}
+	// Merging an empty or nil table is a no-op.
+	before := whole.NumDocs()
+	whole.Merge(NewDFTable(c.Dict()))
+	whole.Merge(nil)
+	if whole.NumDocs() != before {
+		t.Fatal("empty merge changed the table")
+	}
+}
+
 func TestRanksAndBins(t *testing.T) {
 	d := NewDictionary()
 	table := NewDFTable(d)
