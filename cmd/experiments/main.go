@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy]
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|faultreport]
 //	            [-full] [-seed N] [-workers N] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
@@ -30,7 +30,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy)")
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, faultreport)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	workers := flag.Int("workers", 0, "pipeline worker pool size for the stage report (0 = GOMAXPROCS)")
@@ -231,6 +231,12 @@ func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvD
 			return err
 		}
 		fmt.Fprintln(w, res.Format())
+	}
+	if want("faultreport") {
+		section("Fault report — injected error rate vs. output stability and retry cost")
+		if err := faultReport(w, seed, workers); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "\nTotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -1,6 +1,7 @@
 package facet
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -62,6 +63,14 @@ const (
 // method. Its wall-clock cost is recorded as the build_hierarchy stage
 // of Result.StageReport.
 func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) {
+	return r.BuildHierarchyWithContext(context.Background(), method)
+}
+
+// BuildHierarchyWithContext is BuildHierarchyWith with cancellation: the
+// sharded O(terms²) parent-selection sweep checks ctx between terms, so a
+// caller-imposed deadline aborts hierarchy construction promptly instead
+// of completing the full pairwise pass.
+func (r *Result) BuildHierarchyWithContext(ctx context.Context, method HierarchyMethod) (*Hierarchy, error) {
 	if r.stages != nil {
 		defer r.stages.Start("build_hierarchy")()
 	}
@@ -105,7 +114,7 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 				return 0
 			},
 		}
-		forest, err := hierarchy.BuildWithEvidence(terms, docTerms, hierarchy.EvidenceConfig{
+		forest, err := hierarchy.BuildWithEvidenceContext(ctx, terms, docTerms, hierarchy.EvidenceConfig{
 			Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
 			Weights:   []float64{0.5, 0.5},
 			Threshold: 0.6,
@@ -116,6 +125,9 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 		}
 		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
 	case HierarchyTreeMin:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		env := r.sys.env
 		chains := hierarchy.ChainFunc(func(term string) []string {
 			lemma, ok := env.wnet.Morphy(term)
@@ -128,7 +140,7 @@ func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) 
 		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
 	default:
 		th := r.sys.opts.SubsumptionThreshold
-		forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{
+		forest, err := hierarchy.BuildSubsumptionContext(ctx, terms, docTerms, hierarchy.SubsumptionConfig{
 			Threshold: th,
 			Workers:   workers,
 		})

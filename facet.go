@@ -300,13 +300,38 @@ type FacetTerm struct {
 	Score  float64 // Dunning log-likelihood
 }
 
+// Degradation records one external dependency (an extractor or a context
+// resource) that kept failing after retries during extraction. The
+// pipeline proceeds without the failed dependency — its contribution is
+// simply absent from the affected documents' term sets — and reports the
+// gap here instead of failing the whole run (graceful degradation; see
+// README "Failure model").
+type Degradation struct {
+	// Name is the failed extractor's or resource's name.
+	Name string
+	// Kind is "extractor" or "resource".
+	Kind string
+	// Failures counts failed lookups attributed to this dependency.
+	Failures int
+	// Docs counts the documents whose term sets are missing this
+	// dependency's contribution.
+	Docs int
+	// LastErr is the text of the last error observed.
+	LastErr string
+}
+
 // Result is the outcome of facet extraction.
 type Result struct {
 	// Facets are the top-K facet terms, most significant first.
 	Facets []FacetTerm
-	sys    *System
-	inner  *core.Result
-	stages *obsv.StageTimer
+	// Degradations lists external dependencies that failed during
+	// extraction; empty when every extractor and resource answered every
+	// lookup. A non-empty list means the facets were computed from the
+	// surviving dependencies only.
+	Degradations []Degradation
+	sys          *System
+	inner        *core.Result
+	stages       *obsv.StageTimer
 }
 
 // ExtractFacets runs the three pipeline steps over the indexed documents.
@@ -344,6 +369,12 @@ func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 		res.Facets = append(res.Facets, FacetTerm{
 			Term: f.Term, DF: f.DF, DFC: f.DFC,
 			ShiftF: f.ShiftF, ShiftR: f.ShiftR, Score: f.Score,
+		})
+	}
+	for _, d := range inner.Degradations {
+		res.Degradations = append(res.Degradations, Degradation{
+			Name: d.Name, Kind: d.Kind, Failures: d.Failures,
+			Docs: d.Docs, LastErr: d.LastErr,
 		})
 	}
 	return res, nil

@@ -45,6 +45,63 @@ type Resource interface {
 	Context(term string) []string
 }
 
+// ResourceErr is the fallible counterpart of Resource: the remote
+// services behind the paper's resources (Google, Wikipedia) can fail,
+// time out, or be down, and ContextErr surfaces that instead of
+// silently returning nothing. Resources that also implement ResourceErr
+// are upgraded automatically by the pipeline; failures are then recorded
+// in Result.Degradations rather than mistaken for "no context".
+type ResourceErr interface {
+	Name() string
+	ContextErr(ctx context.Context, term string) ([]string, error)
+}
+
+// ExtractorErr is the fallible counterpart of Extractor (the paper's
+// Yahoo Term Extraction service is a remote call too).
+type ExtractorErr interface {
+	Name() string
+	ExtractErr(ctx context.Context, text string) ([]string, error)
+}
+
+// infallibleResource adapts a plain Resource to ResourceErr; it never
+// errors.
+type infallibleResource struct{ Resource }
+
+func (r infallibleResource) ContextErr(ctx context.Context, term string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.Context(term), nil
+}
+
+// AsResourceErr upgrades a Resource to its fallible interface when it
+// implements one, and wraps it as never-failing otherwise.
+func AsResourceErr(r Resource) ResourceErr {
+	if re, ok := r.(ResourceErr); ok {
+		return re
+	}
+	return infallibleResource{r}
+}
+
+// infallibleExtractor adapts a plain Extractor to ExtractorErr.
+type infallibleExtractor struct{ Extractor }
+
+func (e infallibleExtractor) ExtractErr(ctx context.Context, text string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Extract(text), nil
+}
+
+// AsExtractorErr upgrades an Extractor to its fallible interface when it
+// implements one, and wraps it as never-failing otherwise.
+func AsExtractorErr(e Extractor) ExtractorErr {
+	if ee, ok := e.(ExtractorErr); ok {
+		return ee
+	}
+	return infallibleExtractor{e}
+}
+
 // Config assembles a pipeline.
 type Config struct {
 	Extractors []Extractor
@@ -135,6 +192,78 @@ type Result struct {
 	// Stages reports each pipeline stage's wall-clock cost in execution
 	// order — the per-run counterpart of the Section V-D efficiency table.
 	Stages []obsv.StageSample
+	// Degradations reports, per external dependency, the lookups the run
+	// completed WITHOUT because the dependency failed permanently (after
+	// the resilience layer's retries, or with its circuit open). An empty
+	// list means every extractor and resource answered every query: the
+	// output is exactly the fault-free output. A non-empty list means the
+	// run degraded gracefully — it proceeded with the surviving
+	// dependencies — and quantifies the gap.
+	Degradations []Degradation
+}
+
+// Degradation quantifies one external dependency's failures during a run.
+type Degradation struct {
+	// Name is the failing resource or extractor's Name().
+	Name string
+	// Kind is "resource" or "extractor".
+	Kind string
+	// Failures counts failed lookups: (document, term) expansion queries
+	// for resources, documents for extractors.
+	Failures int
+	// Docs counts distinct documents with at least one failed lookup.
+	Docs int
+	// LastErr is the text of one representative error.
+	LastErr string
+}
+
+// degAccum is one worker's running tally for a dependency; merged across
+// workers into a Degradation afterwards.
+type degAccum struct {
+	failures int
+	docs     int
+	lastErr  string
+}
+
+// recordDeg tallies one failed lookup into a worker-local map.
+func recordDeg(m map[string]*degAccum, name string, newDoc bool, err error) {
+	a := m[name]
+	if a == nil {
+		a = &degAccum{}
+		m[name] = a
+	}
+	a.failures++
+	if newDoc {
+		a.docs++
+	}
+	a.lastErr = err.Error()
+}
+
+// mergeDegradations folds per-worker tallies into a deterministic
+// (name-sorted) report. Counts are additive across disjoint document
+// shards; LastErr takes the first non-empty text in worker order.
+func mergeDegradations(kind string, perWorker []map[string]*degAccum) []Degradation {
+	merged := map[string]*Degradation{}
+	for _, m := range perWorker {
+		for name, a := range m {
+			d := merged[name]
+			if d == nil {
+				d = &Degradation{Name: name, Kind: kind}
+				merged[name] = d
+			}
+			d.Failures += a.failures
+			d.Docs += a.docs
+			if d.LastErr == "" {
+				d.LastErr = a.lastErr
+			}
+		}
+	}
+	out := make([]Degradation, 0, len(merged))
+	for _, d := range merged {
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }
 
 // Run executes the three steps over the corpus.
@@ -159,14 +288,14 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 	}
 
 	start := time.Now()
-	important, err := IdentifyImportantWorkers(ctx, corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc, p.cfg.Workers)
+	important, extractorDegs, err := IdentifyImportantReport(ctx, corpus, p.cfg.Extractors, p.cfg.MaxImportantPerDoc, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
 	observe("identify_important", time.Since(start))
 
 	start = time.Now()
-	contextTerms, err := DeriveContextWorkers(ctx, important, p.cfg.Resources, p.cache, p.cfg.Workers)
+	contextTerms, resourceDegs, err := DeriveContextReport(ctx, important, p.cfg.Resources, p.cache, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -183,6 +312,12 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 	res.Context = contextTerms
 	res.Resources = p.cfg.Resources
 	res.Stages = timer.Report()
+	res.Degradations = append(extractorDegs, resourceDegs...)
+	if p.cfg.Metrics != nil {
+		for _, d := range res.Degradations {
+			p.cfg.Metrics.Counter("core.degraded_lookups." + d.Name).Add(int64(d.Failures))
+		}
+	}
 	return res, nil
 }
 
@@ -209,14 +344,42 @@ func IdentifyImportantContext(ctx context.Context, corpus *textdb.Corpus, extrac
 // identical for every worker count — each worker writes only its own
 // documents' slots.
 func IdentifyImportantWorkers(ctx context.Context, corpus *textdb.Corpus, extractors []Extractor, maxPerDoc, workers int) ([][]string, error) {
+	out, _, err := IdentifyImportantReport(ctx, corpus, extractors, maxPerDoc, workers)
+	return out, err
+}
+
+// IdentifyImportantReport is IdentifyImportantWorkers with graceful
+// degradation: an extractor that fails for a document (extractors
+// implementing ExtractorErr can) is skipped for that document, the run
+// proceeds with the surviving extractors, and the gap is quantified in
+// the returned Degradations. Plain extractors never fail, so for them
+// this is exactly IdentifyImportantWorkers.
+func IdentifyImportantReport(ctx context.Context, corpus *textdb.Corpus, extractors []Extractor, maxPerDoc, workers int) ([][]string, []Degradation, error) {
+	fallible := make([]ExtractorErr, len(extractors))
+	for i, ex := range extractors {
+		fallible[i] = AsExtractorErr(ex)
+	}
+	nw := parallel.Workers(workers)
+	degs := make([]map[string]*degAccum, nw)
+	for w := range degs {
+		degs[w] = map[string]*degAccum{}
+	}
 	out := make([][]string, corpus.Len())
-	err := parallel.For(ctx, corpus.Len(), parallel.Workers(workers), func(_, i int) {
+	err := parallel.For(ctx, corpus.Len(), nw, func(w, i int) {
 		doc := corpus.Doc(textdb.DocID(i))
 		text := doc.Title + ". " + doc.Text
 		seen := map[string]bool{}
 		var terms []string
-		for _, ex := range extractors {
-			for _, t := range ex.Extract(text) {
+		for _, ex := range fallible {
+			extracted, eerr := ex.ExtractErr(ctx, text)
+			if eerr != nil {
+				if ctx.Err() != nil {
+					return // cancellation, not a dependency failure
+				}
+				recordDeg(degs[w], ex.Name(), true, eerr)
+				continue
+			}
+			for _, t := range extracted {
 				if t == "" || seen[t] {
 					continue
 				}
@@ -230,9 +393,9 @@ func IdentifyImportantWorkers(ctx context.Context, corpus *textdb.Corpus, extrac
 		out[i] = terms
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, mergeDegradations("extractor", degs), nil
 }
 
 // DeriveContext is Step 2 (Figure 2): per document, the union of all
@@ -258,16 +421,48 @@ func DeriveContextContext(ctx context.Context, important [][]string, resources [
 // derived exactly once. Output is identical for every worker count —
 // per-document rows depend only on that document's important terms.
 func DeriveContextWorkers(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache, workers int) ([][]string, error) {
+	out, _, err := DeriveContextReport(ctx, important, resources, cache, workers)
+	return out, err
+}
+
+// DeriveContextReport is DeriveContextWorkers with graceful degradation:
+// a resource whose lookup fails permanently (resources implementing
+// ResourceErr can — the resilience layer surfaces exhausted retries and
+// open circuits here) contributes nothing for that (document, term)
+// pair, the expansion proceeds with the surviving resources, and the gap
+// is quantified in the returned Degradations. Failed lookups are never
+// cached, so a recovering resource starts answering again immediately.
+func DeriveContextReport(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache, workers int) ([][]string, []Degradation, error) {
 	if cache == nil {
 		cache = NewResourceCache()
 	}
+	fallible := make([]ResourceErr, len(resources))
+	for i, r := range resources {
+		fallible[i] = AsResourceErr(r)
+	}
+	nw := parallel.Workers(workers)
+	degs := make([]map[string]*degAccum, nw)
+	for w := range degs {
+		degs[w] = map[string]*degAccum{}
+	}
 	out := make([][]string, len(important))
-	err := parallel.For(ctx, len(important), parallel.Workers(workers), func(_, i int) {
+	err := parallel.For(ctx, len(important), nw, func(w, i int) {
 		seen := map[string]bool{}
+		failedDoc := map[string]bool{} // resources that already failed for this document
 		var ctxTerms []string
 		for _, t := range important[i] {
-			for _, r := range resources {
-				for _, c := range cache.Lookup(r, t) {
+			for _, r := range fallible {
+				terms, lerr := cache.LookupErr(ctx, r, t)
+				if lerr != nil {
+					if ctx.Err() != nil {
+						return // cancellation, not a dependency failure
+					}
+					name := r.Name()
+					recordDeg(degs[w], name, !failedDoc[name], lerr)
+					failedDoc[name] = true
+					continue
+				}
+				for _, c := range terms {
 					if c == "" || seen[c] {
 						continue
 					}
@@ -279,9 +474,9 @@ func DeriveContextWorkers(ctx context.Context, important [][]string, resources [
 		out[i] = ctxTerms
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, mergeDegradations("resource", degs), nil
 }
 
 // AnalyzeOptions selects variants of Step 3 for ablation studies. The

@@ -55,6 +55,13 @@ type EvidenceConfig struct {
 // term's parent by the maximum combined evidence score. A candidate must
 // still satisfy P(y|x) < 1 (directionality) and reach the threshold.
 func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) (*Forest, error) {
+	return BuildWithEvidenceContext(context.Background(), terms, docTerms, cfg)
+}
+
+// BuildWithEvidenceContext is BuildWithEvidence with cancellation: ctx is
+// checked between terms of the sharded pairwise evidence sweep, and a
+// canceled build returns ctx's error instead of a partial forest.
+func BuildWithEvidenceContext(ctx context.Context, terms []string, docTerms [][]string, cfg EvidenceConfig) (*Forest, error) {
 	if cfg.SubsumptionWeight == 0 {
 		cfg.SubsumptionWeight = 1.0
 	}
@@ -120,7 +127,7 @@ func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) 
 	// independently, so the pairwise evidence combination shards across
 	// workers into per-term slots merged deterministically afterwards.
 	parents := make([]int, len(alive))
-	parallel.For(context.Background(), len(alive), cfg.Workers, func(_, yi int) {
+	err := parallel.For(ctx, len(alive), cfg.Workers, func(_, yi int) {
 		y := alive[yi]
 		bestScore := 0.0
 		bestIdx := -1
@@ -148,6 +155,9 @@ func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) 
 			parents[yi] = bestIdx
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	parentOf := map[int]int{}
 	for yi, y := range alive {
 		if parents[yi] >= 0 {

@@ -88,6 +88,13 @@ type SubsumptionConfig struct {
 // then lexicographically), which produces deeper, more informative trees
 // than attaching everything to the most frequent subsumer.
 func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig) (*Forest, error) {
+	return BuildSubsumptionContext(context.Background(), terms, docTerms, cfg)
+}
+
+// BuildSubsumptionContext is BuildSubsumption with cancellation: ctx is
+// checked between terms of the sharded O(terms²) sweep, and a canceled
+// build returns ctx's error instead of a partially attached forest.
+func BuildSubsumptionContext(ctx context.Context, terms []string, docTerms [][]string, cfg SubsumptionConfig) (*Forest, error) {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.8
 	}
@@ -150,7 +157,7 @@ func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig
 	// is folded into parentOf in deterministic order afterwards.
 	parents := make([]int, len(alive))
 	maxChildDF := int(cfg.MaxChildDFFraction * float64(nDocs))
-	parallel.For(context.Background(), len(alive), cfg.Workers, func(_, yi int) {
+	err := parallel.For(ctx, len(alive), cfg.Workers, func(_, yi int) {
 		parents[yi] = -1
 		y := alive[yi]
 		if nDocs > 0 && df[y] > maxChildDF {
@@ -176,6 +183,9 @@ func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig
 			parents[yi] = best.idx
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	parentOf := make(map[int]int)
 	for yi, y := range alive {
 		if parents[yi] >= 0 {

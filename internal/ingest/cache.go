@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -40,37 +41,52 @@ func newLRUCache(capacity int) *lruCache {
 }
 
 // Lookup returns the context terms for (resource, term), querying the
-// resource on a miss. Two workers missing the same key concurrently may
-// both query the resource; lookups are idempotent, so the duplicate work
-// is harmless and cheaper than holding the lock across the query.
+// resource on a miss. Failures (for resources that also implement
+// core.ResourceErr) are reported as empty context; use LookupErr to
+// observe them.
 func (c *lruCache) Lookup(r core.Resource, term string) []string {
+	out, _ := c.LookupErr(context.Background(), core.AsResourceErr(r), term)
+	return out
+}
+
+// LookupErr returns the context terms for (resource, term), querying the
+// fallible resource on a miss. Errors are returned to the caller and
+// NEVER cached — a failed expansion is retried on the next lookup, so a
+// recovering resource starts answering again immediately. Two workers
+// missing the same key concurrently may both query the resource; lookups
+// are idempotent, so the duplicate work is harmless and cheaper than
+// holding the lock across the query.
+func (c *lruCache) LookupErr(ctx context.Context, r core.ResourceErr, term string) ([]string, error) {
 	key := r.Name() + "\x00" + term
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
-		ctx := el.Value.(*cacheEntry).ctx
+		out := el.Value.(*cacheEntry).ctx
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return ctx
+		return out, nil
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
 
-	ctx := r.Context(term)
+	out, err := r.ContextErr(ctx, term)
+	if err != nil {
+		return nil, err
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok { // a concurrent miss filled it first
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).ctx
+		return el.Value.(*cacheEntry).ctx, nil
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, ctx: ctx})
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, ctx: out})
 	for c.order.Len() > c.cap {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.items, back.Value.(*cacheEntry).key)
 	}
-	return ctx
+	return out, nil
 }
 
 // Len returns the number of cached entries.

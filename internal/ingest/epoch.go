@@ -164,6 +164,9 @@ type Stats struct {
 	CacheEntries        int     `json:"cache_entries"`           // live LRU entries
 	PersistedDocs       int64   `json:"persisted_docs"`          // documents durable in the segment store
 	PersistedSegments   int64   `json:"persisted_segments"`      // segments in the store
+	DeadLetters         int     `json:"dead_letters"`            // documents awaiting retry in the DLQ
+	DeadLetterDropped   int64   `json:"dead_letter_dropped"`     // DLQ entries evicted by the bound
+	AnalysisFailures    int64   `json:"analysis_failures"`       // failed document analyses (incl. retries)
 }
 
 // Stats returns a consistent snapshot of the counters.
@@ -182,7 +185,12 @@ func (ing *Ingester) Stats() Stats {
 		CacheEntries:      ing.cache.Len(),
 		PersistedDocs:     ing.persistedDocs.Load(),
 		PersistedSegments: ing.persistedSegments.Load(),
+		DeadLetterDropped: ing.dlqDropped.Load(),
+		AnalysisFailures:  ing.analysisFailures.Load(),
 	}
+	ing.dlqMu.Lock()
+	s.DeadLetters = len(ing.dlq)
+	ing.dlqMu.Unlock()
 	if total := hits + misses; total > 0 {
 		s.CacheHitRate = float64(hits) / float64(total)
 	}

@@ -82,6 +82,15 @@ type Config struct {
 	// CacheSize bounds the resource LRU cache in entries (0 = 4096).
 	CacheSize int
 
+	// DeadLetterSize bounds the dead-letter queue holding documents whose
+	// analysis failed permanently — an extractor or resource (after the
+	// resilience layer's retries) returned an error (0 = 256). When full,
+	// the oldest entry is dropped and counted. Dead-lettered documents are
+	// NOT ingested; RetryDeadLetters re-analyzes them, so a recovered
+	// dependency lets them in with complete term sets rather than
+	// admitting partial analyses.
+	DeadLetterSize int
+
 	// Store, when set, durably persists accepted documents: one segment
 	// per epoch via Store.Append. The ingester is then warm-startable
 	// from disk (Bootstrap with Store.LoadAll's documents).
@@ -107,6 +116,16 @@ type Ingester struct {
 	cfg   Config
 	cache *lruCache
 	queue chan *textdb.Document
+
+	// Fallible views of the configured dependencies, precomputed once so
+	// the per-document hot path skips the interface-upgrade assertions.
+	extractors []core.ExtractorErr
+	resources  []core.ResourceErr
+
+	// Dead-letter queue: documents whose analysis failed permanently.
+	dlqMu      sync.Mutex
+	dlq        []DeadLetterDoc
+	dlqDropped atomic.Int64
 
 	current        atomic.Pointer[browse.Interface]
 	publishedTerms atomic.Pointer[[]string]
@@ -143,6 +162,7 @@ type Ingester struct {
 	facetTerms        atomic.Int64
 	persistedDocs     atomic.Int64
 	persistedSegments atomic.Int64
+	analysisFailures  atomic.Int64
 }
 
 // New validates the configuration and returns an idle ingester. Call
@@ -167,6 +187,9 @@ func New(cfg Config) (*Ingester, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 4096
 	}
+	if cfg.DeadLetterSize <= 0 {
+		cfg.DeadLetterSize = 256
+	}
 	corpus := textdb.NewCorpus()
 	ing := &Ingester{
 		cfg:      cfg,
@@ -178,6 +201,14 @@ func New(cfg Config) (*Ingester, error) {
 		ctxTerms: map[textdb.TermID]bool{},
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
+	}
+	ing.extractors = make([]core.ExtractorErr, len(cfg.Extractors))
+	for i, ex := range cfg.Extractors {
+		ing.extractors[i] = core.AsExtractorErr(ex)
+	}
+	ing.resources = make([]core.ResourceErr, len(cfg.Resources))
+	for i, r := range cfg.Resources {
+		ing.resources[i] = core.AsResourceErr(r)
 	}
 	if cfg.Store != nil {
 		ing.persistedDocs.Store(int64(cfg.Store.Docs()))
@@ -211,6 +242,13 @@ func (ing *Ingester) RegisterMetrics(reg *obsv.Registry) {
 	reg.GaugeFunc("ingest.cache_entries", func() int64 { return int64(ing.cache.Len()) })
 	reg.GaugeFunc("ingest.persisted_docs", ing.persistedDocs.Load)
 	reg.GaugeFunc("ingest.persisted_segments", ing.persistedSegments.Load)
+	reg.GaugeFunc("ingest.dead_letters", func() int64 {
+		ing.dlqMu.Lock()
+		defer ing.dlqMu.Unlock()
+		return int64(len(ing.dlq))
+	})
+	reg.GaugeFunc("ingest.dead_letter_dropped", ing.dlqDropped.Load)
+	reg.GaugeFunc("ingest.analysis_failures", ing.analysisFailures.Load)
 }
 
 // analysis is the lock-free part of processing one document.
@@ -224,12 +262,22 @@ type analysis struct {
 // extractors, first-extractor-first) and Fig. 2 (context expansion
 // through the LRU cache) for one document. No locks are held; this is the
 // CPU-bound work the worker pool shards.
-func (ing *Ingester) analyze(doc *textdb.Document) analysis {
+//
+// Any dependency failure — an extractor, or a resource lookup that the
+// resilience layer gave up on — fails the whole analysis: a document is
+// either ingested with its complete term sets or dead-lettered and
+// retried later, never half-expanded (a partial expansion would silently
+// skew the DF tables against the paper's Fig. 2 semantics).
+func (ing *Ingester) analyze(ctx context.Context, doc *textdb.Document) (analysis, error) {
 	text := doc.Title + ". " + doc.Text
 	seen := map[string]bool{}
 	var terms []string
-	for _, ex := range ing.cfg.Extractors {
-		for _, t := range ex.Extract(text) {
+	for _, ex := range ing.extractors {
+		extracted, err := ex.ExtractErr(ctx, text)
+		if err != nil {
+			return analysis{}, fmt.Errorf("extractor %s: %w", ex.Name(), err)
+		}
+		for _, t := range extracted {
 			if t == "" || seen[t] {
 				continue
 			}
@@ -244,8 +292,12 @@ func (ing *Ingester) analyze(doc *textdb.Document) analysis {
 	seenCtx := map[string]bool{}
 	for _, t := range terms {
 		seenTerm := map[string]bool{}
-		for _, r := range ing.cfg.Resources {
-			for _, c := range ing.cache.Lookup(r, t) {
+		for _, r := range ing.resources {
+			lookedUp, err := ing.cache.LookupErr(ctx, r, t)
+			if err != nil {
+				return analysis{}, fmt.Errorf("resource %s(%q): %w", r.Name(), t, err)
+			}
+			for _, c := range lookedUp {
 				if c == "" {
 					continue
 				}
@@ -260,7 +312,102 @@ func (ing *Ingester) analyze(doc *textdb.Document) analysis {
 			}
 		}
 	}
-	return a
+	return a, nil
+}
+
+// process analyzes one document and either admits it into the pipeline
+// or routes it to the dead-letter queue. persist marks the document for
+// durable Append at the next epoch.
+func (ing *Ingester) process(doc *textdb.Document, persist bool, attempts int) {
+	a, err := ing.analyze(context.Background(), doc)
+	if err != nil {
+		ing.deadLetter(doc, attempts+1, err)
+		return
+	}
+	ing.admit(doc, a, persist)
+}
+
+// DeadLetterDoc is one permanently-failed document awaiting retry.
+type DeadLetterDoc struct {
+	// Doc is the rejected document, untouched — a retry re-runs the full
+	// analysis.
+	Doc *textdb.Document `json:"doc"`
+	// Attempts counts failed analysis attempts (initial + retries).
+	Attempts int `json:"attempts"`
+	// Err is the text of the last analysis error.
+	Err string `json:"err"`
+}
+
+// deadLetter appends one failed document to the bounded dead-letter
+// queue, dropping (and counting) the oldest entry when full.
+func (ing *Ingester) deadLetter(doc *textdb.Document, attempts int, err error) {
+	ing.analysisFailures.Add(1)
+	if ing.cfg.Logf != nil {
+		ing.cfg.Logf("ingest: dead-lettering document %q (attempt %d): %v", doc.Title, attempts, err)
+	}
+	ing.dlqMu.Lock()
+	defer ing.dlqMu.Unlock()
+	ing.dlq = append(ing.dlq, DeadLetterDoc{Doc: doc, Attempts: attempts, Err: err.Error()})
+	if over := len(ing.dlq) - ing.cfg.DeadLetterSize; over > 0 {
+		ing.dlq = append([]DeadLetterDoc(nil), ing.dlq[over:]...)
+		ing.dlqDropped.Add(int64(over))
+	}
+}
+
+// DeadLetters returns a snapshot of the dead-letter queue, oldest first.
+func (ing *Ingester) DeadLetters() []DeadLetterDoc {
+	ing.dlqMu.Lock()
+	defer ing.dlqMu.Unlock()
+	return append([]DeadLetterDoc(nil), ing.dlq...)
+}
+
+// RetryDeadLetters drains the dead-letter queue and re-analyzes every
+// document synchronously: recovered dependencies let documents in with
+// complete term sets; documents that fail again return to the queue with
+// their attempt counts bumped. It returns how many documents were
+// admitted. Safe to call while intake is running; returns ErrClosed
+// after Close.
+func (ing *Ingester) RetryDeadLetters(ctx context.Context) (int, error) {
+	ing.submitMu.RLock()
+	closed := ing.closed
+	ing.submitMu.RUnlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	ing.dlqMu.Lock()
+	batch := ing.dlq
+	ing.dlq = nil
+	ing.dlqMu.Unlock()
+
+	admitted := 0
+	for i, dl := range batch {
+		if err := ctx.Err(); err != nil {
+			// Put the unprocessed tail back, preserving order.
+			for _, rest := range batch[i:] {
+				ing.requeueDeadLetter(rest)
+			}
+			return admitted, err
+		}
+		a, err := ing.analyze(ctx, dl.Doc)
+		if err != nil {
+			ing.deadLetter(dl.Doc, dl.Attempts+1, err)
+			continue
+		}
+		ing.admit(dl.Doc, a, true)
+		admitted++
+	}
+	return admitted, nil
+}
+
+// requeueDeadLetter restores an entry untouched (no failure counted).
+func (ing *Ingester) requeueDeadLetter(dl DeadLetterDoc) {
+	ing.dlqMu.Lock()
+	defer ing.dlqMu.Unlock()
+	ing.dlq = append(ing.dlq, dl)
+	if over := len(ing.dlq) - ing.cfg.DeadLetterSize; over > 0 {
+		ing.dlq = append([]DeadLetterDoc(nil), ing.dlq[over:]...)
+		ing.dlqDropped.Add(int64(over))
+	}
 }
 
 // admit merges one analyzed document into the incremental pipeline state:
@@ -303,12 +450,19 @@ func (ing *Ingester) Bootstrap(docs []*textdb.Document, persist bool) error {
 		return fmt.Errorf("ingest: bootstrap after start")
 	}
 	analyses := make([]analysis, len(docs))
+	errs := make([]error, len(docs))
 	parallel.For(context.Background(), len(docs), ing.cfg.Workers, func(_, i int) {
-		analyses[i] = ing.analyze(docs[i])
+		analyses[i], errs[i] = ing.analyze(context.Background(), docs[i])
 	})
 	// Sequential admission keeps document IDs aligned with input order
-	// (and with segment order on the warm-start path).
+	// (and with segment order on the warm-start path). Documents whose
+	// analysis failed are dead-lettered, not admitted; RetryDeadLetters
+	// brings them in once their dependency recovers.
 	for i, doc := range docs {
+		if errs[i] != nil {
+			ing.deadLetter(doc, 1, errs[i])
+			continue
+		}
 		ing.admit(doc, analyses[i], persist)
 	}
 	return ing.runEpoch()
@@ -333,7 +487,7 @@ func (ing *Ingester) Start() {
 		go func() {
 			defer ing.wg.Done()
 			for doc := range ing.queue {
-				ing.admit(doc, ing.analyze(doc), true)
+				ing.process(doc, true, 0)
 			}
 		}()
 	}

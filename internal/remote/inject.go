@@ -1,0 +1,298 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// This file is the fault-injection harness for the external-resource
+// boundary. The paper's pipeline depends on remote services (Yahoo Term
+// Extraction, Google expansion queries, Wikipedia lookups) that in a real
+// deployment fail, slow down, and disappear; the Injector reproduces
+// those behaviours deterministically so the fault-tolerance layer
+// (internal/resilient, core degradation reporting) can be tested without
+// a network, the same way the Clock reproduces their latency.
+//
+// Determinism is the design constraint everything hangs off: whether a
+// given attempt fails is a pure hash of (seed, service, call key, attempt
+// ordinal), never of wall-clock time or goroutine scheduling. Each
+// (service, key) pair keeps its own attempt counter, and the pipeline's
+// single-flight resource cache guarantees one sequential retry loop per
+// (service, term) — so a run with injected transient faults and retries
+// produces exactly the same fault schedule at every worker count, which
+// is what lets the chaos differential tests demand byte-identical output.
+
+// Sentinel fault errors. Wrapped errors from injected calls match these
+// with errors.Is.
+var (
+	// ErrInjected is a transient, retryable failure (the simulated
+	// service returned an error for this attempt only).
+	ErrInjected = errors.New("remote: injected transient error")
+	// ErrTimeout is returned when a call's injected latency exceeds the
+	// caller's virtual budget (see WithBudget); the budget — not the full
+	// latency — is charged to the clock, like a caller hanging up.
+	ErrTimeout = errors.New("remote: virtual deadline exceeded")
+	// ErrOutage is returned while a scripted outage (Down) holds the
+	// service down; retrying during the outage cannot succeed.
+	ErrOutage = errors.New("remote: service down")
+)
+
+// budgetKey carries the virtual per-call latency budget through a
+// context. The budget is compared against *injected virtual* latency, so
+// timeouts are simulated on the Clock without any real sleeping.
+type budgetKey struct{}
+
+// WithBudget attaches a virtual latency budget to ctx: an injected call
+// whose simulated latency exceeds d fails with ErrTimeout after charging
+// only d to the clock. The resilience layer uses this to enforce
+// per-resource deadlines against the virtual clock.
+func WithBudget(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, budgetKey{}, d)
+}
+
+// BudgetFrom returns the virtual latency budget attached by WithBudget.
+func BudgetFrom(ctx context.Context) (time.Duration, bool) {
+	d, ok := ctx.Value(budgetKey{}).(time.Duration)
+	return d, ok
+}
+
+// FaultConfig describes one service's fault behaviour.
+type FaultConfig struct {
+	// ErrorRate is the per-attempt probability of an injected transient
+	// error, decided by a deterministic hash of (seed, service, key,
+	// attempt) — retrying the same key draws a fresh value, so with any
+	// rate < 1 every key has a definite first succeeding attempt.
+	ErrorRate float64
+	// Latency is the virtual time charged to the clock per call.
+	Latency time.Duration
+	// SlowRate is the probability a call is slow; slow calls charge
+	// SlowLatency instead of Latency. Combined with WithBudget this
+	// injects deterministic timeouts.
+	SlowRate    float64
+	SlowLatency time.Duration
+}
+
+// svcState is one service's mutable injection state.
+type svcState struct {
+	cfg      FaultConfig
+	calls    int            // total calls observed
+	down     int            // >0: calls remaining in outage; <0: down until Clear
+	attempts map[string]int // per-key attempt ordinals
+}
+
+// Injector decides, deterministically, the fate of every simulated
+// service call. It is safe for concurrent use; the fault decision for a
+// given (service, key, attempt) triple never depends on call order
+// across keys, only the scripted outage window (Down) is call-ordered.
+type Injector struct {
+	seed  uint64
+	clock *Clock
+
+	mu  sync.Mutex
+	svc map[string]*svcState
+}
+
+// NewInjector returns an injector with no faults configured. A nil clock
+// is allowed; latency charging is then skipped.
+func NewInjector(seed uint64, clock *Clock) *Injector {
+	return &Injector{seed: seed, clock: clock, svc: map[string]*svcState{}}
+}
+
+func (inj *Injector) state(service string) *svcState {
+	st := inj.svc[service]
+	if st == nil {
+		st = &svcState{attempts: map[string]int{}}
+		inj.svc[service] = st
+	}
+	return st
+}
+
+// SetFaults installs the fault behaviour for a service (by Name()).
+// Rates outside [0, 1] (or NaN) are clamped.
+func (inj *Injector) SetFaults(service string, cfg FaultConfig) {
+	cfg.ErrorRate = clampRate(cfg.ErrorRate)
+	cfg.SlowRate = clampRate(cfg.SlowRate)
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.state(service).cfg = cfg
+}
+
+// Down scripts an outage: the next calls calls to the service fail with
+// ErrOutage; calls < 0 keeps the service down until Clear.
+func (inj *Injector) Down(service string, calls int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.state(service).down = calls
+}
+
+// Clear ends any scripted outage for the service.
+func (inj *Injector) Clear(service string) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.state(service).down = 0
+}
+
+// Calls returns how many calls the injector has observed for the service.
+func (inj *Injector) Calls(service string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.state(service).calls
+}
+
+// call runs the injection decision for one attempt at (service, key):
+// charge latency (bounded by any virtual budget on ctx), then fail with
+// an outage, timeout, or transient error as configured.
+func (inj *Injector) call(ctx context.Context, service, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	inj.mu.Lock()
+	st := inj.state(service)
+	st.calls++
+	attempt := st.attempts[key]
+	st.attempts[key] = attempt + 1
+	cfg := st.cfg
+	down := st.down != 0
+	if st.down > 0 {
+		st.down--
+	}
+	inj.mu.Unlock()
+
+	latency := cfg.Latency
+	if cfg.SlowRate > 0 && inj.roll(service, key, attempt, saltSlow) < cfg.SlowRate {
+		latency = cfg.SlowLatency
+	}
+	if budget, ok := BudgetFrom(ctx); ok && latency > budget {
+		inj.charge(service, budget)
+		return fmt.Errorf("%s: %w (needed %v, budget %v)", service, ErrTimeout, latency, budget)
+	}
+	inj.charge(service, latency)
+	if down {
+		return fmt.Errorf("%s: %w", service, ErrOutage)
+	}
+	if cfg.ErrorRate > 0 && inj.roll(service, key, attempt, saltError) < cfg.ErrorRate {
+		return fmt.Errorf("%s: %w (attempt %d)", service, ErrInjected, attempt+1)
+	}
+	return nil
+}
+
+func (inj *Injector) charge(service string, d time.Duration) {
+	if inj.clock != nil && d > 0 {
+		inj.clock.Charge(service, d)
+	}
+}
+
+const (
+	saltError = 0x9E3779B97F4A7C15
+	saltSlow  = 0xC2B2AE3D27D4EB4F
+)
+
+// roll maps (seed, service, key, attempt, salt) to a uniform value in
+// [0, 1). splitmix64 over FNV-mixed inputs: cheap, stateless, and
+// independent of call interleaving.
+func (inj *Injector) roll(service, key string, attempt int, salt uint64) float64 {
+	h := inj.seed ^ salt
+	h = splitmix64(h ^ fnv64a(service))
+	h = splitmix64(h ^ fnv64a(key))
+	h = splitmix64(h ^ uint64(attempt))
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// sanity check that rates make sense as probabilities.
+func clampRate(r float64) float64 {
+	if math.IsNaN(r) || r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// FaultyResource wraps a core.Resource with injected faults. It
+// implements both the infallible core.Resource interface (errors are
+// swallowed into empty context — the legacy view) and the fallible
+// core.ResourceErr upgrade the pipeline and the resilience layer consume.
+type FaultyResource struct {
+	inner core.Resource
+	inj   *Injector
+}
+
+// WrapResource attaches the injector to a resource. Faults are keyed by
+// the resource's Name().
+func (inj *Injector) WrapResource(r core.Resource) *FaultyResource {
+	return &FaultyResource{inner: r, inj: inj}
+}
+
+// Name implements core.Resource.
+func (f *FaultyResource) Name() string { return f.inner.Name() }
+
+// Context implements core.Resource; injected failures yield nil context.
+func (f *FaultyResource) Context(term string) []string {
+	out, _ := f.ContextErr(context.Background(), term)
+	return out
+}
+
+// ContextErr implements core.ResourceErr: the injector decides this
+// attempt's fate before the underlying resource is consulted.
+func (f *FaultyResource) ContextErr(ctx context.Context, term string) ([]string, error) {
+	if err := f.inj.call(ctx, f.inner.Name(), term); err != nil {
+		return nil, err
+	}
+	return f.inner.Context(term), nil
+}
+
+// FaultyExtractor wraps a core.Extractor with injected faults, keyed by
+// the document text (the extractor's call granularity).
+type FaultyExtractor struct {
+	inner core.Extractor
+	inj   *Injector
+}
+
+// WrapExtractor attaches the injector to an extractor.
+func (inj *Injector) WrapExtractor(e core.Extractor) *FaultyExtractor {
+	return &FaultyExtractor{inner: e, inj: inj}
+}
+
+// Name implements core.Extractor.
+func (f *FaultyExtractor) Name() string { return f.inner.Name() }
+
+// Extract implements core.Extractor; injected failures yield no terms.
+func (f *FaultyExtractor) Extract(text string) []string {
+	out, _ := f.ExtractErr(context.Background(), text)
+	return out
+}
+
+// ExtractErr implements core.ExtractorErr.
+func (f *FaultyExtractor) ExtractErr(ctx context.Context, text string) ([]string, error) {
+	if err := f.inj.call(ctx, f.inner.Name(), text); err != nil {
+		return nil, err
+	}
+	return f.inner.Extract(text), nil
+}

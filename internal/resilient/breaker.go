@@ -1,0 +1,171 @@
+package resilient
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrOpen is returned by Breaker.Allow (and by wrapped calls) while the
+// circuit is open: the call was shed without reaching the dependency.
+var ErrOpen = errors.New("resilient: circuit open")
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed: calls flow; consecutive failures are counted.
+	Closed State = iota
+	// Open: calls are shed with ErrOpen until the cooldown elapses.
+	Open
+	// HalfOpen: calls are delivered as probes; enough consecutive
+	// successes close the circuit, any failure reopens it.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes the state machine.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit. 0 selects 5; a negative value disables the breaker
+	// entirely (Allow always admits, the state stays Closed).
+	Threshold int
+	// Cooldown is how many calls are shed while open before the next
+	// call is admitted as a half-open probe. Counting shed calls instead
+	// of wall-clock time keeps the machine deterministic on the virtual
+	// clock (a dead resource with no traffic costs nothing either way).
+	// 0 selects 8.
+	Cooldown int
+	// Probes is the number of consecutive half-open successes required
+	// to close the circuit. 0 selects 2.
+	Probes int
+}
+
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.Threshold == 0 {
+		cfg.Threshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 8
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 2
+	}
+	return cfg
+}
+
+// Breaker is a closed→open→half-open circuit breaker. It is safe for
+// concurrent use. Invariants (fuzz-checked by FuzzBreaker):
+//
+//   - while Open, no call is delivered — Allow returns ErrOpen — until
+//     Cooldown calls have been shed;
+//   - while HalfOpen, every call is delivered (it is a probe);
+//   - a failure in HalfOpen reopens immediately; Probes consecutive
+//     successes close.
+type Breaker struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	onTrip func()
+
+	state   State
+	consec  int // consecutive failures while closed
+	shed    int // calls shed since opening
+	probeOK int // consecutive successes while half-open
+}
+
+// NewBreaker returns a closed breaker. onTrip, when non-nil, fires on
+// every closed/half-open → open transition (it is called with the lock
+// held; keep it cheap — the metrics counter increment it exists for is).
+func NewBreaker(cfg BreakerConfig, onTrip func()) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), onTrip: onTrip}
+}
+
+// Allow reports whether a call may proceed. ErrOpen means the call is
+// shed; a nil return means the call must be delivered and its outcome
+// reported through Success or Failure.
+func (b *Breaker) Allow() error {
+	if b.cfg.Threshold < 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Open:
+		if b.shed >= b.cfg.Cooldown {
+			b.state = HalfOpen
+			b.probeOK = 0
+			return nil // this call is the probe
+		}
+		b.shed++
+		return ErrOpen
+	default: // Closed, HalfOpen: deliver
+		return nil
+	}
+}
+
+// Success reports a delivered call that succeeded.
+func (b *Breaker) Success() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consec = 0
+	case HalfOpen:
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.state = Closed
+			b.consec = 0
+		}
+	}
+}
+
+// Failure reports a delivered call that failed.
+func (b *Breaker) Failure() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consec++
+		if b.consec >= b.cfg.Threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	}
+}
+
+// trip opens the circuit; the caller holds b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.shed = 0
+	b.consec = 0
+	b.probeOK = 0
+	if b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,91 @@
+package resilient
+
+import "testing"
+
+// FuzzBreaker drives the breaker with an arbitrary outcome script and
+// checks its safety invariants against an independent model:
+//
+//   - while Open, Allow never admits a call until Cooldown calls have
+//     been shed;
+//   - the first admitted call after shedding is a half-open probe —
+//     the machine is in HalfOpen whenever it delivers one;
+//   - Probes consecutive half-open successes close the circuit; any
+//     half-open failure reopens it.
+//
+// Each input byte is one step: low bit = the delivered call's outcome
+// (1 = success), remaining bits perturb nothing — the script's value is
+// its length and outcome pattern.
+func FuzzBreaker(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 1, 1, 1}, uint8(3), uint8(2), uint8(2))
+	f.Add([]byte{1, 0, 1, 0, 1, 0, 1, 0, 0, 0, 0, 1}, uint8(1), uint8(1), uint8(1))
+	f.Add([]byte{0}, uint8(5), uint8(8), uint8(2))
+	f.Fuzz(func(t *testing.T, script []byte, threshold, cooldown, probes uint8) {
+		cfg := BreakerConfig{
+			Threshold: int(threshold%8) + 1,
+			Cooldown:  int(cooldown%8) + 1,
+			Probes:    int(probes%4) + 1,
+		}
+		b := NewBreaker(cfg, nil)
+
+		// Independent model of the same machine.
+		state := Closed
+		consec, shed, probeOK := 0, 0, 0
+
+		for i, step := range script {
+			admitted := b.Allow() == nil
+
+			// Model Allow.
+			wantAdmit := true
+			if state == Open {
+				if shed >= cfg.Cooldown {
+					state = HalfOpen
+					probeOK = 0
+				} else {
+					shed++
+					wantAdmit = false
+				}
+			}
+			if admitted != wantAdmit {
+				t.Fatalf("step %d: Allow admitted=%v, model wants %v (state %v)", i, admitted, wantAdmit, state)
+			}
+			if !admitted {
+				if got := b.State(); got != Open {
+					t.Fatalf("step %d: shed a call while %v", i, got)
+				}
+				continue
+			}
+			// Invariant: a delivered call happens only in Closed or HalfOpen.
+			if got := b.State(); got == Open {
+				t.Fatalf("step %d: delivered a call while open", i)
+			}
+
+			if step&1 == 1 {
+				b.Success()
+				switch state {
+				case Closed:
+					consec = 0
+				case HalfOpen:
+					probeOK++
+					if probeOK >= cfg.Probes {
+						state = Closed
+						consec = 0
+					}
+				}
+			} else {
+				b.Failure()
+				switch state {
+				case Closed:
+					consec++
+					if consec >= cfg.Threshold {
+						state, consec, shed, probeOK = Open, 0, 0, 0
+					}
+				case HalfOpen:
+					state, consec, shed, probeOK = Open, 0, 0, 0
+				}
+			}
+			if got := b.State(); got != state {
+				t.Fatalf("step %d: breaker state %v, model %v", i, got, state)
+			}
+		}
+	})
+}

@@ -1,0 +1,329 @@
+// Package resilient is the fault-tolerance layer around the pipeline's
+// external-resource boundary. The paper's pipeline leans on remote
+// services — Yahoo Term Extraction ("2–3 seconds per document, and the
+// main bottleneck"), Google expansion queries, Wikipedia lookups
+// (Sections IV, V-D) — and a production deployment must survive those
+// services failing, slowing down, or disappearing. Wrap gives any
+// fallible resource or extractor three defenses:
+//
+//   - a per-call virtual deadline (remote.WithBudget) so a slow service
+//     times out on the simulated clock instead of stalling a worker;
+//   - capped exponential backoff with deterministic jitter between
+//     retries, charged to the virtual clock so retry overhead is
+//     measurable (and reproducible) in experiments;
+//   - a per-resource circuit breaker (closed→open→half-open) so a dead
+//     service is shed cheaply instead of hammered, and probed for
+//     recovery.
+//
+// Failures that survive all three (retries exhausted, circuit open)
+// surface as errors from ContextErr/ExtractErr; the pipeline then
+// degrades gracefully — it proceeds with the surviving dependencies and
+// reports the gap in core.Result.Degradations — which is the
+// "what if we had no Wikipedia?" scenario made operational.
+//
+// Determinism: with jitter derived from (Seed, name, key, attempt) and
+// backoff charged to the virtual clock rather than slept, a run under
+// injected transient faults with retries enabled is byte-identical to
+// the fault-free run at every worker count (see the chaos differential
+// test).
+package resilient
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/remote"
+)
+
+// Config parameterizes a resilient wrapper.
+type Config struct {
+	// MaxAttempts bounds delivered attempts per call (retries =
+	// attempts − 1). 0 selects 4.
+	MaxAttempts int
+	// BaseBackoff is the pre-jitter delay before the first retry,
+	// doubling each retry up to MaxBackoff. 0 selects 50ms (base) and
+	// 2s (cap).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Deadline, when positive, is attached to each attempt's context as
+	// a virtual latency budget (remote.WithBudget): budget-aware
+	// services fail the attempt with remote.ErrTimeout instead of
+	// charging their full simulated latency.
+	Deadline time.Duration
+	// Breaker configures the per-resource circuit breaker.
+	Breaker BreakerConfig
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+	// Clock, when set, is charged the backoff delays (as service
+	// "backoff:<name>") so retry overhead shows up in the virtual-time
+	// accounting the efficiency experiments read.
+	Clock *remote.Clock
+	// Sleep, when set, really waits between retries (production
+	// behaviour); nil never sleeps — the offline default, where time is
+	// virtual.
+	Sleep func(time.Duration)
+	// Metrics, when set, receives the wrapper's counters and latency
+	// histogram: resilient.<name>.{attempts,retries,failures,shed,trips}
+	// and resilient.<name>.latency, plus a resilient.<name>.breaker_state
+	// gauge (0 closed, 1 open, 2 half-open).
+	Metrics *obsv.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	return cfg
+}
+
+// guard is the shared retry/backoff/breaker engine behind Resource and
+// Extractor.
+type guard struct {
+	name string
+	cfg  Config
+	br   *Breaker
+
+	attempts *obsv.Counter
+	retries  *obsv.Counter
+	failures *obsv.Counter
+	shed     *obsv.Counter
+	latency  *obsv.Histogram
+}
+
+func newGuard(name string, cfg Config) *guard {
+	cfg = cfg.withDefaults()
+	g := &guard{name: name, cfg: cfg}
+	var onTrip func()
+	if reg := cfg.Metrics; reg != nil {
+		g.attempts = reg.Counter("resilient." + name + ".attempts")
+		g.retries = reg.Counter("resilient." + name + ".retries")
+		g.failures = reg.Counter("resilient." + name + ".failures")
+		g.shed = reg.Counter("resilient." + name + ".shed")
+		trips := reg.Counter("resilient." + name + ".trips")
+		onTrip = trips.Inc
+		g.latency = reg.Histogram("resilient." + name + ".latency")
+	}
+	g.br = NewBreaker(cfg.Breaker, onTrip)
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("resilient."+name+".breaker_state", func() int64 {
+			return int64(g.br.State())
+		})
+	}
+	return g
+}
+
+// call runs fn under the full resilience policy. key individualizes the
+// jitter (the term or document being looked up).
+func (g *guard) call(ctx context.Context, key string, fn func(context.Context) error) error {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := g.br.Allow(); err != nil {
+			if g.shed != nil {
+				g.shed.Inc()
+			}
+			return err
+		}
+		attemptCtx := ctx
+		if g.cfg.Deadline > 0 {
+			attemptCtx = remote.WithBudget(ctx, g.cfg.Deadline)
+		}
+		start := time.Now()
+		err := fn(attemptCtx)
+		if g.attempts != nil {
+			g.attempts.Inc()
+			g.latency.Observe(time.Since(start))
+		}
+		if err == nil {
+			g.br.Success()
+			return nil
+		}
+		g.br.Failure()
+		if g.failures != nil {
+			g.failures.Inc()
+		}
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // the caller gave up; don't burn retries
+		}
+		if attempt >= g.cfg.MaxAttempts {
+			return lastErr
+		}
+		if g.retries != nil {
+			g.retries.Inc()
+		}
+		g.wait(g.backoff(key, attempt))
+	}
+}
+
+// backoff returns the delay before retry #attempt: capped exponential
+// with equal jitter — half fixed, half drawn deterministically from
+// (seed, name, key, attempt) so reruns and different worker counts see
+// the same schedule.
+func (g *guard) backoff(key string, attempt int) time.Duration {
+	d := g.cfg.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > g.cfg.MaxBackoff { // <= 0 catches shift overflow
+		d = g.cfg.MaxBackoff
+	}
+	h := splitmix64(g.cfg.Seed ^ fnv64a(g.name) ^ fnv64a(key) ^ uint64(attempt)*0x9E3779B97F4A7C15)
+	frac := float64(h>>11) / float64(uint64(1)<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+func (g *guard) wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if g.cfg.Clock != nil {
+		g.cfg.Clock.Charge("backoff:"+g.name, d)
+	}
+	if g.cfg.Sleep != nil {
+		g.cfg.Sleep(d)
+	}
+}
+
+// Ready returns nil while the circuit is closed and ErrOpen otherwise —
+// the readiness-probe view of the breaker (half-open counts as not
+// ready: the resource is still being probed).
+func (g *guard) Ready() error {
+	if g.br.State() != Closed {
+		return ErrOpen
+	}
+	return nil
+}
+
+// Resource wraps a fallible resource with the resilience policy. It
+// implements both core.Resource (errors become empty context) and
+// core.ResourceErr (the pipeline's upgraded path, where errors feed
+// Result.Degradations).
+type Resource struct {
+	inner core.ResourceErr
+	g     *guard
+}
+
+// Wrap builds a resilient resource. Use core.AsResourceErr to wrap an
+// infallible one (pointless but harmless: it never errors).
+func Wrap(r core.ResourceErr, cfg Config) *Resource {
+	return &Resource{inner: r, g: newGuard(r.Name(), cfg)}
+}
+
+// Name implements core.Resource.
+func (r *Resource) Name() string { return r.inner.Name() }
+
+// Context implements core.Resource; a permanently failed lookup yields
+// no context terms.
+func (r *Resource) Context(term string) []string {
+	out, _ := r.ContextErr(context.Background(), term)
+	return out
+}
+
+// ContextErr implements core.ResourceErr under the resilience policy:
+// retries with backoff on transient errors, per-attempt virtual
+// deadline, circuit breaking on persistent failure.
+func (r *Resource) ContextErr(ctx context.Context, term string) ([]string, error) {
+	var out []string
+	err := r.g.call(ctx, term, func(ctx context.Context) error {
+		var ierr error
+		out, ierr = r.inner.ContextErr(ctx, term)
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Breaker exposes the circuit breaker (for tests and health surfaces).
+func (r *Resource) Breaker() *Breaker { return r.g.br }
+
+// Ready reports readiness: nil while the circuit is closed.
+func (r *Resource) Ready() error { return r.g.Ready() }
+
+// Extractor wraps a fallible extractor with the same policy; see
+// Resource.
+type Extractor struct {
+	inner core.ExtractorErr
+	g     *guard
+}
+
+// WrapExtractor builds a resilient extractor.
+func WrapExtractor(e core.ExtractorErr, cfg Config) *Extractor {
+	return &Extractor{inner: e, g: newGuard(e.Name(), cfg)}
+}
+
+// Name implements core.Extractor.
+func (e *Extractor) Name() string { return e.inner.Name() }
+
+// Extract implements core.Extractor; a permanently failed extraction
+// yields no terms.
+func (e *Extractor) Extract(text string) []string {
+	out, _ := e.ExtractErr(context.Background(), text)
+	return out
+}
+
+// ExtractErr implements core.ExtractorErr under the resilience policy.
+func (e *Extractor) ExtractErr(ctx context.Context, text string) ([]string, error) {
+	var out []string
+	err := e.g.call(ctx, text, func(ctx context.Context) error {
+		var ierr error
+		out, ierr = e.inner.ExtractErr(ctx, text)
+		return ierr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Breaker exposes the circuit breaker.
+func (e *Extractor) Breaker() *Breaker { return e.g.br }
+
+// Ready reports readiness: nil while the circuit is closed.
+func (e *Extractor) Ready() error { return e.g.Ready() }
+
+// ReadyChecker is anything exposing breaker-backed readiness — both
+// wrapper types satisfy it; internal/serve consumes it for /readyz.
+type ReadyChecker interface {
+	Name() string
+	Ready() error
+}
+
+// Retryable reports whether an error is worth retrying: context
+// cancellation and an open circuit are not; everything else (transient
+// injected errors, timeouts, outages) is.
+func Retryable(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrOpen) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// splitmix64 / fnv64a mirror internal/remote's deterministic hashing so
+// jitter draws are stable without importing test-only seams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,270 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/remote"
+)
+
+// flaky is a ResourceErr that fails the first failN calls per term, then
+// succeeds; permanent failure when failN < 0.
+type flaky struct {
+	name  string
+	failN int
+	calls map[string]int
+}
+
+func newFlaky(name string, failN int) *flaky {
+	return &flaky{name: name, failN: failN, calls: map[string]int{}}
+}
+
+func (f *flaky) Name() string { return f.name }
+
+func (f *flaky) ContextErr(ctx context.Context, term string) ([]string, error) {
+	n := f.calls[term]
+	f.calls[term] = n + 1
+	if f.failN < 0 || n < f.failN {
+		return nil, errors.New("flaky: boom")
+	}
+	return []string{"ctx-of-" + term}, nil
+}
+
+func TestRetryUntilSuccess(t *testing.T) {
+	inner := newFlaky("svc", 2)
+	r := Wrap(inner, Config{MaxAttempts: 4, Breaker: BreakerConfig{Threshold: -1}})
+	out, err := r.ContextErr(context.Background(), "jazz")
+	if err != nil {
+		t.Fatalf("ContextErr: %v", err)
+	}
+	if len(out) != 1 || out[0] != "ctx-of-jazz" {
+		t.Fatalf("out = %v", out)
+	}
+	if got := inner.calls["jazz"]; got != 3 {
+		t.Fatalf("delivered attempts = %d, want 3", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	inner := newFlaky("svc", -1)
+	r := Wrap(inner, Config{MaxAttempts: 3, Breaker: BreakerConfig{Threshold: -1}})
+	if _, err := r.ContextErr(context.Background(), "jazz"); err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if got := inner.calls["jazz"]; got != 3 {
+		t.Fatalf("delivered attempts = %d, want 3", got)
+	}
+	// The infallible view swallows the error into empty context.
+	if out := r.Context("jazz"); out != nil {
+		t.Fatalf("Context after permanent failure = %v, want nil", out)
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	inner := newFlaky("svc", -1)
+	r := Wrap(inner, Config{MaxAttempts: 50, Breaker: BreakerConfig{Threshold: -1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.ContextErr(ctx, "jazz")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := inner.calls["jazz"]; got > 1 {
+		t.Fatalf("delivered attempts after cancel = %d, want <= 1", got)
+	}
+}
+
+func TestDeadlineTimeoutOnVirtualClock(t *testing.T) {
+	clock := remote.NewClock()
+	inj := remote.NewInjector(7, clock)
+	inj.SetFaults("slow", remote.FaultConfig{
+		SlowRate:    1, // every call is slow
+		SlowLatency: 500 * time.Millisecond,
+	})
+	inner := inj.WrapResource(named{"slow"})
+	r := Wrap(inner, Config{
+		MaxAttempts: 2,
+		Deadline:    100 * time.Millisecond,
+		Breaker:     BreakerConfig{Threshold: -1},
+	})
+	_, err := r.ContextErr(context.Background(), "jazz")
+	if !errors.Is(err, remote.ErrTimeout) {
+		t.Fatalf("err = %v, want remote.ErrTimeout", err)
+	}
+	// Each attempt charges only the budget, not the full latency.
+	if got, want := clock.ServiceElapsed("slow"), 200*time.Millisecond; got != want {
+		t.Fatalf("virtual elapsed = %v, want %v", got, want)
+	}
+}
+
+// named is a trivial infallible resource for injector wrapping.
+type named struct{ name string }
+
+func (n named) Name() string                 { return n.name }
+func (n named) Context(term string) []string { return []string{n.name + ":" + term} }
+
+func TestBreakerOpensProbesAndCloses(t *testing.T) {
+	inner := newFlaky("svc", -1)
+	cfg := Config{
+		MaxAttempts: 1,
+		Breaker:     BreakerConfig{Threshold: 3, Cooldown: 2, Probes: 2},
+	}
+	r := Wrap(inner, cfg)
+	ctx := context.Background()
+
+	// Three failing calls trip the breaker.
+	for i := 0; i < 3; i++ {
+		if _, err := r.ContextErr(ctx, "t"); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if got := r.Breaker().State(); got != Open {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if r.Ready() == nil {
+		t.Fatal("Ready() should fail while open")
+	}
+
+	// Next Cooldown calls are shed without reaching the resource.
+	delivered := inner.calls["t"]
+	for i := 0; i < 2; i++ {
+		if _, err := r.ContextErr(ctx, "t"); !errors.Is(err, ErrOpen) {
+			t.Fatalf("shed call err = %v, want ErrOpen", err)
+		}
+	}
+	if inner.calls["t"] != delivered {
+		t.Fatal("shed calls reached the resource")
+	}
+
+	// The resource recovers; the next call is a half-open probe.
+	inner.failN = 0
+	if _, err := r.ContextErr(ctx, "t"); err != nil {
+		t.Fatalf("probe 1: %v", err)
+	}
+	if got := r.Breaker().State(); got != HalfOpen {
+		t.Fatalf("state after probe 1 = %v, want half-open", got)
+	}
+	if _, err := r.ContextErr(ctx, "t"); err != nil {
+		t.Fatalf("probe 2: %v", err)
+	}
+	if got := r.Breaker().State(); got != Closed {
+		t.Fatalf("state after probe 2 = %v, want closed", got)
+	}
+	if err := r.Ready(); err != nil {
+		t.Fatalf("Ready() after recovery = %v", err)
+	}
+}
+
+func TestHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: 1, Probes: 2}, nil)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Failure() // trips
+	if b.Allow() != ErrOpen {
+		t.Fatal("want shed")
+	}
+	if err := b.Allow(); err != nil { // cooldown elapsed: probe
+		t.Fatal(err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+}
+
+func TestMetricsRecorded(t *testing.T) {
+	reg := obsv.NewRegistry()
+	clock := remote.NewClock()
+	inner := newFlaky("svc", 2)
+	r := Wrap(inner, Config{
+		MaxAttempts: 4,
+		BaseBackoff: 10 * time.Millisecond,
+		Breaker:     BreakerConfig{Threshold: -1},
+		Clock:       clock,
+		Metrics:     reg,
+	})
+	if _, err := r.ContextErr(context.Background(), "jazz"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("resilient.svc.attempts").Value(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := reg.Counter("resilient.svc.retries").Value(); got != 2 {
+		t.Fatalf("retries = %d, want 2", got)
+	}
+	if got := reg.Counter("resilient.svc.failures").Value(); got != 2 {
+		t.Fatalf("failures = %d, want 2", got)
+	}
+	if got := reg.Histogram("resilient.svc.latency").Count(); got != 3 {
+		t.Fatalf("latency observations = %d, want 3", got)
+	}
+	// Backoff was charged to the virtual clock, not slept.
+	if clock.ServiceElapsed("backoff:svc") <= 0 {
+		t.Fatal("backoff not charged to clock")
+	}
+}
+
+func TestTripCounterAndStateGauge(t *testing.T) {
+	reg := obsv.NewRegistry()
+	inner := newFlaky("svc", -1)
+	r := Wrap(inner, Config{
+		MaxAttempts: 1,
+		Breaker:     BreakerConfig{Threshold: 2, Cooldown: 4, Probes: 1},
+		Metrics:     reg,
+	})
+	for i := 0; i < 2; i++ {
+		r.ContextErr(context.Background(), "t")
+	}
+	if got := reg.Counter("resilient.svc.trips").Value(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	snap := reg.Snapshot()
+	v, found := snap.Gauges["resilient.svc.breaker_state"]
+	if !found {
+		t.Fatal("breaker_state gauge missing from snapshot")
+	}
+	if v != int64(Open) {
+		t.Fatalf("breaker_state gauge = %d, want %d", v, Open)
+	}
+	// Shed calls count.
+	r.ContextErr(context.Background(), "t")
+	if got := reg.Counter("resilient.svc.shed").Value(); got != 1 {
+		t.Fatalf("shed = %d, want 1", got)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	g := newGuard("svc", Config{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 400 * time.Millisecond, Seed: 42})
+	for attempt := 1; attempt <= 12; attempt++ {
+		d1 := g.backoff("key", attempt)
+		d2 := g.backoff("key", attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: nondeterministic backoff %v vs %v", attempt, d1, d2)
+		}
+		if d1 < 0 || d1 > 400*time.Millisecond {
+			t.Fatalf("attempt %d: backoff %v out of [0, cap]", attempt, d1)
+		}
+	}
+	if g.backoff("key", 1) == g.backoff("other", 1) {
+		t.Fatal("jitter should differ across keys (hash collision this unlikely means a bug)")
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if Retryable(nil) {
+		t.Fatal("nil is not retryable")
+	}
+	if Retryable(ErrOpen) || Retryable(context.Canceled) || Retryable(context.DeadlineExceeded) {
+		t.Fatal("open circuit / cancellation are not retryable")
+	}
+	if !Retryable(errors.New("transient")) || !Retryable(remote.ErrInjected) {
+		t.Fatal("ordinary errors are retryable")
+	}
+}

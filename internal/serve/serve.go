@@ -47,6 +47,16 @@ type Server struct {
 	metrics   *obsv.Registry
 	httpm     *obsv.HTTPMetrics
 	accessLog io.Writer
+
+	// readiness checks gate /api/v1/readyz; registered before traffic
+	// starts (AddReadiness), each is typically a resilience wrapper's
+	// breaker-backed Ready method.
+	readiness []readinessCheck
+}
+
+type readinessCheck struct {
+	name  string
+	check func() error
 }
 
 // Option configures a Server at construction.
@@ -84,8 +94,60 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	s.handle(http.MethodGet, "dates", "dates", s.handleDates)
 	s.handle(http.MethodGet, "cross", "cross", s.handleCross)
 	s.handle(http.MethodGet, "metrics", "metrics", s.handleMetrics)
+	s.handle(http.MethodGet, "healthz", "healthz", s.handleHealthz)
+	s.handle(http.MethodGet, "readyz", "readyz", s.handleReadyz)
 	s.mux.Handle("GET /", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
 	return s
+}
+
+// AddReadiness registers a named readiness check consulted by GET
+// /api/v1/readyz — typically a resilient wrapper's Ready method, so the
+// probe reflects circuit-breaker state: the endpoint answers 503 while
+// any dependency's breaker is open (or probing half-open) and recovers
+// the moment its probes close it. Like EnableIngest, registration must
+// happen before the server starts handling traffic.
+func (s *Server) AddReadiness(name string, check func() error) {
+	s.readiness = append(s.readiness, readinessCheck{name: name, check: check})
+}
+
+// HealthzResponse is the GET /api/v1/healthz payload.
+type HealthzResponse struct {
+	Status string `json:"status"`
+}
+
+// handleHealthz is the liveness probe: the process is up and serving;
+// it deliberately checks nothing else.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, HealthzResponse{Status: "ok"})
+}
+
+// ReadyzResponse is the 200 GET /api/v1/readyz payload; failures use
+// the unified error envelope with code "not_ready" instead.
+type ReadyzResponse struct {
+	Status string            `json:"status"`
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 while every registered
+// dependency check passes, 503 (unified envelope, code not_ready) with
+// the failing checks named otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := make(map[string]string, len(s.readiness))
+	var failing []string
+	for _, rc := range s.readiness {
+		if err := rc.check(); err != nil {
+			checks[rc.name] = err.Error()
+			failing = append(failing, rc.name+": "+err.Error())
+		} else {
+			checks[rc.name] = "ok"
+		}
+	}
+	if len(failing) > 0 {
+		writeError(w, http.StatusServiceUnavailable, ErrCodeNotReady,
+			fmt.Errorf("not ready: %s", strings.Join(failing, "; ")))
+		return
+	}
+	writeJSON(w, ReadyzResponse{Status: "ready", Checks: checks})
 }
 
 // handle registers one API route twice: the canonical versioned path
@@ -129,10 +191,13 @@ func (s *Server) Metrics() *obsv.Registry { return s.metrics }
 func (s *Server) SetAccessLog(w io.Writer) { s.httpm.SetAccessLog(w) }
 
 // EnableIngest registers the live-ingestion endpoints — POST
-// /api/v1/ingest (accept documents) and GET /api/v1/ingest/stats
-// (subsystem health), plus their deprecated /api/ aliases — and exposes
-// the ingester's gauges through the server's metrics registry. It must
-// be called before the server starts handling traffic.
+// /api/v1/ingest (accept documents), GET /api/v1/ingest/stats
+// (subsystem health), GET /api/v1/ingest/deadletter (documents whose
+// analysis failed permanently), and POST /api/v1/ingest/retry
+// (re-analyze the dead-letter queue) — plus their deprecated /api/
+// aliases — and exposes the ingester's gauges through the server's
+// metrics registry. It must be called before the server starts handling
+// traffic.
 func (s *Server) EnableIngest(ing *ingest.Ingester) {
 	ing.RegisterMetrics(s.metrics)
 	s.handle(http.MethodPost, "ingest", "ingest", func(w http.ResponseWriter, r *http.Request) {
@@ -141,6 +206,34 @@ func (s *Server) EnableIngest(ing *ingest.Ingester) {
 	s.handle(http.MethodGet, "ingest/stats", "ingest_stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ing.Stats())
 	})
+	s.handle(http.MethodGet, "ingest/deadletter", "ingest_deadletter", func(w http.ResponseWriter, r *http.Request) {
+		dls := ing.DeadLetters()
+		writeJSON(w, DeadLetterResponse{Total: len(dls), DeadLetters: dls})
+	})
+	s.handle(http.MethodPost, "ingest/retry", "ingest_retry", func(w http.ResponseWriter, r *http.Request) {
+		admitted, err := ing.RetryDeadLetters(r.Context())
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+				fmt.Errorf("retried %d documents: %w", admitted, err))
+			return
+		}
+		writeJSON(w, RetryResponse{Admitted: admitted, Remaining: len(ing.DeadLetters())})
+	})
+}
+
+// DeadLetterResponse is the GET /api/v1/ingest/deadletter payload.
+type DeadLetterResponse struct {
+	Total       int                    `json:"total"`
+	DeadLetters []ingest.DeadLetterDoc `json:"dead_letters"`
+}
+
+// RetryResponse is the POST /api/v1/ingest/retry payload.
+type RetryResponse struct {
+	// Admitted counts documents whose re-analysis succeeded and are now
+	// ingested; Remaining counts documents that failed again and wait in
+	// the queue.
+	Admitted  int `json:"admitted"`
+	Remaining int `json:"remaining"`
 }
 
 // EnablePprof mounts the standard runtime profiling handlers under
@@ -210,6 +303,7 @@ func writeJSON(w http.ResponseWriter, v any) {
 const (
 	ErrCodeBadRequest  = "bad_request"
 	ErrCodeUnavailable = "unavailable"
+	ErrCodeNotReady    = "not_ready"
 )
 
 // ErrorDetail is the payload of the unified error envelope.
