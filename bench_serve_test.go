@@ -1,0 +1,171 @@
+package facet
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/browse"
+)
+
+// benchInterface builds one serving engine for the query benchmarks.
+func benchInterface(b *testing.B) *browse.Interface {
+	b.Helper()
+	env, err := NewSimulatedEnvironment(EnvConfig{Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs, err := env.GenerateNewsCorpus("SNYT", 150, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := NewSystem(env, Options{TopK: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface, err := res.BrowseEngine(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return iface
+}
+
+// BenchmarkBrowseQuery measures query serving: cold (cache emptied every
+// iteration, so the posting-list intersection runs) and warm (every
+// iteration hits the LRU) at 1-facet and 3-facet conjunctions. After the
+// sub-benchmarks finish it writes the rates to BENCH_serve.json in the
+// same trajectory envelope as BENCH_pipeline.json.
+func BenchmarkBrowseQuery(b *testing.B) {
+	iface := benchInterface(b)
+	roots := iface.Children("", browse.Selection{})
+	if len(roots) < 2 {
+		b.Fatalf("fixture hierarchy has %d root facets; need 2", len(roots))
+	}
+	// Three distinct facet terms for the conjunction: the two biggest
+	// roots plus the first root's biggest child.
+	children := iface.Children(roots[0].Term, browse.Selection{})
+	if len(children) == 0 {
+		b.Fatalf("root facet %q has no children", roots[0].Term)
+	}
+	sel1 := browse.Selection{Terms: []string{roots[0].Term}}
+	sel3 := browse.Selection{Terms: []string{roots[0].Term, roots[1].Term, children[0].Term}}
+	variants := []struct {
+		name string
+		sel  browse.Selection
+		cold bool
+	}{
+		{"cold_1facet", sel1, true},
+		{"cold_3facet", sel3, true},
+		{"warm_1facet", sel1, false},
+		{"warm_3facet", sel3, false},
+	}
+	qps := map[string]float64{}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			iface.ResetQueryCache()
+			if !v.cold {
+				iface.MatchCount(v.sel) // prime the cache
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if v.cold {
+					iface.ResetQueryCache()
+				}
+				iface.MatchCount(v.sel)
+			}
+			rate := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "queries/s")
+			qps[v.name] = rate
+		})
+	}
+	if err := writeServeBench(qps); err != nil {
+		b.Logf("writeServeBench: %v", err)
+	}
+}
+
+// servePoint is one variant's measured rate in BENCH_serve.json.
+type servePoint struct {
+	Variant       string  `json:"variant"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+}
+
+// serveBench is the BENCH_serve.json envelope — the same trajectory
+// shape as BENCH_pipeline.json (benchmark, gomaxprocs, points).
+type serveBench struct {
+	Benchmark  string       `json:"benchmark"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []servePoint `json:"points"`
+}
+
+// writeServeBench stores the cold/warm query-rate curve next to the
+// package sources; warm variants report their speedup over the matching
+// cold variant.
+func writeServeBench(qps map[string]float64) error {
+	if len(qps) == 0 {
+		return nil
+	}
+	out := serveBench{Benchmark: "BenchmarkBrowseQuery", GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, name := range []string{"cold_1facet", "cold_3facet", "warm_1facet", "warm_3facet"} {
+		rate, ok := qps[name]
+		if !ok {
+			continue
+		}
+		cold := qps["cold"+name[4:]]
+		sp := 1.0
+		if cold > 0 {
+			sp = rate / cold
+		}
+		out.Points = append(out.Points, servePoint{Variant: name, QueriesPerSec: rate, SpeedupVsCold: sp})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_serve.json", append(data, '\n'), 0o644)
+}
+
+// TestBenchServeSchema smoke-parses BENCH_serve.json when present (CI
+// regenerates it with -benchtime 1x and then runs this), so a format
+// drift in the writer fails loudly rather than silently producing an
+// unparseable trajectory.
+func TestBenchServeSchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_serve.json")
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("BENCH_serve.json not present (run BenchmarkBrowseQuery to produce it)")
+		}
+		t.Fatal(err)
+	}
+	var got serveBench
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("BENCH_serve.json does not parse: %v", err)
+	}
+	if got.Benchmark != "BenchmarkBrowseQuery" {
+		t.Fatalf("benchmark = %q, want BenchmarkBrowseQuery", got.Benchmark)
+	}
+	if got.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d", got.GOMAXPROCS)
+	}
+	if len(got.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range got.Points {
+		if p.Variant == "" || p.QueriesPerSec <= 0 || p.SpeedupVsCold <= 0 {
+			t.Fatalf("malformed point %+v", p)
+		}
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/obsv"
 	"repro/internal/serve"
+	"repro/internal/snapshot"
 	"repro/internal/textdb"
 )
 
@@ -65,6 +66,7 @@ func main() {
 	cacheSize := flag.Int("cache", 4096, "resource LRU cache entries (live mode)")
 	pprofOn := flag.Bool("pprof", false, "mount the runtime profiler under /debug/pprof/")
 	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
+	snapPath := flag.String("snapshot", "", "serving-state snapshot file: batch mode warm-starts from it when present (skipping the pipeline) and writes it after a cold build; live mode rewrites it after every published epoch")
 	flag.Parse()
 
 	// One registry spans every layer: HTTP routes, the ingester, and the
@@ -73,6 +75,21 @@ func main() {
 	serveOpts := []serve.Option{serve.WithMetrics(metrics)}
 	if *accessLog {
 		serveOpts = append(serveOpts, serve.WithAccessLog(os.Stderr))
+	}
+
+	// Batch warm start: a loadable snapshot replaces corpus generation AND
+	// the extraction pipeline entirely — rehydrate, serve, and deep-verify
+	// the posting lists in the background.
+	if !*live && *snapPath != "" {
+		if iface, snap, err := snapshot.LoadBrowse(*snapPath, metrics); err == nil {
+			title := fmt.Sprintf("%s archive — %d stories, %d facet terms (snapshot)", snap.Meta.Profile, len(snap.Docs), len(snap.Facets))
+			log.Printf("warm start: %s (%d docs, %d posting lists, epoch %d); pipeline skipped", *snapPath, len(snap.Docs), len(snap.Postings), snap.Meta.Epoch)
+			go validateSnapshot(snap, *snapPath, metrics)
+			serveFrozen(iface, title, *addr, serveOpts, *pprofOn)
+			return
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("snapshot %s unusable (%v); rebuilding from the pipeline", *snapPath, err)
+		}
 	}
 
 	env, err := facet.NewSimulatedEnvironment(facet.EnvConfig{Seed: *seed})
@@ -116,12 +133,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sys.SetMetrics(metrics) // pipeline stage timings land in /api/v1/metrics
 	for _, d := range initial {
 		sys.Add(d)
 	}
 
 	if !*live {
-		serveBatch(sys, *addr, *profile, *topK, serveOpts, *pprofOn)
+		serveBatch(sys, *addr, *profile, *seed, *snapPath, metrics, serveOpts, *pprofOn)
 		return
 	}
 
@@ -155,7 +173,28 @@ func main() {
 	if *pprofOn {
 		srv.EnablePprof()
 	}
-	ing.SetOnPublish(srv.Publish) // every epoch swaps the served interface
+	publish := srv.Publish
+	if *snapPath != "" {
+		// Persist the serving state after every swap: the save is atomic
+		// (temp + rename), so a reader never observes a torn snapshot, and
+		// a crashed server's last published epoch survives for a batch-mode
+		// warm start. Epoch zero (the bootstrap build) is saved here too.
+		saveEpoch := func(iface *browse.Interface) {
+			snap := snapshot.Capture(iface, snapshot.Meta{
+				Epoch: iface.Epoch(), Profile: *profile, Seed: *seed,
+				CreatedUnixNano: time.Now().UnixNano(),
+			}, nil)
+			if err := snapshot.Save(*snapPath, snap, metrics); err != nil {
+				log.Printf("snapshot save (epoch %d): %v", iface.Epoch(), err)
+			}
+		}
+		saveEpoch(ing.Current())
+		publish = func(iface *browse.Interface) {
+			srv.Publish(iface)
+			saveEpoch(iface)
+		}
+	}
+	ing.SetOnPublish(publish) // every epoch swaps the served interface
 	ing.Start()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -185,8 +224,9 @@ func main() {
 	log.Printf("shutdown complete: %d documents ingested, %d persisted", ing.Stats().DocsIngested, ing.Stats().PersistedDocs)
 }
 
-// serveBatch is the original frozen-corpus mode.
-func serveBatch(sys *facet.System, addr, profile string, topK int, opts []serve.Option, pprofOn bool) {
+// serveBatch is the frozen-corpus mode: run the pipeline once, optionally
+// persist the result as a snapshot, and serve.
+func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath string, metrics *obsv.Registry, opts []serve.Option, pprofOn bool) {
 	log.Printf("extracting facets from %d documents...", sys.Len())
 	res, err := sys.ExtractFacets()
 	if err != nil {
@@ -203,13 +243,48 @@ func serveBatch(sys *facet.System, addr, profile string, topK int, opts []serve.
 	if err != nil {
 		log.Fatal(err)
 	}
+	iface.SetMetrics(metrics)
+	if snapPath != "" {
+		stats := make([]snapshot.FacetStat, len(res.Facets))
+		for i, f := range res.Facets {
+			stats[i] = snapshot.FacetStat{Term: f.Term, DF: f.DF, DFC: f.DFC, ShiftF: f.ShiftF, ShiftR: f.ShiftR, Score: f.Score}
+		}
+		snap := snapshot.Capture(iface, snapshot.Meta{
+			Profile: profile, Seed: seed, CreatedUnixNano: time.Now().UnixNano(),
+		}, stats)
+		if err := snapshot.Save(snapPath, snap, metrics); err != nil {
+			log.Printf("snapshot save: %v", err)
+		} else {
+			log.Printf("snapshot saved to %s (next start warm-starts from it)", snapPath)
+		}
+	}
 	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", profile, sys.Len(), len(res.Facets))
+	serveFrozen(iface, title, addr, opts, pprofOn)
+}
+
+// serveFrozen serves an already-built interface forever (shared by the
+// cold batch path and the snapshot warm start).
+func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Option, pprofOn bool) {
 	srv := serve.New(iface, title, opts...)
 	if pprofOn {
 		srv.EnablePprof()
 	}
 	log.Printf("serving %s on %s", title, addr)
 	log.Fatal(http.ListenAndServe(addr, srv))
+}
+
+// validateSnapshot is the warm start's background deep check: recompute
+// every posting list from the snapshot's own annotations and compare.
+// The outcome lands in the metrics registry (snapshot.validate_ok /
+// snapshot.validate_failures) so operators can alert on it.
+func validateSnapshot(snap *snapshot.Snapshot, path string, metrics *obsv.Registry) {
+	if err := snap.Verify(); err != nil {
+		metrics.Counter("snapshot.validate_failures").Inc()
+		log.Printf("snapshot %s FAILED background validation: %v (serving continues on the loaded state; rebuild without -snapshot to recover)", path, err)
+		return
+	}
+	metrics.Counter("snapshot.validate_ok").Inc()
+	log.Printf("snapshot %s passed background validation", path)
 }
 
 // browseInterface reaches beneath the facade for the internal browse

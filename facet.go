@@ -179,10 +179,18 @@ type Options struct {
 
 // System is a facet-extraction session over a document collection.
 type System struct {
-	env    *Environment
-	opts   Options
-	corpus *textdb.Corpus
+	env     *Environment
+	opts    Options
+	corpus  *textdb.Corpus
+	metrics *obsv.Registry
 }
+
+// SetMetrics instruments subsequent extractions: pipeline stage durations
+// land in reg as core.stage.<name> histograms and degraded external
+// lookups as core.degraded_lookups.<name> counters. A nil registry (the
+// default) disables instrumentation. The warm-start test relies on these
+// counters staying at zero when serving from a snapshot.
+func (s *System) SetMetrics(reg *obsv.Registry) { s.metrics = reg }
 
 // NewSystem validates options and returns an empty system.
 func NewSystem(env *Environment, opts Options) (*System, error) {
@@ -353,6 +361,7 @@ func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 		Resources:  s.buildResources(),
 		TopK:       s.opts.TopK,
 		Workers:    s.opts.Workers,
+		Metrics:    s.metrics,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,242 @@
+package facet
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/hierarchy"
+)
+
+// The golden regression harness pins the full pipeline's observable
+// output — corpus, facet ranking, rendered hierarchy, and browse query
+// answers — byte for byte. Run `go test -run Golden ./...` to diff
+// against the checked-in files and `go test -run Golden -update` to
+// regenerate them after an intentional behavior change (review the git
+// diff of testdata/golden/ before committing).
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/golden instead of diffing against them")
+
+// goldenFixture is built once per test binary: a 60-document SNYT corpus
+// through the full pipeline.
+type goldenState struct {
+	sys    *System
+	res    *Result
+	hier   *Hierarchy
+	iface  *browse.Interface
+	docs   []Document
+	outErr error
+}
+
+var (
+	goldenOnce sync.Once
+	golden     goldenState
+)
+
+func goldenFixture(t *testing.T) *goldenState {
+	t.Helper()
+	goldenOnce.Do(func() {
+		env, err := NewSimulatedEnvironment(EnvConfig{Seed: 42})
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		docs, err := env.GenerateNewsCorpus("SNYT", 60, 7)
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		sys, err := NewSystem(env, Options{TopK: 80})
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		for _, d := range docs {
+			sys.Add(d)
+		}
+		res, err := sys.ExtractFacets()
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		hier, err := res.BuildHierarchy()
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		iface, err := res.BrowseEngine(hier)
+		if err != nil {
+			golden.outErr = err
+			return
+		}
+		golden = goldenState{sys: sys, res: res, hier: hier, iface: iface, docs: docs}
+	})
+	if golden.outErr != nil {
+		t.Fatal(golden.outErr)
+	}
+	return &golden
+}
+
+// compareGolden diffs got against testdata/golden/<name>, or rewrites
+// the file under -update.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s — run `go test -run Golden -update ./...` to create it: %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s differs from golden at line %d:\n  got:  %q\n  want: %q\n(run with -update after an intentional change)", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s differs from golden (run with -update after an intentional change)", name)
+}
+
+// TestGoldenCorpus pins the deterministic corpus itself: every document's
+// identity fields. A diff here means generation changed, which would
+// cascade into every other golden.
+func TestGoldenCorpus(t *testing.T) {
+	g := goldenFixture(t)
+	var sb strings.Builder
+	for i, d := range g.docs {
+		fmt.Fprintf(&sb, "%03d\t%s\t%s\t%s\t%d\n", i, d.Title, d.Source, d.Date.UTC().Format(time.RFC3339), len(d.Text))
+	}
+	compareGolden(t, "corpus.tsv", []byte(sb.String()))
+}
+
+// TestGoldenFacetRanking pins the candidate ranking with its full
+// statistical evidence (Step 3's output).
+func TestGoldenFacetRanking(t *testing.T) {
+	g := goldenFixture(t)
+	var sb strings.Builder
+	sb.WriteString("rank\tterm\tdf\tdfc\tshift_f\tshift_r\tscore\n")
+	for i, f := range g.res.Facets {
+		fmt.Fprintf(&sb, "%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			i+1, f.Term, f.DF, f.DFC, f.ShiftF, f.ShiftR,
+			strconv.FormatFloat(f.Score, 'g', 17, 64))
+	}
+	compareGolden(t, "facet_ranking.tsv", []byte(sb.String()))
+}
+
+// TestGoldenHierarchy pins the rendered facet hierarchy.
+func TestGoldenHierarchy(t *testing.T) {
+	g := goldenFixture(t)
+	compareGolden(t, "hierarchy.txt", []byte(hierarchy.FormatTree(g.hier.forest)))
+}
+
+// goldenQuery is one browse query and its pinned answer.
+type goldenQuery struct {
+	Label    string              `json:"label"`
+	Terms    []string            `json:"terms,omitempty"`
+	Query    string              `json:"query,omitempty"`
+	From     string              `json:"from,omitempty"`
+	To       string              `json:"to,omitempty"`
+	Count    int                 `json:"count"`
+	Docs     []int               `json:"docs"`
+	RootMenu []browse.FacetCount `json:"root_menu"`
+}
+
+// TestGoldenBrowseQueries pins end-to-end browse answers: drill-down,
+// conjunction, keyword search, and date ranges, each with its
+// count-annotated root menu.
+func TestGoldenBrowseQueries(t *testing.T) {
+	g := goldenFixture(t)
+	roots := g.iface.Children("", browse.Selection{})
+	if len(roots) < 2 {
+		t.Fatalf("fixture hierarchy has %d root facets; need at least 2", len(roots))
+	}
+	r0, r1 := roots[0].Term, roots[1].Term
+	from := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 6, 0)
+	sels := []struct {
+		label string
+		sel   browse.Selection
+	}{
+		{"everything", browse.Selection{}},
+		{"first root", browse.Selection{Terms: []string{r0}}},
+		{"second root", browse.Selection{Terms: []string{r1}}},
+		{"two-facet conjunction", browse.Selection{Terms: []string{r0, r1}}},
+		{"keyword", browse.Selection{Query: "minister"}},
+		{"facet plus keyword", browse.Selection{Terms: []string{r0}, Query: "minister"}},
+		{"date range", browse.Selection{From: from, To: to}},
+		{"facet plus dates", browse.Selection{Terms: []string{r0}, From: from, To: to}},
+	}
+	out := make([]goldenQuery, 0, len(sels))
+	for _, c := range sels {
+		q := goldenQuery{
+			Label: c.label, Terms: c.sel.Terms, Query: c.sel.Query,
+			Count:    g.iface.MatchCount(c.sel),
+			Docs:     []int{},
+			RootMenu: g.iface.Children("", c.sel),
+		}
+		if !c.sel.From.IsZero() {
+			q.From = c.sel.From.UTC().Format(time.RFC3339)
+		}
+		if !c.sel.To.IsZero() {
+			q.To = c.sel.To.UTC().Format(time.RFC3339)
+		}
+		for _, id := range g.iface.Docs(c.sel) {
+			q.Docs = append(q.Docs, int(id))
+		}
+		out = append(out, q)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "browse_queries.json", append(data, '\n'))
+}
+
+// TestGoldenAnswersMatchNaiveScan cross-checks the golden browse answers
+// against the naive full-scan path, so the pinned files cannot encode an
+// indexed-path bug.
+func TestGoldenAnswersMatchNaiveScan(t *testing.T) {
+	g := goldenFixture(t)
+	roots := g.iface.Children("", browse.Selection{})
+	if len(roots) == 0 {
+		t.Fatal("no root facets")
+	}
+	sel := browse.Selection{Terms: []string{roots[0].Term}}
+	naive := g.iface.ScanDocs(sel)
+	indexed := g.iface.Docs(sel)
+	if len(naive) != len(indexed) {
+		t.Fatalf("indexed %v != naive %v", indexed, naive)
+	}
+	for i := range naive {
+		if naive[i] != indexed[i] {
+			t.Fatalf("indexed %v != naive %v", indexed, naive)
+		}
+	}
+}

@@ -3,7 +3,11 @@
 // browsing engine (drill-down intersections).
 package bitset
 
-import "math/bits"
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
 
 // Set is a fixed-capacity bitset. The zero value is an empty set of
 // capacity 0; use New.
@@ -110,6 +114,32 @@ func (s *Set) Clone() *Set {
 	out := New(s.n)
 	copy(out.words, s.words)
 	return out
+}
+
+// Words returns a copy of the backing 64-bit words, least-significant bit
+// first. The snapshot layer serializes posting lists at word granularity
+// rather than bit-by-bit.
+func (s *Set) Words() []uint64 {
+	return append([]uint64(nil), s.words...)
+}
+
+// FromWords reconstructs a set of capacity n bits from backing words as
+// returned by Words. It rejects word slices that disagree with n (wrong
+// length, or set bits beyond n) so a corrupted serialized posting list
+// cannot materialize as an out-of-range document set.
+func FromWords(words []uint64, n int) (*Set, error) {
+	if n < 0 {
+		return nil, errors.New("bitset: negative capacity")
+	}
+	if len(words) != (n+63)/64 {
+		return nil, fmt.Errorf("bitset: %d words cannot back %d bits (want %d words)", len(words), n, (n+63)/64)
+	}
+	if rem := n & 63; rem != 0 && len(words) > 0 {
+		if words[len(words)-1]&^(1<<uint(rem)-1) != 0 {
+			return nil, fmt.Errorf("bitset: set bits beyond capacity %d", n)
+		}
+	}
+	return &Set{words: append([]uint64(nil), words...), n: n}, nil
 }
 
 // ForEach calls fn for every set bit in ascending order; fn returning

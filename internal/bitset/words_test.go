@@ -1,0 +1,49 @@
+package bitset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWordsRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		s := New(n)
+		for i := 0; i < n; i += 3 {
+			s.Set(i)
+		}
+		got, err := FromWords(s.Words(), n)
+		if err != nil {
+			t.Fatalf("n=%d: FromWords: %v", n, err)
+		}
+		if !reflect.DeepEqual(got.Slice(), s.Slice()) {
+			t.Fatalf("n=%d: roundtrip changed bits: %v vs %v", n, got.Slice(), s.Slice())
+		}
+	}
+}
+
+func TestWordsReturnsCopy(t *testing.T) {
+	s := New(64)
+	s.Set(3)
+	w := s.Words()
+	w[0] = 0
+	if !s.Test(3) {
+		t.Fatal("mutating the Words copy must not affect the set")
+	}
+}
+
+func TestFromWordsRejectsBadInput(t *testing.T) {
+	if _, err := FromWords([]uint64{0}, -1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := FromWords([]uint64{0, 0}, 64); err == nil {
+		t.Fatal("wrong word count accepted")
+	}
+	// Bit 70 set in a 65-bit set's second word is fine; bit set beyond
+	// capacity must be rejected.
+	if _, err := FromWords([]uint64{0, 1 << 5}, 65); err == nil {
+		t.Fatal("set bit beyond capacity accepted")
+	}
+	if _, err := FromWords([]uint64{0, 1}, 65); err != nil {
+		t.Fatalf("valid 65-bit words rejected: %v", err)
+	}
+}

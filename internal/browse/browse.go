@@ -17,36 +17,52 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/hierarchy"
+	"repro/internal/obsv"
 	"repro/internal/textdb"
 )
 
-// Interface is a faceted browsing engine over a corpus.
+// Interface is a faceted browsing engine over a corpus. Navigation is
+// answered from precomputed per-facet-term posting lists (roll-up
+// document bitsets) and an LRU query-result cache, so drill-down,
+// multi-facet conjunction, and count-annotated facet menus are bitset
+// intersections rather than document scans. An Interface is immutable
+// after construction and safe for concurrent use; a live deployment
+// republishes a fresh Interface per ingest epoch, which wholesale
+// invalidates the superseded epoch's cache.
 type Interface struct {
 	corpus *textdb.Corpus
 	forest *hierarchy.Forest
 	index  *textdb.Index
 
-	// docSets[term] is the roll-up document set of the node.
+	// docSets[term] is the posting list of the node: the roll-up set of
+	// documents annotated with the term or any descendant term.
 	docSets map[string]*bitset.Set
 	all     *bitset.Set
+
+	// docTerms keeps the annotation rows the engine was built from, for
+	// the naive-scan reference path and snapshot capture.
+	docTerms [][]string
+
+	// byDate holds document indices sorted by (Date, ID): the posting
+	// structure for the time facet, so a date-range filter is a binary
+	// search plus a run of set bits instead of a full corpus scan.
+	byDate []int32
+
+	epoch uint64
+	cache *queryCache
+
+	// Optional instrumentation, wired by SetMetrics before serving.
+	cacheHits, cacheMisses *obsv.Counter
+	queryLatency           *obsv.Histogram
 }
 
 // Build assembles the engine. docTerms lists, for every document, the
 // facet terms it is annotated with (typically: which facet terms occur in
 // the document's expanded term set).
 func Build(corpus *textdb.Corpus, forest *hierarchy.Forest, docTerms [][]string) (*Interface, error) {
-	if corpus.Len() != len(docTerms) {
-		return nil, fmt.Errorf("browse: %d docs but %d annotation rows", corpus.Len(), len(docTerms))
-	}
-	b := &Interface{
-		corpus:  corpus,
-		forest:  forest,
-		index:   textdb.BuildIndex(corpus),
-		docSets: map[string]*bitset.Set{},
-		all:     bitset.New(corpus.Len()),
-	}
-	for i := 0; i < corpus.Len(); i++ {
-		b.all.Set(i)
+	b, err := newInterface(corpus, forest, docTerms)
+	if err != nil {
+		return nil, err
 	}
 	// Leaf sets: direct term occurrences.
 	direct := map[string]*bitset.Set{}
@@ -75,6 +91,114 @@ func Build(corpus *textdb.Corpus, forest *hierarchy.Forest, docTerms [][]string)
 	}
 	return b, nil
 }
+
+// Rehydrate assembles the engine from previously captured state — the
+// warm-start path of the snapshot layer. The posting lists are taken as
+// given (after structural validation) instead of being recomputed from
+// the annotation rows, so rebuilding a served interface from a snapshot
+// costs only the keyword index and the date order, never the roll-up
+// sweep or any pipeline stage.
+func Rehydrate(corpus *textdb.Corpus, forest *hierarchy.Forest, docTerms [][]string, postings map[string]*bitset.Set) (*Interface, error) {
+	b, err := newInterface(corpus, forest, docTerms)
+	if err != nil {
+		return nil, err
+	}
+	var verr error
+	forest.Walk(func(n *hierarchy.Node, _ int) {
+		s, ok := postings[n.Term]
+		if verr != nil {
+			return
+		}
+		if !ok {
+			verr = fmt.Errorf("browse: no posting list for facet term %q", n.Term)
+			return
+		}
+		if s.Len() != corpus.Len() {
+			verr = fmt.Errorf("browse: posting list for %q covers %d docs, corpus has %d", n.Term, s.Len(), corpus.Len())
+			return
+		}
+		b.docSets[n.Term] = s
+	})
+	if verr != nil {
+		return nil, verr
+	}
+	return b, nil
+}
+
+// newInterface builds the parts shared by Build and Rehydrate: the
+// keyword index, the universal set, the date order, and an empty cache.
+func newInterface(corpus *textdb.Corpus, forest *hierarchy.Forest, docTerms [][]string) (*Interface, error) {
+	if corpus.Len() != len(docTerms) {
+		return nil, fmt.Errorf("browse: %d docs but %d annotation rows", corpus.Len(), len(docTerms))
+	}
+	b := &Interface{
+		corpus:   corpus,
+		forest:   forest,
+		index:    textdb.BuildIndex(corpus),
+		docSets:  map[string]*bitset.Set{},
+		all:      bitset.New(corpus.Len()),
+		docTerms: docTerms,
+		byDate:   make([]int32, corpus.Len()),
+		cache:    newQueryCache(DefaultQueryCacheSize),
+	}
+	for i := 0; i < corpus.Len(); i++ {
+		b.all.Set(i)
+		b.byDate[i] = int32(i)
+	}
+	sort.SliceStable(b.byDate, func(x, y int) bool {
+		dx := b.corpus.Doc(textdb.DocID(b.byDate[x])).Date
+		dy := b.corpus.Doc(textdb.DocID(b.byDate[y])).Date
+		if !dx.Equal(dy) {
+			return dx.Before(dy)
+		}
+		return b.byDate[x] < b.byDate[y]
+	})
+	return b, nil
+}
+
+// SetEpoch tags the interface with its ingest epoch; the epoch is part
+// of every cache key. Call before serving traffic.
+func (b *Interface) SetEpoch(e uint64) { b.epoch = e }
+
+// Epoch returns the ingest epoch this interface was built for.
+func (b *Interface) Epoch() uint64 { return b.epoch }
+
+// SetMetrics wires the engine's instruments into a registry:
+// browse.query_cache.hits / browse.query_cache.misses counters and the
+// browse.query_latency histogram (uncached resolution time). Instrument
+// names are get-or-create, so successive epochs of a live deployment
+// accumulate into the same monotonic series. Call before serving
+// traffic.
+func (b *Interface) SetMetrics(reg *obsv.Registry) {
+	if reg == nil {
+		return
+	}
+	b.cacheHits = reg.Counter("browse.query_cache.hits")
+	b.cacheMisses = reg.Counter("browse.query_cache.misses")
+	b.queryLatency = reg.Histogram("browse.query_latency")
+}
+
+// ResetQueryCache empties the query-result cache (benchmarking cold
+// paths; never required for correctness).
+func (b *Interface) ResetQueryCache() { b.cache.reset() }
+
+// QueryCacheLen returns the number of live cache entries.
+func (b *Interface) QueryCacheLen() int { return b.cache.len() }
+
+// Postings returns the per-facet-term posting lists. The map is newly
+// allocated but shares the underlying sets; callers must treat them as
+// read-only. Snapshot capture serializes these.
+func (b *Interface) Postings() map[string]*bitset.Set {
+	out := make(map[string]*bitset.Set, len(b.docSets))
+	for t, s := range b.docSets {
+		out[t] = s
+	}
+	return out
+}
+
+// DocTermRows returns the per-document facet annotations the engine was
+// built with; the rows are shared and must be treated as read-only.
+func (b *Interface) DocTermRows() [][]string { return b.docTerms }
 
 // Corpus returns the underlying corpus.
 func (b *Interface) Corpus() *textdb.Corpus { return b.corpus }
@@ -116,7 +240,32 @@ func (b *Interface) MatchCount(sel Selection) int {
 	return b.resolve(sel).Count()
 }
 
+// resolve answers a selection from the query-result cache, computing and
+// inserting on miss. Returned sets are shared with the cache and must be
+// treated as read-only (every consumer is: Count, ForEach, AndCount).
 func (b *Interface) resolve(sel Selection) *bitset.Set {
+	key := cacheKey(sel, b.epoch)
+	if s, ok := b.cache.get(key); ok {
+		if b.cacheHits != nil {
+			b.cacheHits.Inc()
+		}
+		return s
+	}
+	start := time.Now()
+	s := b.resolveUncached(sel)
+	if b.queryLatency != nil {
+		b.queryLatency.Observe(time.Since(start))
+	}
+	if b.cacheMisses != nil {
+		b.cacheMisses.Inc()
+	}
+	b.cache.put(key, s)
+	return s
+}
+
+// resolveUncached intersects the posting lists for the selection: facet
+// terms AND keyword matches AND the date-range run of the byDate order.
+func (b *Interface) resolveUncached(sel Selection) *bitset.Set {
 	acc := b.all
 	for _, t := range sel.Terms {
 		s, ok := b.docSets[t]
@@ -134,15 +283,9 @@ func (b *Interface) resolve(sel Selection) *bitset.Set {
 	}
 	if !sel.From.IsZero() || !sel.To.IsZero() {
 		ds := bitset.New(b.corpus.Len())
-		for i := 0; i < b.corpus.Len(); i++ {
-			d := b.corpus.Doc(textdb.DocID(i)).Date
-			if !sel.From.IsZero() && d.Before(sel.From) {
-				continue
-			}
-			if !sel.To.IsZero() && !d.Before(sel.To) {
-				continue
-			}
-			ds.Set(i)
+		lo, hi := b.dateBounds(sel.From, sel.To)
+		for _, i := range b.byDate[lo:hi] {
+			ds.Set(int(i))
 		}
 		acc = acc.And(ds)
 	}
@@ -150,6 +293,27 @@ func (b *Interface) resolve(sel Selection) *bitset.Set {
 		acc = b.all.Clone()
 	}
 	return acc
+}
+
+// dateBounds binary-searches the byDate order for the run of documents
+// with From ≤ Date < To (zero bounds are open).
+func (b *Interface) dateBounds(from, to time.Time) (lo, hi int) {
+	n := len(b.byDate)
+	lo, hi = 0, n
+	if !from.IsZero() {
+		lo = sort.Search(n, func(i int) bool {
+			return !b.corpus.Doc(textdb.DocID(b.byDate[i])).Date.Before(from)
+		})
+	}
+	if !to.IsZero() {
+		hi = sort.Search(n, func(i int) bool {
+			return !b.corpus.Doc(textdb.DocID(b.byDate[i])).Date.Before(to)
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // DateCount is one bucket of a date histogram.

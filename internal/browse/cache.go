@@ -1,0 +1,122 @@
+package browse
+
+import (
+	"container/list"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// DefaultQueryCacheSize bounds the per-interface LRU query-result cache.
+// Faceted navigation traffic is heavily skewed — the root menu and the
+// first drill-down level dominate — so a few thousand distinct
+// selections cover virtually all of a real workload.
+const DefaultQueryCacheSize = 4096
+
+// queryCache is a bounded LRU from normalized selection keys to resolved
+// document sets. Cached sets are immutable by convention: resolve hands
+// them to read-only consumers (Count, ForEach, AndCount) and never
+// mutates a set after insertion.
+//
+// The cache belongs to one Interface, and an Interface is immutable
+// after Build — so a cached answer can never go stale within its epoch.
+// Ingest swaps publish a fresh Interface (with a fresh, empty cache) via
+// one atomic pointer store, which is the invalidation rule: the key
+// includes the epoch, and the cache of a superseded epoch becomes
+// garbage wholesale the moment the swap lands.
+type queryCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	set *bitset.Set
+}
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = DefaultQueryCacheSize
+	}
+	return &queryCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+func (c *queryCache) get(key string) (*bitset.Set, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).set, true
+}
+
+func (c *queryCache) put(key string, set *bitset.Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).set = set
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, set: set})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *queryCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
+}
+
+// cacheKey normalizes a selection into a cache key. Facet terms are
+// ANDed, so ordering and duplicates are semantically irrelevant and are
+// canonicalized away (sort + dedup); the keyword query and date bounds
+// are taken verbatim — two spellings of an equivalent query may occupy
+// two entries, which costs a miss but can never cost correctness. The
+// epoch is part of the key so entries from different hierarchy builds
+// can never be confused even if a cache were shared.
+func cacheKey(sel Selection, epoch uint64) string {
+	terms := append([]string(nil), sel.Terms...)
+	sort.Strings(terms)
+	var sb strings.Builder
+	sb.WriteString(strconv.FormatUint(epoch, 10))
+	sb.WriteByte(0x1e)
+	prev := ""
+	for i, t := range terms {
+		if i > 0 && t == prev {
+			continue
+		}
+		prev = t
+		sb.WriteString(t)
+		sb.WriteByte(0x1f)
+	}
+	sb.WriteByte(0x1e)
+	sb.WriteString(sel.Query)
+	sb.WriteByte(0x1e)
+	if !sel.From.IsZero() {
+		sb.WriteString(strconv.FormatInt(sel.From.UnixNano(), 10))
+	}
+	sb.WriteByte(0x1e)
+	if !sel.To.IsZero() {
+		sb.WriteString(strconv.FormatInt(sel.To.UnixNano(), 10))
+	}
+	return sb.String()
+}

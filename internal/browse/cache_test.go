@@ -1,0 +1,104 @@
+package browse
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/obsv"
+)
+
+func TestCacheKeyNormalizesTerms(t *testing.T) {
+	a := cacheKey(Selection{Terms: []string{"france", "europe", "france"}}, 1)
+	b := cacheKey(Selection{Terms: []string{"europe", "france"}}, 1)
+	if a != b {
+		t.Fatalf("term order/duplicates should not change the key:\n%q\n%q", a, b)
+	}
+	if cacheKey(Selection{Terms: []string{"europe"}}, 1) == cacheKey(Selection{Terms: []string{"france"}}, 1) {
+		t.Fatal("different terms must produce different keys")
+	}
+}
+
+func TestCacheKeySeparatesFields(t *testing.T) {
+	// A term must never collide with a query (the classic concatenation
+	// bug), and the epoch must partition the key space.
+	if cacheKey(Selection{Terms: []string{"paris"}}, 1) == cacheKey(Selection{Query: "paris"}, 1) {
+		t.Fatal("facet term and keyword query must not share a key")
+	}
+	if cacheKey(Selection{}, 1) == cacheKey(Selection{}, 2) {
+		t.Fatal("different epochs must not share a key")
+	}
+	from := time.Date(2008, 1, 1, 0, 0, 0, 0, time.UTC)
+	if cacheKey(Selection{From: from}, 1) == cacheKey(Selection{To: from}, 1) {
+		t.Fatal("a From bound and an identical To bound must not share a key")
+	}
+}
+
+func TestQueryCacheLRUEviction(t *testing.T) {
+	c := newQueryCache(2)
+	s := bitset.New(1)
+	c.put("a", s)
+	c.put("b", s)
+	if _, ok := c.get("a"); !ok { // touch a: b becomes the eviction victim
+		t.Fatal("a should be cached")
+	}
+	c.put("c", s)
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+}
+
+func TestQueryCacheHitCounters(t *testing.T) {
+	b, _ := fixture(t)
+	reg := obsv.NewRegistry()
+	b.SetMetrics(reg)
+	sel := Selection{Terms: []string{"europe"}}
+	first := b.Docs(sel)
+	second := b.Docs(Selection{Terms: []string{"europe"}})
+	if len(first) != len(second) {
+		t.Fatalf("cached answer differs: %v vs %v", first, second)
+	}
+	if hits := reg.Counter("browse.query_cache.hits").Value(); hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+	if misses := reg.Counter("browse.query_cache.misses").Value(); misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if n := reg.Histogram("browse.query_latency").Count(); n != 1 {
+		t.Fatalf("query_latency observations = %d, want 1 (only the uncached resolution)", n)
+	}
+}
+
+func TestResetQueryCache(t *testing.T) {
+	b, _ := fixture(t)
+	b.Docs(Selection{Terms: []string{"europe"}})
+	b.Docs(Selection{Terms: []string{"sports"}})
+	if b.QueryCacheLen() == 0 {
+		t.Fatal("cache should have entries after queries")
+	}
+	b.ResetQueryCache()
+	if n := b.QueryCacheLen(); n != 0 {
+		t.Fatalf("cache len after reset = %d, want 0", n)
+	}
+}
+
+func TestEpochPartitionsCache(t *testing.T) {
+	b, _ := fixture(t)
+	sel := Selection{Terms: []string{"europe"}}
+	b.SetEpoch(1)
+	b.Docs(sel)
+	b.SetEpoch(2)
+	b.Docs(sel)
+	if n := b.QueryCacheLen(); n != 2 {
+		t.Fatalf("cache len = %d, want 2 (one entry per epoch)", n)
+	}
+}

@@ -1,0 +1,175 @@
+package browse
+
+import (
+	"sort"
+
+	"repro/internal/hierarchy"
+	"repro/internal/lang"
+	"repro/internal/textdb"
+)
+
+// Naive reference implementations: answer selections by scanning every
+// document, using neither the posting lists, the inverted index, nor the
+// query cache. The differential tests assert that the indexed + cached
+// fast paths return byte-identical answers; nothing in the serving path
+// calls these.
+
+// ScanDocs returns the documents matching the selection by full scan,
+// in ascending ID order (the same order Docs produces).
+func (b *Interface) ScanDocs(sel Selection) []textdb.DocID {
+	var out []textdb.DocID
+	b.scan(sel, func(d int) { out = append(out, textdb.DocID(d)) })
+	return out
+}
+
+// ScanMatchCount returns |ScanDocs(sel)| without materializing the slice.
+func (b *Interface) ScanMatchCount(sel Selection) int {
+	n := 0
+	b.scan(sel, func(int) { n++ })
+	return n
+}
+
+// ScanChildren is the full-scan equivalent of Children: child facet
+// terms of parent ("" for roots) with counts restricted to the
+// selection, zero counts omitted, sorted by count descending then term.
+func (b *Interface) ScanChildren(parent string, sel Selection) []FacetCount {
+	var nodes []*hierarchy.Node
+	if parent == "" {
+		nodes = b.forest.Roots
+	} else if n, ok := b.forest.Find(parent); ok {
+		nodes = n.Children
+	} else {
+		return nil
+	}
+	matched := map[int]bool{}
+	b.scan(sel, func(d int) { matched[d] = true })
+	var out []FacetCount
+	for _, n := range nodes {
+		sub := subtreeTerms(n)
+		c := 0
+		for d := range matched {
+			if docHasAny(b.docTerms[d], sub) {
+				c++
+			}
+		}
+		if c > 0 {
+			out = append(out, FacetCount{Term: n.Term, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// scan walks every document in ID order and calls fn for each one
+// matching the selection.
+func (b *Interface) scan(sel Selection, fn func(d int)) {
+	// Facet terms: a document matches term t when it is annotated with t
+	// or any descendant of t (roll-up semantics). An unknown term matches
+	// nothing.
+	subtrees := make([]map[string]bool, 0, len(sel.Terms))
+	for _, t := range sel.Terms {
+		n, ok := b.forest.Find(t)
+		if !ok {
+			return
+		}
+		subtrees = append(subtrees, subtreeTerms(n))
+	}
+	// Keyword query: conjunctive containment of the normalized query
+	// tokens, mirroring the index's tokenization (stopwords and
+	// single-character tokens are not indexed; title tokens count).
+	var qtoks []string
+	if sel.Query != "" {
+		seen := map[string]bool{}
+		for _, tok := range lang.Tokenize(sel.Query) {
+			if lang.IsStopword(tok.Norm) || len(tok.Norm) < 2 {
+				continue
+			}
+			if !seen[tok.Norm] {
+				seen[tok.Norm] = true
+				qtoks = append(qtoks, tok.Norm)
+			}
+		}
+		if len(qtoks) == 0 {
+			// The indexed path returns no documents for a query that
+			// normalizes to nothing (SearchAll yields no query IDs).
+			return
+		}
+	}
+	for d := 0; d < b.corpus.Len(); d++ {
+		doc := b.corpus.Doc(textdb.DocID(d))
+		ok := true
+		for _, sub := range subtrees {
+			if !docHasAny(b.docTerms[d], sub) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if len(qtoks) > 0 && !docContainsAll(doc, qtoks) {
+			continue
+		}
+		if !sel.From.IsZero() && doc.Date.Before(sel.From) {
+			continue
+		}
+		if !sel.To.IsZero() && !doc.Date.Before(sel.To) {
+			continue
+		}
+		fn(d)
+	}
+}
+
+// subtreeTerms collects the terms of a node and all its descendants.
+func subtreeTerms(n *hierarchy.Node) map[string]bool {
+	out := map[string]bool{}
+	var rec func(m *hierarchy.Node)
+	rec = func(m *hierarchy.Node) {
+		out[m.Term] = true
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}
+
+// docHasAny reports whether any of the document's annotation terms falls
+// in the set.
+func docHasAny(terms []string, set map[string]bool) bool {
+	for _, t := range terms {
+		if set[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// docContainsAll reports whether the document's text or title contains
+// every query token, under the index's normalization.
+func docContainsAll(doc *textdb.Document, qtoks []string) bool {
+	present := map[string]bool{}
+	for _, tok := range lang.Tokenize(doc.Text) {
+		if lang.IsStopword(tok.Norm) || len(tok.Norm) < 2 {
+			continue
+		}
+		present[tok.Norm] = true
+	}
+	for _, tok := range lang.Tokenize(doc.Title) {
+		if lang.IsStopword(tok.Norm) || len(tok.Norm) < 2 {
+			continue
+		}
+		present[tok.Norm] = true
+	}
+	for _, q := range qtoks {
+		if !present[q] {
+			return false
+		}
+	}
+	return true
+}

@@ -72,6 +72,14 @@ func (ing *Ingester) runEpoch() error {
 		return err
 	}
 
+	// Stamp the interface with its epoch (distinct per rebuild, so query
+	// cache keys from different hierarchy builds can never collide) and
+	// attach the query-serving instrumentation before it becomes visible.
+	iface.SetEpoch(uint64(ing.epochs.Load()) + 1)
+	if ing.cfg.Metrics != nil {
+		iface.SetMetrics(ing.cfg.Metrics)
+	}
+
 	elapsed := time.Since(start)
 	ing.current.Store(iface)
 	ing.publishedTerms.Store(&terms)

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// do issues an arbitrary-method request against the in-process server.
+func do(t *testing.T, s *Server, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec
+}
+
+// assertEnvelope decodes the unified error envelope and checks its code.
+func assertEnvelope(t *testing.T, rec *httptest.ResponseRecorder, path, wantCode string) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s: content-type %q, want application/json", path, ct)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Errorf("%s: body %q is not JSON: %v", path, rec.Body.String(), err)
+		return
+	}
+	if er.Error.Code != wantCode || er.Error.Message == "" {
+		t.Errorf("%s: envelope %+v, want code %q with a message", path, er.Error, wantCode)
+	}
+}
+
+// TestUnknownAPIRoutes404: unknown paths under both API prefixes answer
+// 404 with the unified envelope, never net/http's plain-text default.
+func TestUnknownAPIRoutes404(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/api/v1/nope",
+		"/api/v1/facets/extra",
+		"/api/v1/",
+		"/api/nope",
+		"/api/",
+		"/api/v2/facets", // unknown version: 404, not a v1 route
+	} {
+		rec := do(t, s, http.MethodGet, path)
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, rec.Code)
+			continue
+		}
+		assertEnvelope(t, rec, path, ErrCodeNotFound)
+	}
+}
+
+// TestWrongMethod405: a known path hit with the wrong method answers 405
+// with an Allow header and the unified envelope. Every registered route
+// is probed with a method it does not serve.
+func TestWrongMethod405(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/api/v1/facets", "GET"},
+		{http.MethodDelete, "/api/v1/facets", "GET"},
+		{http.MethodPost, "/api/v1/docs", "GET"},
+		{http.MethodPut, "/api/v1/dates", "GET"},
+		{http.MethodPost, "/api/v1/cross", "GET"},
+		{http.MethodPost, "/api/v1/metrics", "GET"},
+		{http.MethodPost, "/api/v1/healthz", "GET"},
+		{http.MethodPost, "/api/v1/readyz", "GET"},
+		{http.MethodPost, "/api/facets", "GET"}, // legacy prefix, same contract
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, rec.Code)
+			continue
+		}
+		if allow := rec.Header().Get("Allow"); allow != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+		assertEnvelope(t, rec, tc.path, ErrCodeMethodNotAllowed)
+	}
+}
+
+// TestIngestRouteMethods: the POST-only and GET-only ingest routes
+// answer 405 (with the right Allow set) once ingestion is enabled, and
+// unknown ingest subpaths answer 404.
+func TestIngestRouteMethods(t *testing.T) {
+	ing := liveIngester(t, 10, nil)
+	if err := ing.Bootstrap(liveDocs(4, 0), false); err != nil {
+		t.Fatal(err)
+	}
+	s := New(ing.Current(), "route test")
+	s.EnableIngest(ing)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/api/v1/ingest", "POST"},
+		{http.MethodDelete, "/api/v1/ingest", "POST"},
+		{http.MethodPost, "/api/v1/ingest/stats", "GET"},
+		{http.MethodPost, "/api/v1/ingest/deadletter", "GET"},
+		{http.MethodGet, "/api/v1/ingest/retry", "POST"},
+	}
+	for _, tc := range cases {
+		rec := do(t, s, tc.method, tc.path)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status %d, want 405", tc.method, tc.path, rec.Code)
+			continue
+		}
+		if allow := rec.Header().Get("Allow"); allow != tc.allow {
+			t.Errorf("%s %s: Allow %q, want %q", tc.method, tc.path, allow, tc.allow)
+		}
+		assertEnvelope(t, rec, tc.path, ErrCodeMethodNotAllowed)
+	}
+	rec := do(t, s, http.MethodGet, "/api/v1/ingest/nope")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /api/v1/ingest/nope: status %d, want 404", rec.Code)
+	}
+	assertEnvelope(t, rec, "/api/v1/ingest/nope", ErrCodeNotFound)
+}
+
+// TestIndexMethodGuard: the HTML front end only serves GET/HEAD.
+func TestIndexMethodGuard(t *testing.T) {
+	s := testServer(t)
+	rec := do(t, s, http.MethodPost, "/")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /: status %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); allow != "GET, HEAD" {
+		t.Fatalf("POST /: Allow %q, want GET, HEAD", allow)
+	}
+	if rec := do(t, s, http.MethodGet, "/"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "<html") {
+		t.Fatalf("GET / should still render the front end (status %d)", rec.Code)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -52,6 +53,12 @@ type Server struct {
 	// starts (AddReadiness), each is typically a resilience wrapper's
 	// breaker-backed Ready method.
 	readiness []readinessCheck
+
+	// apiRoutes maps each registered API path (relative, e.g. "facets")
+	// to its allowed methods, so the fallback handler can distinguish a
+	// wrong method (405 + Allow) from an unknown route (404). Mutated only
+	// during registration, before traffic starts.
+	apiRoutes map[string][]string
 }
 
 type readinessCheck struct {
@@ -89,6 +96,15 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 		s.httpm.SetAccessLog(s.accessLog)
 	}
 	s.mux = http.NewServeMux()
+	s.apiRoutes = map[string][]string{}
+	// Method-less catch-alls under both API prefixes: they lose to every
+	// registered method+path pattern (more specific wins), so they see
+	// exactly the requests no real route claims — unknown paths and wrong
+	// methods on known paths — and answer with the unified error envelope
+	// instead of the mux's plain-text defaults.
+	fallback := s.httpm.Wrap("api_unmatched", http.HandlerFunc(s.handleAPIFallback))
+	s.mux.Handle("/api/", fallback)
+	s.mux.Handle("/api/v1/", fallback)
 	s.handle(http.MethodGet, "facets", "facets", s.handleFacets)
 	s.handle(http.MethodGet, "docs", "docs", s.handleDocs)
 	s.handle(http.MethodGet, "dates", "dates", s.handleDates)
@@ -96,7 +112,9 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	s.handle(http.MethodGet, "metrics", "metrics", s.handleMetrics)
 	s.handle(http.MethodGet, "healthz", "healthz", s.handleHealthz)
 	s.handle(http.MethodGet, "readyz", "readyz", s.handleReadyz)
-	s.mux.Handle("GET /", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
+	// Method-less like the API fallbacks (a "GET /" pattern would conflict
+	// with them under the mux's precedence rules); handleIndex enforces GET.
+	s.mux.Handle("/", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
 	return s
 }
 
@@ -158,6 +176,28 @@ func (s *Server) handle(method, path, route string, h http.HandlerFunc) {
 	wrapped := s.httpm.Wrap(route, h)
 	s.mux.Handle(method+" /api/v1/"+path, wrapped)
 	s.mux.Handle(method+" /api/"+path, deprecated("/api/v1/"+path, wrapped))
+	s.apiRoutes[path] = append(s.apiRoutes[path], method)
+}
+
+// handleAPIFallback answers every /api/ request no registered route
+// claims. A known path hit with the wrong method gets 405 with an Allow
+// header; anything else gets 404. Both use the unified envelope — before
+// this handler existed, these cases leaked net/http's plain-text "404
+// page not found" / "Method Not Allowed" bodies, the one place the API
+// broke its own error contract.
+func (s *Server) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/api/")
+	path = strings.TrimPrefix(path, "v1/")
+	if methods, ok := s.apiRoutes[path]; ok {
+		allow := append([]string(nil), methods...)
+		sort.Strings(allow)
+		w.Header().Set("Allow", strings.Join(allow, ", "))
+		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
+		return
+	}
+	writeError(w, http.StatusNotFound, ErrCodeNotFound,
+		fmt.Errorf("unknown API route %s", r.URL.Path))
 }
 
 // deprecated wraps a legacy alias: same handler, plus the Deprecation
@@ -301,9 +341,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 
 // Stable machine-readable error codes of the unified envelope.
 const (
-	ErrCodeBadRequest  = "bad_request"
-	ErrCodeUnavailable = "unavailable"
-	ErrCodeNotReady    = "not_ready"
+	ErrCodeBadRequest       = "bad_request"
+	ErrCodeUnavailable      = "unavailable"
+	ErrCodeNotReady         = "not_ready"
+	ErrCodeNotFound         = "not_found"
+	ErrCodeMethodNotAllowed = "method_not_allowed"
 )
 
 // ErrorDetail is the payload of the unified error envelope.
@@ -527,6 +569,11 @@ type indexData struct {
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+		return
+	}
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return

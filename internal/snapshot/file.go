@@ -1,0 +1,86 @@
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/obsv"
+)
+
+// Save atomically writes the snapshot to path (temp file + rename, so a
+// crash mid-write never leaves a half-snapshot where a loader will find
+// it). When reg is non-nil it records snapshot.save_duration and
+// snapshot.size_bytes.
+func Save(path string, s *Snapshot, reg *obsv.Registry) error {
+	start := time.Now()
+	data, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, path)
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot: save: %w", werr)
+	}
+	if reg != nil {
+		reg.Histogram("snapshot.save_duration").Observe(time.Since(start))
+		reg.Gauge("snapshot.size_bytes").Set(int64(len(data)))
+	}
+	return nil
+}
+
+// Load reads and decodes a snapshot file. When reg is non-nil it records
+// snapshot.load_duration (read + decode, not rehydration).
+func Load(path string, reg *obsv.Registry) (*Snapshot, error) {
+	start := time.Now()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: load: %w", err)
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: load %s: %w", path, err)
+	}
+	if reg != nil {
+		reg.Histogram("snapshot.load_duration").Observe(time.Since(start))
+		reg.Gauge("snapshot.size_bytes").Set(int64(len(data)))
+	}
+	return s, nil
+}
+
+// LoadBrowse is the warm-start path: load the snapshot at path and
+// rehydrate a ready-to-serve browsing interface from it without running
+// any pipeline stage. Timings land in snapshot.load_duration and
+// snapshot.rehydrate_duration.
+func LoadBrowse(path string, reg *obsv.Registry) (*browse.Interface, *Snapshot, error) {
+	s, err := Load(path, reg)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	iface, err := s.BrowseInterface()
+	if err != nil {
+		return nil, nil, err
+	}
+	if reg != nil {
+		reg.Histogram("snapshot.rehydrate_duration").Observe(time.Since(start))
+		iface.SetMetrics(reg)
+	}
+	return iface, s, nil
+}

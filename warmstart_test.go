@@ -1,0 +1,119 @@
+package facet
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/browse"
+	"repro/internal/obsv"
+	"repro/internal/snapshot"
+)
+
+// TestSnapshotWarmStartRunsNoPipelineStages is the warm-start acceptance
+// test: serving from a snapshot must answer the first query without
+// running any pipeline stage. The cold build records core.stage.*
+// histograms into its registry; the warm start gets a fresh registry and
+// must leave every pipeline-stage instrument absent (zero increments)
+// while still answering identically.
+func TestSnapshotWarmStartRunsNoPipelineStages(t *testing.T) {
+	// Cold path: full pipeline, instrumented.
+	coldReg := obsv.NewRegistry()
+	env, err := NewSimulatedEnvironment(EnvConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := env.GenerateNewsCorpus("SNYT", 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(env, Options{TopK: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetMetrics(coldReg)
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := res.BuildHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := res.BrowseEngine(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countStageObservations(coldReg); n == 0 {
+		t.Fatal("cold build recorded no core.stage.* observations; the control side of this test is broken")
+	}
+
+	// Persist, then warm-start through the same entry point facetserve
+	// -snapshot uses, with a fresh registry.
+	path := filepath.Join(t.TempDir(), "state.fsnp")
+	stats := make([]snapshot.FacetStat, len(res.Facets))
+	for i, f := range res.Facets {
+		stats[i] = snapshot.FacetStat{Term: f.Term, DF: f.DF, DFC: f.DFC, ShiftF: f.ShiftF, ShiftR: f.ShiftR, Score: f.Score}
+	}
+	if err := snapshot.Save(path, snapshot.Capture(iface, snapshot.Meta{Profile: "SNYT", Seed: 42}, stats), coldReg); err != nil {
+		t.Fatal(err)
+	}
+	warmReg := obsv.NewRegistry()
+	warm, snap, err := snapshot.LoadBrowse(path, warmReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("background validation of the saved snapshot failed: %v", err)
+	}
+
+	// First queries answer identically to the cold engine...
+	roots := iface.Children("", browse.Selection{})
+	if len(roots) == 0 {
+		t.Fatal("no root facets")
+	}
+	sels := []browse.Selection{
+		{},
+		{Terms: []string{roots[0].Term}},
+		{Query: "minister"},
+	}
+	for i, sel := range sels {
+		if got, want := warm.Docs(sel), iface.Docs(sel); !reflect.DeepEqual(got, want) {
+			t.Errorf("sel%d: warm Docs = %v, cold = %v", i, got, want)
+		}
+		if got, want := warm.Children("", sel), iface.Children("", sel); !reflect.DeepEqual(got, want) {
+			t.Errorf("sel%d: warm root menu = %v, cold = %v", i, got, want)
+		}
+	}
+
+	// ...and no pipeline stage ever ran: the warm registry holds snapshot
+	// and browse instruments only.
+	if n := countStageObservations(warmReg); n != 0 {
+		t.Fatalf("warm start recorded %d pipeline-stage observations; snapshot serving must not run the pipeline", n)
+	}
+	ms := warmReg.Snapshot()
+	for name := range ms.Counters {
+		if strings.HasPrefix(name, "core.") {
+			t.Fatalf("warm registry contains pipeline counter %q", name)
+		}
+	}
+	if ms.Histograms["snapshot.load_duration"].Count != 1 || ms.Histograms["snapshot.rehydrate_duration"].Count != 1 {
+		t.Fatal("warm start did not record snapshot load/rehydrate timings")
+	}
+}
+
+// countStageObservations sums core.stage.* histogram counts in a
+// registry snapshot.
+func countStageObservations(reg *obsv.Registry) int64 {
+	var n int64
+	for name, h := range reg.Snapshot().Histograms {
+		if strings.HasPrefix(name, "core.stage.") {
+			n += h.Count
+		}
+	}
+	return n
+}
