@@ -28,6 +28,21 @@
 // Shutdown on SIGINT/SIGTERM is graceful: HTTP stops accepting, the
 // intake queue drains, and a final epoch publishes and persists every
 // accepted document before exit.
+//
+// Cluster mode (-role) scales serving beyond one process:
+//
+//	facetserve -role=shard -shard-name=a -cluster-shards=a,b,c   # one partition
+//	facetserve -role=coordinator -peers=a=http://h1,b=http://h2,c=http://h3
+//	facetserve -role=leader -snapshot state.fsnp                 # ships epochs
+//	facetserve -role=replica -peers=http://leader:8080           # pulls epochs
+//
+// Shards build the same deterministic corpus and hierarchy, slice it by
+// the consistent-hash ring, and serve their partition; the coordinator
+// scatter-gathers across them and answers byte-identically to a single
+// node (degrading explicitly when shards are down). A leader serves the
+// whole corpus and ships each published epoch's snapshot bytes; replicas
+// pull, rehydrate, and swap atomically, reporting replication lag via
+// /api/v1/readyz.
 package main
 
 import (
@@ -36,14 +51,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	facet "repro"
 	"repro/internal/browse"
+	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/obsv"
 	"repro/internal/serve"
@@ -67,6 +85,13 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount the runtime profiler under /debug/pprof/")
 	accessLog := flag.Bool("access-log", false, "write one JSON access-log line per request to stderr")
 	snapPath := flag.String("snapshot", "", "serving-state snapshot file: batch mode warm-starts from it when present (skipping the pipeline) and writes it after a cold build; live mode rewrites it after every published epoch")
+	role := flag.String("role", "", "cluster role: empty (single node), shard, coordinator, leader, or replica")
+	peersRaw := flag.String("peers", "", "coordinator: shard peers as name=url,name=url; replica: the leader's base URL")
+	shardName := flag.String("shard-name", "", "this shard's ring name (role=shard)")
+	clusterShards := flag.String("cluster-shards", "", "comma-separated ring membership, identical on every shard (role=shard)")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "coordinator: per-shard fan-out deadline (hedged retry fires at a quarter of it)")
+	pollInterval := flag.Duration("poll-interval", 2*time.Second, "replica: snapshot poll cadence")
+	maxLag := flag.Uint64("max-lag", 1, "replica: replication lag in epochs beyond which readyz fails")
 	flag.Parse()
 
 	// One registry spans every layer: HTTP routes, the ingester, and the
@@ -77,6 +102,31 @@ func main() {
 		serveOpts = append(serveOpts, serve.WithAccessLog(os.Stderr))
 	}
 
+	// Cluster roles that never build a corpus dispatch immediately; shard
+	// and leader fall through to the normal build paths and adjust what
+	// gets served at the end.
+	cl := &clusterOpts{role: *role, name: *shardName, shards: *clusterShards,
+		profile: *profile, seed: *seed, metrics: metrics}
+	switch *role {
+	case "", "shard", "leader":
+	case "coordinator":
+		runCoordinator(*addr, *peersRaw, *shardTimeout, metrics)
+		return
+	case "replica":
+		runReplica(*addr, *peersRaw, *pollInterval, *maxLag, metrics, serveOpts, *pprofOn)
+		return
+	default:
+		log.Fatalf("unknown -role %q (want shard, coordinator, leader, or replica)", *role)
+	}
+	if *role == "shard" {
+		if *live {
+			log.Fatal("-role=shard is incompatible with -live: shards slice a frozen epoch; use a leader with replicas for live serving")
+		}
+		if *shardName == "" || *clusterShards == "" {
+			log.Fatal("-role=shard needs -shard-name and -cluster-shards")
+		}
+	}
+
 	// Batch warm start: a loadable snapshot replaces corpus generation AND
 	// the extraction pipeline entirely — rehydrate, serve, and deep-verify
 	// the posting lists in the background.
@@ -85,7 +135,7 @@ func main() {
 			title := fmt.Sprintf("%s archive — %d stories, %d facet terms (snapshot)", snap.Meta.Profile, len(snap.Docs), len(snap.Facets))
 			log.Printf("warm start: %s (%d docs, %d posting lists, epoch %d); pipeline skipped", *snapPath, len(snap.Docs), len(snap.Postings), snap.Meta.Epoch)
 			go validateSnapshot(snap, *snapPath, metrics)
-			serveFrozen(iface, title, *addr, serveOpts, *pprofOn)
+			serveFrozen(iface, title, *addr, serveOpts, *pprofOn, cl)
 			return
 		} else if !errors.Is(err, os.ErrNotExist) {
 			log.Printf("snapshot %s unusable (%v); rebuilding from the pipeline", *snapPath, err)
@@ -139,7 +189,7 @@ func main() {
 	}
 
 	if !*live {
-		serveBatch(sys, *addr, *profile, *seed, *snapPath, metrics, serveOpts, *pprofOn)
+		serveBatch(sys, *addr, *profile, *seed, *snapPath, metrics, serveOpts, *pprofOn, cl)
 		return
 	}
 
@@ -173,6 +223,17 @@ func main() {
 	if *pprofOn {
 		srv.EnablePprof()
 	}
+	var ship *cluster.Shipper
+	if *role == "leader" {
+		// A live leader ships every published epoch to pulling replicas;
+		// the endpoint must be mounted before traffic starts.
+		ship = cluster.NewShipper(*profile, *seed, metrics)
+		ship.Register(srv)
+		if err := ship.Publish(ing.Current()); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("leader: shipping epochs at /api/v1/cluster/snapshot")
+	}
 	publish := srv.Publish
 	if *snapPath != "" {
 		// Persist the serving state after every swap: the save is atomic
@@ -194,10 +255,23 @@ func main() {
 			saveEpoch(iface)
 		}
 	}
+	if ship != nil {
+		inner := publish
+		publish = func(iface *browse.Interface) {
+			inner(iface)
+			if err := ship.Publish(iface); err != nil {
+				log.Printf("snapshot ship (epoch %d): %v", iface.Epoch(), err)
+			}
+		}
+	}
 	ing.SetOnPublish(publish) // every epoch swaps the served interface
 	ing.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// ctx cancels the instant the signal lands, so main must wait on this
@@ -216,17 +290,104 @@ func main() {
 		}
 	}()
 	st := ing.Stats()
-	log.Printf("serving %s on %s (%d docs, %d facet terms)", title, *addr, st.DocsPublished, st.FacetTerms)
-	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("serving %s (%d docs, %d facet terms)", title, st.DocsPublished, st.FacetTerms)
+	log.Printf("listening on http://%s", ln.Addr())
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-shutdownDone
 	log.Printf("shutdown complete: %d documents ingested, %d persisted", ing.Stats().DocsIngested, ing.Stats().PersistedDocs)
 }
 
+// clusterOpts carries the -role flags into the serving tail: shards and
+// leaders build the full corpus like any batch node, then change what is
+// actually served.
+type clusterOpts struct {
+	role    string // "", "shard", or "leader" by the time it reaches serveFrozen
+	name    string // -shard-name
+	shards  string // -cluster-shards
+	profile string
+	seed    uint64
+	metrics *obsv.Registry
+}
+
+// serveForever listens explicitly and logs the bound address before
+// serving — with -addr :0 (tests, multi-process smoke runs) the log line
+// is how callers learn the real port.
+func serveForever(addr string, h http.Handler) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s", ln.Addr())
+	log.Fatal(http.Serve(ln, h))
+}
+
+// runCoordinator serves the scatter-gather front end: no corpus, no
+// pipeline, just fan-out over the shard peers.
+func runCoordinator(addr, peersRaw string, timeout time.Duration, metrics *obsv.Registry) {
+	peers, err := cluster.ParsePeers(peersRaw)
+	if err != nil {
+		log.Fatalf("%v (coordinator needs -peers=name=url,name=url)", err)
+	}
+	coord, err := cluster.NewCoordinator(peers, cluster.Config{Timeout: timeout, Metrics: metrics})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(peers))
+	for i, p := range peers {
+		names[i] = p.Name
+	}
+	log.Printf("coordinator over %d shards: %s", len(peers), strings.Join(names, ", "))
+	serveForever(addr, coord)
+}
+
+// runReplica pulls the leader's snapshots: block until the first epoch
+// is applied, then serve it and keep polling in the background. The
+// replica holds no durable state — a restart just re-syncs.
+func runReplica(addr, leaderURL string, interval time.Duration, maxLag uint64, metrics *obsv.Registry, opts []serve.Option, pprofOn bool) {
+	if leaderURL == "" {
+		log.Fatal("-role=replica needs -peers=<leader base URL>")
+	}
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	// The publish hook builds the server on the first applied snapshot
+	// (serve.New needs an interface) and swaps atomically afterwards. The
+	// first call happens below in WaitSynced, before any request traffic.
+	var srv *serve.Server
+	var rep *cluster.Replica
+	var err error
+	rep, err = cluster.NewReplica(cluster.ReplicaConfig{
+		LeaderURL:    leaderURL,
+		MaxLagEpochs: maxLag,
+		Metrics:      metrics,
+		Logf:         log.Printf,
+	}, func(iface *browse.Interface) {
+		if srv == nil {
+			srv = serve.New(iface, "replica of "+leaderURL, opts...)
+			srv.AddReadiness("replication", rep.Ready)
+			if pprofOn {
+				srv.EnablePprof()
+			}
+			return
+		}
+		srv.Publish(iface)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replica: syncing from %s...", leaderURL)
+	if err := rep.WaitSynced(context.Background(), interval, 2*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+	epoch, _ := rep.AppliedEpoch()
+	log.Printf("replica: serving epoch %d, polling every %v", epoch, interval)
+	go rep.Run(context.Background(), interval)
+	serveForever(addr, srv)
+}
+
 // serveBatch is the frozen-corpus mode: run the pipeline once, optionally
 // persist the result as a snapshot, and serve.
-func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath string, metrics *obsv.Registry, opts []serve.Option, pprofOn bool) {
+func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath string, metrics *obsv.Registry, opts []serve.Option, pprofOn bool, cl *clusterOpts) {
 	log.Printf("extracting facets from %d documents...", sys.Len())
 	res, err := sys.ExtractFacets()
 	if err != nil {
@@ -259,18 +420,47 @@ func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath s
 		}
 	}
 	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", profile, sys.Len(), len(res.Facets))
-	serveFrozen(iface, title, addr, opts, pprofOn)
+	serveFrozen(iface, title, addr, opts, pprofOn, cl)
 }
 
 // serveFrozen serves an already-built interface forever (shared by the
-// cold batch path and the snapshot warm start).
-func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Option, pprofOn bool) {
+// cold batch path and the snapshot warm start). The cluster role decides
+// what exactly goes on the wire: a shard serves its ring partition plus
+// the scatter endpoints, a leader serves everything plus the snapshot
+// shipping endpoint, a plain node just serves.
+func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Option, pprofOn bool, cl *clusterOpts) {
 	srv := serve.New(iface, title, opts...)
+	switch cl.role {
+	case "shard":
+		names := strings.Split(cl.shards, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		ring, err := cluster.NewRing(names, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sh, err := cluster.BuildShard(iface, ring, cl.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = serve.New(sh.Interface(), fmt.Sprintf("%s — shard %s", title, cl.name), opts...)
+		sh.Register(srv)
+		log.Printf("shard %s: serving %d of %d documents (ring of %d)",
+			cl.name, sh.Len(), iface.Corpus().Len(), len(names))
+	case "leader":
+		ship := cluster.NewShipper(cl.profile, cl.seed, cl.metrics)
+		ship.Register(srv)
+		if err := ship.Publish(iface); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("leader: shipping epoch %d at /api/v1/cluster/snapshot", iface.Epoch())
+	}
 	if pprofOn {
 		srv.EnablePprof()
 	}
-	log.Printf("serving %s on %s", title, addr)
-	log.Fatal(http.ListenAndServe(addr, srv))
+	log.Printf("serving %s", title)
+	serveForever(addr, srv)
 }
 
 // validateSnapshot is the warm start's background deep check: recompute

@@ -1,0 +1,635 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/browse"
+	"repro/internal/obsv"
+	"repro/internal/resilient"
+	"repro/internal/serve"
+)
+
+// errNeedAB mirrors the single-node cross handler's message exactly so
+// coordinator and single-node validation errors are byte-identical.
+var errNeedAB = errors.New("need a and b facet parameters")
+
+// Peer names one shard server the coordinator fans out to.
+type Peer struct {
+	Name    string // ring name, reported in degradation envelopes
+	BaseURL string // e.g. http://10.0.0.3:8081 (no trailing slash)
+}
+
+// ParsePeers parses the -peers flag syntax "name=url,name=url".
+func ParsePeers(raw string) ([]Peer, error) {
+	var out []Peer
+	for _, part := range strings.Split(raw, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want name=url)", part)
+		}
+		out = append(out, Peer{Name: name, BaseURL: strings.TrimRight(url, "/")})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: no peers in %q", raw)
+	}
+	return out, nil
+}
+
+// Config parameterizes a Coordinator.
+type Config struct {
+	// Timeout is the per-shard deadline for one scattered sub-query,
+	// covering both the primary and any hedged attempt. 0 selects 2s.
+	Timeout time.Duration
+	// HedgeDelay is how long the primary attempt may run before a
+	// backup attempt is launched in parallel (the hedge); whichever
+	// returns first wins. A primary that FAILS before the delay triggers
+	// the backup immediately. 0 selects Timeout/4.
+	HedgeDelay time.Duration
+	// Breaker configures the per-shard circuit breaker; a shard whose
+	// breaker is open is skipped without a request (and reported in the
+	// degradation envelope) until its cooldown admits a probe.
+	Breaker resilient.BreakerConfig
+	// Client issues the shard requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// Metrics, when set, receives cluster.fanout_latency and
+	// cluster.merge_latency histograms, per-shard
+	// cluster.shard.<name>.{errors,hedges} counters and breaker-state
+	// gauges, and the cluster.degraded_responses counter. The registry
+	// is also what GET /api/v1/metrics on the coordinator serves.
+	Metrics *obsv.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = cfg.Timeout / 4
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewRegistry()
+	}
+	return cfg
+}
+
+// shardClient is the coordinator's view of one shard: its breaker, its
+// error counters, and the last epoch it reported.
+type shardClient struct {
+	name    string
+	baseURL string
+	br      *resilient.Breaker
+	client  *http.Client
+	errs    *obsv.Counter
+	hedges  *obsv.Counter
+}
+
+// Coordinator fans browse queries out to every shard, merges the
+// partial answers, and serves the same public /api/v1/ routes as a
+// single node — byte-identically when all shards answer, and with an
+// explicit "degraded" report naming the missing shards when some don't.
+type Coordinator struct {
+	cfg    Config
+	shards []*shardClient
+
+	mux       *http.ServeMux
+	httpm     *obsv.HTTPMetrics
+	apiRoutes map[string][]string
+
+	fanout   *obsv.Histogram
+	merge    *obsv.Histogram
+	degraded *obsv.Counter
+}
+
+// NewCoordinator builds a coordinator over the given shard peers.
+func NewCoordinator(peers []Peer, cfg Config) (*Coordinator, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one shard peer")
+	}
+	cfg = cfg.withDefaults()
+	seen := map[string]bool{}
+	c := &Coordinator{
+		cfg:      cfg,
+		fanout:   cfg.Metrics.Histogram("cluster.fanout_latency"),
+		merge:    cfg.Metrics.Histogram("cluster.merge_latency"),
+		degraded: cfg.Metrics.Counter("cluster.degraded_responses"),
+	}
+	for _, p := range peers {
+		if p.Name == "" || p.BaseURL == "" {
+			return nil, fmt.Errorf("cluster: peer needs name and url (got %+v)", p)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		seen[p.Name] = true
+		sc := &shardClient{
+			name:    p.Name,
+			baseURL: strings.TrimRight(p.BaseURL, "/"),
+			br:      resilient.NewBreaker(cfg.Breaker, cfg.Metrics.Counter("cluster.shard."+p.Name+".trips").Inc),
+			client:  cfg.Client,
+			errs:    cfg.Metrics.Counter("cluster.shard." + p.Name + ".errors"),
+			hedges:  cfg.Metrics.Counter("cluster.shard." + p.Name + ".hedges"),
+		}
+		br := sc.br
+		cfg.Metrics.GaugeFunc("cluster.shard."+p.Name+".breaker_state", func() int64 {
+			return int64(br.State())
+		})
+		c.shards = append(c.shards, sc)
+	}
+	c.buildMux()
+	return c, nil
+}
+
+// buildMux wires the coordinator's routes: the public browse API under
+// /api/v1/ (scatter-gather), plus metrics and probes, with the same
+// unified-envelope fallback for unknown routes the single node uses.
+func (c *Coordinator) buildMux() {
+	c.httpm = obsv.NewHTTPMetrics(c.cfg.Metrics)
+	c.mux = http.NewServeMux()
+	c.apiRoutes = map[string][]string{}
+	fallback := c.httpm.Wrap("api_unmatched", http.HandlerFunc(c.handleAPIFallback))
+	c.mux.Handle("/api/", fallback)
+	c.mux.Handle("/api/v1/", fallback)
+	handle := func(path, route string, h http.HandlerFunc) {
+		c.mux.Handle(http.MethodGet+" /api/v1/"+path, c.httpm.Wrap(route, h))
+		c.apiRoutes[path] = append(c.apiRoutes[path], http.MethodGet)
+	}
+	handle("facets", "facets", c.handleFacets)
+	handle("docs", "docs", c.handleDocs)
+	handle("dates", "dates", c.handleDates)
+	handle("cross", "cross", c.handleCross)
+	handle("metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, c.cfg.Metrics.Snapshot())
+	})
+	handle("healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+		serve.WriteJSON(w, serve.HealthzResponse{Status: "ok"})
+	})
+	handle("readyz", "readyz", c.handleReadyz)
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the coordinator's registry.
+func (c *Coordinator) Metrics() *obsv.Registry { return c.cfg.Metrics }
+
+func (c *Coordinator) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/api/")
+	path = strings.TrimPrefix(path, "v1/")
+	if methods, ok := c.apiRoutes[path]; ok {
+		allow := append([]string(nil), methods...)
+		sort.Strings(allow)
+		w.Header().Set("Allow", strings.Join(allow, ", "))
+		serve.WriteError(w, http.StatusMethodNotAllowed, serve.ErrCodeMethodNotAllowed,
+			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
+		return
+	}
+	serve.WriteError(w, http.StatusNotFound, serve.ErrCodeNotFound,
+		fmt.Errorf("unknown API route %s", r.URL.Path))
+}
+
+// handleReadyz reports cluster health: ready while every shard's
+// breaker is closed, 503 naming the tripped shards otherwise. The
+// coordinator still SERVES partial results while degraded — readiness
+// is the operator's signal, not a traffic gate.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := make(map[string]string, len(c.shards))
+	var failing []string
+	for _, sc := range c.shards {
+		if st := sc.br.State(); st != resilient.Closed {
+			checks[sc.name] = "breaker " + st.String()
+			failing = append(failing, sc.name+": breaker "+st.String())
+		} else {
+			checks[sc.name] = "ok"
+		}
+	}
+	if len(failing) > 0 {
+		serve.WriteError(w, http.StatusServiceUnavailable, serve.ErrCodeNotReady,
+			fmt.Errorf("not ready: %s", strings.Join(failing, "; ")))
+		return
+	}
+	serve.WriteJSON(w, serve.ReadyzResponse{Status: "ready", Checks: checks})
+}
+
+// --- scatter ---
+
+// maxShardResponse bounds one shard reply (a merge cannot be asked to
+// buffer an unbounded body).
+const maxShardResponse = 64 << 20
+
+// shardReply is one shard's answer (or failure) to a scattered
+// sub-query.
+type shardReply struct {
+	name   string
+	body   []byte
+	status int
+	err    error
+}
+
+// scatter fans pathAndQuery out to every shard concurrently and waits
+// for all of them (each bounded by the per-shard deadline). Replies
+// come back in peer order; failed shards carry err and are summarized
+// in the returned Degradation (nil when every shard answered).
+func (c *Coordinator) scatter(ctx context.Context, pathAndQuery string) ([]shardReply, *Degradation) {
+	start := time.Now()
+	replies := make([]shardReply, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sc := range c.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			body, status, err := c.fetch(ctx, sc, pathAndQuery)
+			replies[i] = shardReply{name: sc.name, body: body, status: status, err: err}
+		}(i, sc)
+	}
+	wg.Wait()
+	c.fanout.Observe(time.Since(start))
+	var degr *Degradation
+	for _, rep := range replies {
+		if rep.err != nil {
+			if degr == nil {
+				degr = &Degradation{ShardsTotal: len(c.shards), Errors: map[string]string{}}
+			}
+			degr.MissingShards = append(degr.MissingShards, rep.name)
+			degr.Errors[rep.name] = rep.err.Error()
+		}
+	}
+	if degr != nil {
+		c.degraded.Inc()
+	}
+	return replies, degr
+}
+
+// fetch runs one shard sub-query under the hedging policy: a primary
+// attempt, plus a backup launched either when the primary fails fast or
+// when HedgeDelay elapses without an answer (tail-latency hedging);
+// the first success wins. Every attempt passes through the shard's
+// circuit breaker, so a dead shard is shed without a connection once
+// the breaker opens, and probed again after its cooldown.
+func (c *Coordinator) fetch(ctx context.Context, sc *shardClient, pathAndQuery string) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	type result struct {
+		body   []byte
+		status int
+		err    error
+	}
+	ch := make(chan result, 2) // both attempts can always deliver
+	attempt := func() {
+		body, status, err := sc.get(ctx, pathAndQuery)
+		ch <- result{body, status, err}
+	}
+	launch := func() bool {
+		if err := sc.br.Allow(); err != nil {
+			return false
+		}
+		go attempt()
+		return true
+	}
+	if !launch() {
+		if sc.errs != nil {
+			sc.errs.Inc()
+		}
+		return nil, 0, resilient.ErrOpen
+	}
+	outstanding, hedged := 1, false
+	hedge := func() {
+		if hedged {
+			return
+		}
+		hedged = true
+		if launch() {
+			outstanding++
+			sc.hedges.Inc()
+		}
+	}
+	var lastErr error
+	timerC := time.After(c.cfg.HedgeDelay)
+	for {
+		select {
+		case res := <-ch:
+			outstanding--
+			if res.err == nil && res.status < http.StatusInternalServerError {
+				sc.br.Success()
+				return res.body, res.status, nil
+			}
+			sc.br.Failure()
+			sc.errs.Inc()
+			if res.err != nil {
+				lastErr = res.err
+			} else {
+				lastErr = fmt.Errorf("shard %s: HTTP %d", sc.name, res.status)
+			}
+			// A fast failure is a better hedge trigger than the timer.
+			hedge()
+			if outstanding == 0 {
+				return nil, 0, lastErr
+			}
+		case <-timerC:
+			timerC = nil
+			hedge()
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+	}
+}
+
+// get issues one HTTP attempt against the shard.
+func (sc *shardClient) get(ctx context.Context, pathAndQuery string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sc.baseURL+pathAndQuery, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := sc.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// --- merge + routes ---
+
+// Degradation is the partial-results report attached to a coordinator
+// response when some shards did not answer: the client sees which part
+// of the corpus the counts are missing, instead of an opaque error or —
+// worse — silently low numbers.
+type Degradation struct {
+	ShardsTotal   int               `json:"shards_total"`
+	MissingShards []string          `json:"missing_shards"`
+	Errors        map[string]string `json:"errors,omitempty"`
+}
+
+// FacetsResponse is the coordinator's /api/v1/facets payload: the
+// single-node shape plus the optional degradation report (absent —
+// byte-identical to single-node — when every shard answered).
+type FacetsResponse struct {
+	serve.FacetsResponse
+	Degraded *Degradation `json:"degraded,omitempty"`
+}
+
+// DocsResponse is the coordinator's /api/v1/docs payload.
+type DocsResponse struct {
+	serve.DocsResponse
+	Degraded *Degradation `json:"degraded,omitempty"`
+}
+
+// DatesResponse is the coordinator's /api/v1/dates payload. The
+// single-node route answers with a bare bucket array, so the degraded
+// form wraps it only when the report is present.
+type DatesResponse struct {
+	Buckets  []serve.DateBucket `json:"buckets"`
+	Degraded *Degradation       `json:"degraded"`
+}
+
+// CrossResponse is the coordinator's /api/v1/cross payload.
+type CrossResponse struct {
+	browse.CrossTab
+	Degraded *Degradation `json:"degraded,omitempty"`
+}
+
+// relayOrDecode splits replies into decoded successes and handles the
+// client-error relay: if any shard answered with a non-2xx, non-5xx
+// status (e.g. 400 bad granularity — every shard validates with the
+// same code, so any one speaks for all), the first such reply is
+// relayed to the client verbatim and ok=false is returned. Transport
+// failures were already folded into the degradation report.
+func relayOrDecode[T any](w http.ResponseWriter, replies []shardReply) (decoded []T, ok bool) {
+	for _, rep := range replies {
+		if rep.err != nil {
+			continue
+		}
+		if rep.status != http.StatusOK {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(rep.status)
+			_, _ = w.Write(rep.body)
+			return nil, false
+		}
+		var v T
+		if err := json.Unmarshal(rep.body, &v); err != nil {
+			serve.WriteError(w, http.StatusBadGateway, serve.ErrCodeUnavailable,
+				fmt.Errorf("shard %s: undecodable reply: %v", rep.name, err))
+			return nil, false
+		}
+		decoded = append(decoded, v)
+	}
+	return decoded, true
+}
+
+// allShardsDown writes the full-outage error: partial results need at
+// least one shard.
+func (c *Coordinator) allShardsDown(w http.ResponseWriter, degr *Degradation) {
+	msgs := make([]string, 0, len(degr.MissingShards))
+	for _, name := range degr.MissingShards {
+		msgs = append(msgs, name+": "+degr.Errors[name])
+	}
+	serve.WriteError(w, http.StatusServiceUnavailable, serve.ErrCodeUnavailable,
+		fmt.Errorf("all %d shards unreachable: %s", degr.ShardsTotal, strings.Join(msgs, "; ")))
+}
+
+func (c *Coordinator) handleFacets(w http.ResponseWriter, r *http.Request) {
+	if _, err := serve.ParseSelection(r); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	limit, err := serve.QueryBoundedInt(r, "limit", 100, 1000)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/facets?"+r.URL.RawQuery)
+	if degr != nil && len(degr.MissingShards) == len(c.shards) {
+		c.allShardsDown(w, degr)
+		return
+	}
+	parts, ok := relayOrDecode[ShardFacets](w, replies)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	total := 0
+	counts := map[string]int{}
+	for _, p := range parts {
+		total += p.Total
+		for _, fc := range p.Facets {
+			counts[fc.Term] += fc.Count
+		}
+	}
+	merged := make([]browse.FacetCount, 0, len(counts))
+	for term, count := range counts {
+		merged = append(merged, browse.FacetCount{Term: term, Count: count})
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Count != merged[j].Count {
+			return merged[i].Count > merged[j].Count
+		}
+		return merged[i].Term < merged[j].Term
+	})
+	if len(merged) > limit {
+		merged = merged[:limit]
+	}
+	if len(merged) == 0 {
+		merged = nil // single node emits null, not [], for no facets
+	}
+	c.merge.Observe(time.Since(start))
+	serve.WriteJSON(w, FacetsResponse{
+		FacetsResponse: serve.FacetsResponse{
+			Parent: r.URL.Query().Get("parent"),
+			Total:  total,
+			Facets: merged,
+		},
+		Degraded: degr,
+	})
+}
+
+func (c *Coordinator) handleDocs(w http.ResponseWriter, r *http.Request) {
+	if _, err := serve.ParseSelection(r); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	limit, err := serve.QueryBoundedInt(r, "limit", 20, 500)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/docs?"+r.URL.RawQuery)
+	if degr != nil && len(degr.MissingShards) == len(c.shards) {
+		c.allShardsDown(w, degr)
+		return
+	}
+	parts, ok := relayOrDecode[ShardDocs](w, replies)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	resp := DocsResponse{Degraded: degr}
+	var docs []serve.DocSummary
+	for _, p := range parts {
+		resp.Total += p.Total
+		docs = append(docs, p.Docs...)
+	}
+	// Shards return ascending global ids over disjoint id sets, so the
+	// global first `limit` ids are contained in the concatenation.
+	sort.Slice(docs, func(i, j int) bool { return docs[i].ID < docs[j].ID })
+	if len(docs) > limit {
+		docs = docs[:limit]
+	}
+	resp.Docs = docs
+	c.merge.Observe(time.Since(start))
+	serve.WriteJSON(w, resp)
+}
+
+func (c *Coordinator) handleDates(w http.ResponseWriter, r *http.Request) {
+	if _, err := serve.ParseSelection(r); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/dates?"+r.URL.RawQuery)
+	if degr != nil && len(degr.MissingShards) == len(c.shards) {
+		c.allShardsDown(w, degr)
+		return
+	}
+	parts, ok := relayOrDecode[ShardDates](w, replies)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	counts := map[string]int{}
+	for _, p := range parts {
+		for _, b := range p.Buckets {
+			counts[b.Bucket] += b.Count
+		}
+	}
+	merged := make([]serve.DateBucket, 0, len(counts))
+	for bucket, count := range counts {
+		merged = append(merged, serve.DateBucket{Bucket: bucket, Count: count})
+	}
+	// Buckets are "2006-01-02" strings: lexicographic IS chronological.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Bucket < merged[j].Bucket })
+	c.merge.Observe(time.Since(start))
+	if degr == nil {
+		// Byte-compatible with the single node, which serves a bare array.
+		serve.WriteJSON(w, merged)
+		return
+	}
+	serve.WriteJSON(w, DatesResponse{Buckets: merged, Degraded: degr})
+}
+
+func (c *Coordinator) handleCross(w http.ResponseWriter, r *http.Request) {
+	if _, err := serve.ParseSelection(r); err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	if r.URL.Query().Get("a") == "" || r.URL.Query().Get("b") == "" {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, errNeedAB)
+		return
+	}
+	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/cross?"+r.URL.RawQuery)
+	if degr != nil && len(degr.MissingShards) == len(c.shards) {
+		c.allShardsDown(w, degr)
+		return
+	}
+	parts, ok := relayOrDecode[ShardCross](w, replies)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	resp := CrossResponse{Degraded: degr}
+	for i, p := range parts {
+		if i == 0 {
+			resp.RowTerms = p.RowTerms
+			resp.ColTerms = p.ColTerms
+			resp.Cells = make([][]int, len(p.RowTerms))
+			for row := range resp.Cells {
+				resp.Cells[row] = make([]int, len(p.ColTerms))
+			}
+		} else if !sameTerms(resp.RowTerms, p.RowTerms) || !sameTerms(resp.ColTerms, p.ColTerms) {
+			// Shards disagree on the hierarchy axes — an epoch skew
+			// mid-rollout. Summing mismatched matrices would be silently
+			// wrong, so fail loudly instead.
+			serve.WriteError(w, http.StatusServiceUnavailable, serve.ErrCodeUnavailable,
+				fmt.Errorf("shards report different cross axes (epoch skew); retry after the rollout settles"))
+			return
+		}
+		for row := range p.Cells {
+			for col := range p.Cells[row] {
+				resp.Cells[row][col] += p.Cells[row][col]
+			}
+		}
+	}
+	c.merge.Observe(time.Since(start))
+	serve.WriteJSON(w, resp)
+}
+
+func sameTerms(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/browse"
+	"repro/internal/obsv"
+	"repro/internal/serve"
+	"repro/internal/snapshot"
+)
+
+// leaderAndReplica wires a leader (serving the snapshot endpoint via a
+// Shipper) and a replica publishing into its own serve.Server.
+func leaderAndReplica(t *testing.T, reg *obsv.Registry) (*httptest.Server, *Shipper, *httptest.Server, *Replica, *serve.Server) {
+	t.Helper()
+	iface := clusterFixture(t, 24)
+	leaderSrv := serve.New(iface, "leader")
+	ship := NewShipper("test", 42, reg)
+	ship.Register(leaderSrv)
+	if err := ship.Publish(iface); err != nil {
+		t.Fatal(err)
+	}
+	leader := httptest.NewServer(leaderSrv)
+	t.Cleanup(leader.Close)
+
+	// The replica's server starts with the same build; what matters is
+	// that Publish atomically swaps in each shipped epoch.
+	replicaSrv := serve.New(clusterFixture(t, 24), "replica")
+	rep, err := NewReplica(ReplicaConfig{
+		LeaderURL: leader.URL,
+		Metrics:   reg,
+	}, replicaSrv.Publish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaSrv.AddReadiness("replication", rep.Ready)
+	replica := httptest.NewServer(replicaSrv)
+	t.Cleanup(replica.Close)
+	return leader, ship, replica, rep, replicaSrv
+}
+
+// TestReplicationAcrossEpochSwap is the replication differential: the
+// replica applies the leader's shipped epoch and answers byte-identically
+// to the leader; the leader then publishes a NEW epoch (grown corpus) and
+// after one poll the replica converges on it — the differential holds on
+// both sides of the atomic swap.
+func TestReplicationAcrossEpochSwap(t *testing.T) {
+	reg := obsv.NewRegistry()
+	leader, ship, replica, rep, _ := leaderAndReplica(t, reg)
+	ctx := context.Background()
+
+	// Before the first sync the replica is explicitly not ready.
+	if err := rep.Ready(); err == nil {
+		t.Fatal("replica ready before first sync")
+	}
+	epoch, applied, err := rep.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || epoch != 1 {
+		t.Fatalf("first poll: applied=%v epoch=%d, want applied epoch 1", applied, epoch)
+	}
+	if err := rep.Ready(); err != nil {
+		t.Fatalf("replica not ready after sync: %v", err)
+	}
+	if lag, ok := rep.Lag(); !ok || lag != 0 {
+		t.Fatalf("lag = %d,%v after sync, want 0", lag, ok)
+	}
+
+	compare := func(label string) {
+		t.Helper()
+		for _, url := range differentialURLs() {
+			wantStatus, wantBody := fetchBytes(t, leader.URL, url)
+			gotStatus, gotBody := fetchBytes(t, replica.URL, url)
+			if gotStatus != wantStatus || string(gotBody) != string(wantBody) {
+				t.Fatalf("%s: %s diverges (replica %d vs leader %d)\nreplica: %s\nleader: %s",
+					label, url, gotStatus, wantStatus, gotBody, wantBody)
+			}
+		}
+	}
+	compare("epoch 1")
+
+	// A no-op poll: the leader has nothing newer, so the replica answers
+	// 204 to itself and applies nothing.
+	if _, applied, err := rep.Poll(ctx); err != nil || applied {
+		t.Fatalf("idle poll: applied=%v err=%v", applied, err)
+	}
+
+	// Leader swaps in a new epoch over a grown corpus and ships it.
+	iface2 := clusterFixture(t, 36)
+	iface2.SetEpoch(2)
+	// leaderSrv.Publish is what a live leader does; here the httptest
+	// handler holds the serve.Server, so re-publish through the shipper
+	// and the leader's own swap.
+	if err := ship.Publish(iface2); err != nil {
+		t.Fatal(err)
+	}
+	leaderSrv, ok := leader.Config.Handler.(*serve.Server)
+	if !ok {
+		t.Fatalf("leader handler is %T", leader.Config.Handler)
+	}
+	leaderSrv.Publish(iface2)
+
+	epoch, applied, err = rep.Poll(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied || epoch != 2 {
+		t.Fatalf("post-swap poll: applied=%v epoch=%d, want applied epoch 2", applied, epoch)
+	}
+	compare("epoch 2")
+
+	if got, ok := ship.Epoch(); !ok || got != 2 {
+		t.Fatalf("shipper epoch %d,%v", got, ok)
+	}
+	if got, ok := rep.AppliedEpoch(); !ok || got != 2 {
+		t.Fatalf("replica applied epoch %d,%v", got, ok)
+	}
+}
+
+// TestSnapshotWireRoundTrip proves the shipped bytes are the canonical
+// encoding: serve over HTTP, decode, re-encode, and the fixed point
+// holds (decode(encode(x)) re-encodes to the same bytes) — so a replica
+// could itself act as a snapshot source without drift.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	iface := clusterFixture(t, 24)
+	srv := serve.New(iface, "leader")
+	ship := NewShipper("test", 7, nil)
+	ship.Register(srv)
+	if err := ship.Publish(iface); err != nil {
+		t.Fatal(err)
+	}
+	leader := httptest.NewServer(srv)
+	defer leader.Close()
+
+	resp, err := http.Get(leader.URL + "/api/v1/cluster/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot fetch: %d %s", resp.StatusCode, wire)
+	}
+	if got := resp.Header.Get(EpochHeader); got != "1" {
+		t.Fatalf("epoch header %q", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// Header-only epoch peek agrees with the full decode.
+	peeked, err := snapshot.PeekEpoch(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peeked != snap.Meta.Epoch || peeked != 1 {
+		t.Fatalf("peeked epoch %d, decoded %d", peeked, snap.Meta.Epoch)
+	}
+
+	// Canonical fixed point: re-encoding the decoded snapshot reproduces
+	// the wire bytes exactly.
+	again, err := snapshot.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(wire) {
+		t.Fatalf("re-encode is not a fixed point: %d vs %d bytes", len(again), len(wire))
+	}
+
+	// Rehydration serves: the decoded interface answers like the leader.
+	riface, err := snap.BrowseInterface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if riface.Corpus().Len() != iface.Corpus().Len() {
+		t.Fatalf("rehydrated corpus %d docs, want %d", riface.Corpus().Len(), iface.Corpus().Len())
+	}
+
+	// Truncated and corrupted wire bytes fail with typed errors, never a
+	// panic, and a replica poll surfaces them as errors.
+	for _, n := range []int{0, 3, len(wire) / 2, len(wire) - 1} {
+		if _, err := snapshot.Decode(wire[:n]); !errors.Is(err, snapshot.ErrTruncated) && !errors.Is(err, snapshot.ErrBadMagic) {
+			t.Fatalf("truncated to %d bytes: err = %v", n, err)
+		}
+	}
+	flipped := append([]byte(nil), wire...)
+	flipped[len(flipped)/2] ^= 0xFF
+	if _, err := snapshot.Decode(flipped); !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("bit flip: err = %v", err)
+	}
+
+	// 204 watermark: asking for nothing newer than the current epoch.
+	resp, err = http.Get(leader.URL + "/api/v1/cluster/snapshot?since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent || resp.Header.Get(EpochHeader) != "1" {
+		t.Fatalf("since=current: %d, epoch header %q", resp.StatusCode, resp.Header.Get(EpochHeader))
+	}
+	// Bad since parameter.
+	resp, err = http.Get(leader.URL + "/api/v1/cluster/snapshot?since=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("since=banana: %d", resp.StatusCode)
+	}
+}
+
+// TestReplicaHandlesBadLeader: a leader serving garbage (truncated or
+// corrupt snapshot bytes, error statuses) produces typed poll errors and
+// leaves the replica's serving state untouched.
+func TestReplicaHandlesBadLeader(t *testing.T) {
+	iface := clusterFixture(t, 24)
+	good, err := snapshot.Encode(snapshot.Capture(iface, snapshot.Meta{Epoch: 1}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mode string
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode {
+		case "truncated":
+			w.Write(good[:len(good)/3])
+		case "corrupt":
+			bad := append([]byte(nil), good...)
+			bad[len(bad)-2] ^= 0x01
+			w.Write(bad)
+		case "error":
+			http.Error(w, "leader exploding", http.StatusInternalServerError)
+		}
+	}))
+	defer leader.Close()
+
+	published := 0
+	rep, err := NewReplica(ReplicaConfig{LeaderURL: leader.URL},
+		func(*browse.Interface) { published++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mode string
+		want error // nil = any error acceptable, just not success
+	}{
+		{"truncated", snapshot.ErrTruncated},
+		{"corrupt", snapshot.ErrChecksum},
+		{"error", nil},
+	}
+	for _, tc := range cases {
+		mode = tc.mode
+		_, applied, err := rep.Poll(context.Background())
+		if err == nil || applied {
+			t.Fatalf("%s leader: applied=%v err=%v, want failure", tc.mode, applied, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Fatalf("%s leader: err = %v, want %v", tc.mode, err, tc.want)
+		}
+	}
+	if published != 0 {
+		t.Fatalf("bad leader caused %d publishes", published)
+	}
+	if err := rep.Ready(); err == nil {
+		t.Fatal("replica ready despite never syncing")
+	}
+}

@@ -1,0 +1,159 @@
+// Package cluster scales the faceted serving layer beyond one process,
+// along the two axes the ROADMAP's "millions of users" north star
+// requires: corpus size (sharding) and read throughput (replication).
+//
+//   - Sharding: a consistent-hash ring over document ids partitions the
+//     corpus across N shard servers, each running the existing
+//     internal/browse indexed serving over its slice.
+//   - Scatter-gather: a Coordinator fans each browse query out to every
+//     shard over the /api/v1/ JSON envelope, sums per-facet counts,
+//     unions and re-sorts document answers, and — because shards
+//     partition the corpus — produces answers byte-identical to a
+//     single node serving the whole corpus (the differential test
+//     enforces exactly that).
+//   - Replication: a leader ships each published epoch's
+//     internal/snapshot bytes to stateless read replicas through a
+//     pull-based endpoint; the epoch number is the replication
+//     watermark, and replicas apply snapshots via the same atomic
+//     interface swap live ingestion uses.
+//
+// Failure handling is partial-results by design: a shard that is down
+// (breaker open, both hedged attempts failed) is dropped from the merge
+// and named in the response's "degraded" report instead of failing the
+// whole query.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard virtual-node count. 64 points per
+// shard keeps the worst/best shard load ratio within a few percent on
+// realistic corpus sizes while the ring stays small enough to search in
+// a handful of cache lines.
+const DefaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring assigning document ids to named
+// shards. Placement is deterministic: it depends only on the shard
+// names, the virtual-node count, and the document id — never on
+// insertion order or map iteration — so every process that builds a
+// ring from the same membership computes the same partition, which is
+// what lets shard servers slice the corpus independently and still
+// agree with the coordinator. Adding or removing one shard moves only
+// the documents whose owning arc changed (the consistent-hashing
+// property; see TestRingConsistency).
+type Ring struct {
+	shards []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int32 // index into shards
+}
+
+// NewRing builds a ring over the given shard names with vnodes virtual
+// nodes per shard (0 selects DefaultVirtualNodes). Names must be
+// non-empty and unique.
+func NewRing(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(shards))
+	r := &Ring{
+		shards: append([]string(nil), shards...),
+		points: make([]ringPoint, 0, len(shards)*vnodes),
+	}
+	for i, name := range r.shards {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: empty shard name at position %d", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate shard name %q", name)
+		}
+		seen[name] = true
+		for v := 0; v < vnodes; v++ {
+			h := splitmix64(fnv64a(name) ^ uint64(v)*0x9E3779B97F4A7C15)
+			r.points = append(r.points, ringPoint{hash: h, shard: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash collisions between virtual nodes are astronomically rare
+		// but must still break deterministically: lower shard index wins.
+		return r.points[a].shard < r.points[b].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard names in construction order; callers must
+// treat the slice as read-only.
+func (r *Ring) Shards() []string { return r.shards }
+
+// Index returns the position of the named shard, or an error if it is
+// not a ring member.
+func (r *Ring) Index(name string) (int, error) {
+	for i, s := range r.shards {
+		if s == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: shard %q is not a ring member (have %v)", name, r.shards)
+}
+
+// Owner returns the shard that owns document id doc.
+func (r *Ring) Owner(doc int) string { return r.shards[r.OwnerIndex(doc)] }
+
+// OwnerIndex returns the index (into Shards) of the shard owning doc:
+// the first virtual node at or clockwise after the document's hash.
+func (r *Ring) OwnerIndex(doc int) int {
+	h := splitmix64(uint64(doc) + 0x9E3779B97F4A7C15)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the ring
+	}
+	return int(r.points[i].shard)
+}
+
+// Partition assigns document ids 0..n-1 to shards, returning one
+// ascending id slice per shard (indexed like Shards). Ascending order
+// within each slice is what makes a shard's local ids a monotone
+// renumbering of its global ids, so per-shard answers merge back into
+// global id order with a single k-way merge.
+func (r *Ring) Partition(n int) [][]int {
+	out := make([][]int, len(r.shards))
+	for doc := 0; doc < n; doc++ {
+		s := r.OwnerIndex(doc)
+		out[s] = append(out[s], doc)
+	}
+	return out
+}
+
+// splitmix64 / fnv64a mirror the deterministic hashing used across the
+// repo (internal/remote, internal/resilient) so placement is stable
+// without importing test-only seams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func fnv64a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty shard name accepted")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard name accepted")
+	}
+	r, err := NewRing([]string{"a", "b"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Index("zzz"); err == nil {
+		t.Fatal("non-member Index accepted")
+	}
+}
+
+// TestRingDeterminism: placement must depend only on membership and the
+// document id, never on process state, so independently built rings
+// (e.g. one per shard server plus one in the coordinator) agree.
+func TestRingDeterminism(t *testing.T) {
+	shards := []string{"alpha", "beta", "gamma"}
+	r1, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(append([]string(nil), shards...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for doc := 0; doc < 5000; doc++ {
+		if r1.Owner(doc) != r2.Owner(doc) {
+			t.Fatalf("doc %d: %s vs %s", doc, r1.Owner(doc), r2.Owner(doc))
+		}
+	}
+}
+
+// TestRingPartition: every document lands on exactly one shard, slices
+// are ascending, and Partition agrees with Owner.
+func TestRingPartition(t *testing.T) {
+	const n = 2000
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := r.Partition(n)
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions", len(parts))
+	}
+	seen := make([]bool, n)
+	for s, part := range parts {
+		prev := -1
+		for _, doc := range part {
+			if doc <= prev {
+				t.Fatalf("shard %d: ids not strictly ascending at %d", s, doc)
+			}
+			prev = doc
+			if seen[doc] {
+				t.Fatalf("doc %d assigned twice", doc)
+			}
+			seen[doc] = true
+			if got := r.OwnerIndex(doc); got != s {
+				t.Fatalf("doc %d: Partition says shard %d, Owner says %d", doc, s, got)
+			}
+		}
+	}
+	for doc, ok := range seen {
+		if !ok {
+			t.Fatalf("doc %d unassigned", doc)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, no shard should own a wildly
+// disproportionate share. The bound is loose (3x the fair share) — the
+// point is to catch a broken hash, not to certify perfect spread.
+func TestRingBalance(t *testing.T) {
+	const n = 10000
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair := n / 4
+	for s, part := range r.Partition(n) {
+		if len(part) > 3*fair || len(part) < fair/3 {
+			t.Fatalf("shard %d owns %d of %d docs (fair share %d)", s, len(part), n, fair)
+		}
+	}
+}
+
+// TestRingConsistency: the consistent-hashing property. Growing the
+// membership from 3 to 4 shards must only move documents TO the new
+// shard — a document that stays on an old shard stays on the SAME old
+// shard — and the moved fraction should be roughly 1/4, not 3/4 (which
+// is what naive modulo hashing would reshuffle).
+func TestRingConsistency(t *testing.T) {
+	const n = 10000
+	r3, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for doc := 0; doc < n; doc++ {
+		was, is := r3.Owner(doc), r4.Owner(doc)
+		if was == is {
+			continue
+		}
+		if is != "d" {
+			t.Fatalf("doc %d moved %s -> %s, not to the new shard", doc, was, is)
+		}
+		moved++
+	}
+	// Expect ~n/4 moves; allow a generous band.
+	if moved < n/8 || moved > n/2 {
+		t.Fatalf("adding a 4th shard moved %d of %d docs (expected around %d)", moved, n, n/4)
+	}
+}

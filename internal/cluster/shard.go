@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"net/http"
+
+	"repro/internal/browse"
+	"repro/internal/serve"
+	"repro/internal/textdb"
+)
+
+// Shard is one partition of the corpus served by the existing indexed
+// browse engine. The engine is built over the shard's slice only — its
+// posting lists, keyword index, date order, and query cache cover just
+// the local documents — while global keeps the mapping from local
+// document ids back to the corpus-wide ids the coordinator merges on.
+type Shard struct {
+	name   string
+	iface  *browse.Interface
+	global []int32 // global[i] = corpus-wide id of local doc i, ascending
+}
+
+// BuildShard slices the full interface down to the partition the ring
+// assigns to the named shard and builds a fresh browse engine over it.
+// The hierarchy is shared globally (every shard serves the same facet
+// tree; only the documents differ), and the slice's local ids are the
+// ascending renumbering of its global ids, so per-shard document
+// answers merge back into global order.
+func BuildShard(iface *browse.Interface, ring *Ring, name string) (*Shard, error) {
+	idx, err := ring.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	part := ring.Partition(iface.Corpus().Len())[idx]
+	corpus := textdb.NewCorpus()
+	rows := make([][]string, 0, len(part))
+	global := make([]int32, 0, len(part))
+	allRows := iface.DocTermRows()
+	for _, d := range part {
+		doc := iface.Corpus().Doc(textdb.DocID(d))
+		// Copy the document: Corpus.Add assigns the (local) ID in place,
+		// and the full interface's corpus must keep its own ids.
+		corpus.Add(&textdb.Document{Title: doc.Title, Source: doc.Source, Date: doc.Date, Text: doc.Text})
+		rows = append(rows, allRows[d])
+		global = append(global, int32(d))
+	}
+	sub, err := browse.Build(corpus, iface.Forest(), rows)
+	if err != nil {
+		return nil, err
+	}
+	sub.SetEpoch(iface.Epoch())
+	return &Shard{name: name, iface: sub, global: global}, nil
+}
+
+// Name returns the shard's ring name.
+func (sh *Shard) Name() string { return sh.name }
+
+// Interface returns the shard-local browse engine (for tests and for
+// serving the shard's own single-node routes).
+func (sh *Shard) Interface() *browse.Interface { return sh.iface }
+
+// Len returns the number of documents in the shard's slice.
+func (sh *Shard) Len() int { return len(sh.global) }
+
+// Register mounts the shard's scatter endpoints on a serve.Server:
+//
+//	GET /api/v1/cluster/facets  — children counts over the local slice
+//	GET /api/v1/cluster/docs    — matching docs with GLOBAL ids
+//	GET /api/v1/cluster/dates   — date histogram over the local slice
+//	GET /api/v1/cluster/cross   — cross-tab cells over the local slice
+//
+// They accept exactly the public routes' query parameters (the
+// coordinator forwards the client's raw query string verbatim) and
+// answer in the same JSON envelope, so a shard is operable with curl
+// like any other node. Like EnableIngest, Register must run before the
+// server starts handling traffic.
+func (sh *Shard) Register(srv *serve.Server) {
+	srv.Handle(http.MethodGet, "cluster/facets", "cluster_facets", sh.handleFacets)
+	srv.Handle(http.MethodGet, "cluster/docs", "cluster_docs", sh.handleDocs)
+	srv.Handle(http.MethodGet, "cluster/dates", "cluster_dates", sh.handleDates)
+	srv.Handle(http.MethodGet, "cluster/cross", "cluster_cross", sh.handleCross)
+}
+
+// ShardFacets is the GET /api/v1/cluster/facets payload: the shard's
+// children counts under the selection, zero counts omitted. No limit is
+// applied — truncation is only correct after the coordinator has summed
+// counts across shards.
+type ShardFacets struct {
+	Epoch  uint64              `json:"epoch"`
+	Total  int                 `json:"total"`
+	Facets []browse.FacetCount `json:"facets"`
+}
+
+func (sh *Shard) handleFacets(w http.ResponseWriter, r *http.Request) {
+	sel, err := serve.ParseSelection(r)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	parent := r.URL.Query().Get("parent")
+	serve.WriteJSON(w, ShardFacets{
+		Epoch:  sh.iface.Epoch(),
+		Total:  sh.iface.MatchCount(sel),
+		Facets: sh.iface.Children(parent, sel),
+	})
+}
+
+// ShardDocs is the GET /api/v1/cluster/docs payload: the shard's first
+// `limit` matching documents in ascending GLOBAL id order, plus the
+// shard's total match count. Summaries (including snippets) are
+// rendered shard-side, where the document text lives; the coordinator
+// only merges and truncates.
+type ShardDocs struct {
+	Epoch uint64             `json:"epoch"`
+	Total int                `json:"total"`
+	Docs  []serve.DocSummary `json:"docs"`
+}
+
+func (sh *Shard) handleDocs(w http.ResponseWriter, r *http.Request) {
+	sel, err := serve.ParseSelection(r)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	limit, err := serve.QueryBoundedInt(r, "limit", 20, 500)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	ids := sh.iface.Docs(sel)
+	resp := ShardDocs{Epoch: sh.iface.Epoch(), Total: len(ids)}
+	for i, id := range ids {
+		if i >= limit {
+			break
+		}
+		doc := sh.iface.Corpus().Doc(id)
+		resp.Docs = append(resp.Docs, serve.DocSummary{
+			ID:      int(sh.global[id]),
+			Title:   doc.Title,
+			Source:  doc.Source,
+			Date:    doc.Date.Format("2006-01-02"),
+			Snippet: textdb.Snippet(doc, sel.Query, 24),
+		})
+	}
+	serve.WriteJSON(w, resp)
+}
+
+// ShardDates is the GET /api/v1/cluster/dates payload: the shard's
+// date histogram under the selection, buckets ascending.
+type ShardDates struct {
+	Epoch   uint64             `json:"epoch"`
+	Buckets []serve.DateBucket `json:"buckets"`
+}
+
+func (sh *Shard) handleDates(w http.ResponseWriter, r *http.Request) {
+	sel, err := serve.ParseSelection(r)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	gran := r.URL.Query().Get("granularity")
+	if gran == "" {
+		gran = "day"
+	}
+	hist, err := sh.iface.DateHistogram(sel, gran)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	resp := ShardDates{Epoch: sh.iface.Epoch(), Buckets: make([]serve.DateBucket, len(hist))}
+	for i, h := range hist {
+		resp.Buckets[i] = serve.DateBucket{Bucket: h.Bucket.Format("2006-01-02"), Count: h.Count}
+	}
+	serve.WriteJSON(w, resp)
+}
+
+// ShardCross is the GET /api/v1/cluster/cross payload: the shard's
+// cross-tabulation cells. Row and column terms come from the shared
+// hierarchy, so every shard reports the same axes and cells sum.
+type ShardCross struct {
+	Epoch    uint64   `json:"epoch"`
+	RowTerms []string `json:"row_terms"`
+	ColTerms []string `json:"col_terms"`
+	Cells    [][]int  `json:"cells"`
+}
+
+func (sh *Shard) handleCross(w http.ResponseWriter, r *http.Request) {
+	sel, err := serve.ParseSelection(r)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	a, b := r.URL.Query().Get("a"), r.URL.Query().Get("b")
+	if a == "" || b == "" {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest,
+			errNeedAB)
+		return
+	}
+	ct, err := sh.iface.Cross(a, b, sel)
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	serve.WriteJSON(w, ShardCross{
+		Epoch:    sh.iface.Epoch(),
+		RowTerms: ct.RowTerms,
+		ColTerms: ct.ColTerms,
+		Cells:    ct.Cells,
+	})
+}

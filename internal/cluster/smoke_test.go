@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessSmoke runs the real facetserve binary as separate OS
+// processes — three shards, a coordinator, and a single-node reference —
+// on loopback ports, and checks the cross-process differential plus the
+// kill-a-shard degradation path. This is the closest the test suite gets
+// to the deployed topology; CI runs it as its own step.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "facetserve")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/facetserve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Every node generates the same deterministic corpus (profile+seed),
+	// so the shards' independently built rings and hierarchies agree.
+	corpusArgs := []string{"-docs", "120", "-profile", "SNYT", "-seed", "42", "-addr", "127.0.0.1:0"}
+	names := []string{"a", "b", "c"}
+	procs := map[string]*nodeProc{}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	})
+	for _, name := range names {
+		args := append([]string{"-role", "shard", "-shard-name", name, "-cluster-shards", "a,b,c"}, corpusArgs...)
+		procs[name] = startNode(t, bin, args...)
+	}
+	procs["single"] = startNode(t, bin, corpusArgs...)
+	for _, name := range append(names, "single") {
+		procs[name].waitAddr(t, 90*time.Second)
+	}
+	var peers []string
+	for _, name := range names {
+		peers = append(peers, name+"="+procs[name].addr)
+	}
+	procs["coord"] = startNode(t, bin,
+		"-role", "coordinator", "-peers", strings.Join(peers, ","), "-addr", "127.0.0.1:0")
+	procs["coord"].waitAddr(t, 30*time.Second)
+
+	single, coord := procs["single"].addr, procs["coord"].addr
+	urls := []string{
+		"/api/v1/facets",
+		"/api/v1/facets?limit=5",
+		"/api/v1/docs?limit=10",
+		"/api/v1/dates?granularity=month",
+		"/api/v1/facets?from=bogus",
+	}
+	for _, url := range urls {
+		wantStatus, wantBody := httpGet(t, single+url)
+		gotStatus, gotBody := httpGet(t, coord+url)
+		if gotStatus != wantStatus || gotBody != wantBody {
+			t.Fatalf("%s: coordinator (%d) and single node (%d) diverge\ncoordinator: %s\nsingle node: %s",
+				url, gotStatus, wantStatus, gotBody, wantBody)
+		}
+	}
+
+	// Fault injection: kill one shard process; the coordinator must keep
+	// answering 200 with an explicit degradation report naming it.
+	procs["b"].stop()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		status, body := httpGet(t, coord+"/api/v1/facets")
+		if status != http.StatusOK {
+			t.Fatalf("shard killed: coordinator answered %d: %s", status, body)
+		}
+		var resp FacetsResponse
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Degraded != nil {
+			if len(resp.Degraded.MissingShards) != 1 || resp.Degraded.MissingShards[0] != "b" {
+				t.Fatalf("degradation report %+v, want shard b missing", resp.Degraded)
+			}
+			break
+		}
+		// The kill may not have landed yet; retry briefly.
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never reported degradation after shard kill: %s", body)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// nodeProc is one spawned facetserve process plus the address it logged.
+type nodeProc struct {
+	cmd    *exec.Cmd
+	addrCh chan string
+	addr   string
+}
+
+// startNode launches the binary and scans its stderr for the
+// "listening on http://..." line (every role logs it after net.Listen,
+// which is what makes -addr 127.0.0.1:0 usable here).
+func startNode(t *testing.T, bin string, args ...string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &nodeProc{cmd: cmd, addrCh: make(chan string, 1)}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				select {
+				case p.addrCh <- strings.TrimSpace(rest):
+				default:
+				}
+			}
+		}
+	}()
+	return p
+}
+
+func (p *nodeProc) waitAddr(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	select {
+	case p.addr = <-p.addrCh:
+	case <-time.After(timeout):
+		t.Fatalf("node %v never logged its listen address", p.cmd.Args)
+	}
+}
+
+func (p *nodeProc) stop() {
+	if p.cmd.Process != nil {
+		_ = p.cmd.Process.Kill()
+		_, _ = p.cmd.Process.Wait()
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	var lastErr error
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	t.Fatalf("GET %s: %v", url, lastErr)
+	return 0, ""
+}

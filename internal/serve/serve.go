@@ -14,7 +14,7 @@
 //
 //	{"error": {"code": "...", "message": "..."}}
 //
-// written by a single writeError path.
+// written by a single WriteError path.
 package serve
 
 import (
@@ -105,13 +105,13 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	fallback := s.httpm.Wrap("api_unmatched", http.HandlerFunc(s.handleAPIFallback))
 	s.mux.Handle("/api/", fallback)
 	s.mux.Handle("/api/v1/", fallback)
-	s.handle(http.MethodGet, "facets", "facets", s.handleFacets)
-	s.handle(http.MethodGet, "docs", "docs", s.handleDocs)
-	s.handle(http.MethodGet, "dates", "dates", s.handleDates)
-	s.handle(http.MethodGet, "cross", "cross", s.handleCross)
-	s.handle(http.MethodGet, "metrics", "metrics", s.handleMetrics)
-	s.handle(http.MethodGet, "healthz", "healthz", s.handleHealthz)
-	s.handle(http.MethodGet, "readyz", "readyz", s.handleReadyz)
+	s.Handle(http.MethodGet, "facets", "facets", s.handleFacets)
+	s.Handle(http.MethodGet, "docs", "docs", s.handleDocs)
+	s.Handle(http.MethodGet, "dates", "dates", s.handleDates)
+	s.Handle(http.MethodGet, "cross", "cross", s.handleCross)
+	s.Handle(http.MethodGet, "metrics", "metrics", s.handleMetrics)
+	s.Handle(http.MethodGet, "healthz", "healthz", s.handleHealthz)
+	s.Handle(http.MethodGet, "readyz", "readyz", s.handleReadyz)
 	// Method-less like the API fallbacks (a "GET /" pattern would conflict
 	// with them under the mux's precedence rules); handleIndex enforces GET.
 	s.mux.Handle("/", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
@@ -136,7 +136,7 @@ type HealthzResponse struct {
 // handleHealthz is the liveness probe: the process is up and serving;
 // it deliberately checks nothing else.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, HealthzResponse{Status: "ok"})
+	WriteJSON(w, HealthzResponse{Status: "ok"})
 }
 
 // ReadyzResponse is the 200 GET /api/v1/readyz payload; failures use
@@ -161,18 +161,22 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(failing) > 0 {
-		writeError(w, http.StatusServiceUnavailable, ErrCodeNotReady,
+		WriteError(w, http.StatusServiceUnavailable, ErrCodeNotReady,
 			fmt.Errorf("not ready: %s", strings.Join(failing, "; ")))
 		return
 	}
-	writeJSON(w, ReadyzResponse{Status: "ready", Checks: checks})
+	WriteJSON(w, ReadyzResponse{Status: "ready", Checks: checks})
 }
 
-// handle registers one API route twice: the canonical versioned path
+// Handle registers one API route twice: the canonical versioned path
 // /api/v1/<path> and the legacy alias /api/<path>, which serves the
 // identical body but marks itself deprecated. Both share the same
 // instrumented handler, so a route's metrics aggregate across versions.
-func (s *Server) handle(method, path, route string, h http.HandlerFunc) {
+// It is exported so sibling subsystems (internal/cluster's shard and
+// leader endpoints) can mount additional routes on the same server,
+// inheriting the fallback 404/405 envelope and per-route metrics; like
+// EnableIngest, registration must happen before traffic starts.
+func (s *Server) Handle(method, path, route string, h http.HandlerFunc) {
 	wrapped := s.httpm.Wrap(route, h)
 	s.mux.Handle(method+" /api/v1/"+path, wrapped)
 	s.mux.Handle(method+" /api/"+path, deprecated("/api/v1/"+path, wrapped))
@@ -192,11 +196,11 @@ func (s *Server) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
 		allow := append([]string(nil), methods...)
 		sort.Strings(allow)
 		w.Header().Set("Allow", strings.Join(allow, ", "))
-		writeError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+		WriteError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
 			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
 		return
 	}
-	writeError(w, http.StatusNotFound, ErrCodeNotFound,
+	WriteError(w, http.StatusNotFound, ErrCodeNotFound,
 		fmt.Errorf("unknown API route %s", r.URL.Path))
 }
 
@@ -240,24 +244,24 @@ func (s *Server) SetAccessLog(w io.Writer) { s.httpm.SetAccessLog(w) }
 // traffic.
 func (s *Server) EnableIngest(ing *ingest.Ingester) {
 	ing.RegisterMetrics(s.metrics)
-	s.handle(http.MethodPost, "ingest", "ingest", func(w http.ResponseWriter, r *http.Request) {
+	s.Handle(http.MethodPost, "ingest", "ingest", func(w http.ResponseWriter, r *http.Request) {
 		s.handleIngest(w, r, ing)
 	})
-	s.handle(http.MethodGet, "ingest/stats", "ingest_stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, ing.Stats())
+	s.Handle(http.MethodGet, "ingest/stats", "ingest_stats", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, ing.Stats())
 	})
-	s.handle(http.MethodGet, "ingest/deadletter", "ingest_deadletter", func(w http.ResponseWriter, r *http.Request) {
+	s.Handle(http.MethodGet, "ingest/deadletter", "ingest_deadletter", func(w http.ResponseWriter, r *http.Request) {
 		dls := ing.DeadLetters()
-		writeJSON(w, DeadLetterResponse{Total: len(dls), DeadLetters: dls})
+		WriteJSON(w, DeadLetterResponse{Total: len(dls), DeadLetters: dls})
 	})
-	s.handle(http.MethodPost, "ingest/retry", "ingest_retry", func(w http.ResponseWriter, r *http.Request) {
+	s.Handle(http.MethodPost, "ingest/retry", "ingest_retry", func(w http.ResponseWriter, r *http.Request) {
 		admitted, err := ing.RetryDeadLetters(r.Context())
 		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			WriteError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 				fmt.Errorf("retried %d documents: %w", admitted, err))
 			return
 		}
-		writeJSON(w, RetryResponse{Admitted: admitted, Remaining: len(ing.DeadLetters())})
+		WriteJSON(w, RetryResponse{Admitted: admitted, Remaining: len(ing.DeadLetters())})
 	})
 }
 
@@ -310,9 +314,11 @@ func parseDate(raw string) (time.Time, error) {
 	return t, nil
 }
 
-// selection parses the shared query parameters: terms (comma separated),
-// q, from, to (RFC 3339 dates or YYYY-MM-DD).
-func parseSelection(r *http.Request) (browse.Selection, error) {
+// ParseSelection parses the shared selection query parameters: terms
+// (comma separated), q, from, to (RFC 3339 dates or YYYY-MM-DD). The
+// cluster coordinator reuses it so single-node and scatter-gather
+// serving validate requests identically.
+func ParseSelection(r *http.Request) (browse.Selection, error) {
 	sel := browse.Selection{Query: r.URL.Query().Get("q")}
 	if raw := r.URL.Query().Get("terms"); raw != "" {
 		for _, t := range strings.Split(raw, ",") {
@@ -332,7 +338,10 @@ func parseSelection(r *http.Request) (browse.Selection, error) {
 	return sel, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON writes v as the API's canonical two-space-indented JSON;
+// every 2xx body — single-node or cluster — goes through it, which is
+// what makes coordinator responses byte-comparable to single-node ones.
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -362,9 +371,9 @@ type ErrorResponse struct {
 	Error ErrorDetail `json:"error"`
 }
 
-// writeError is the single exit path for API errors; every handler's
+// WriteError is the single exit path for API errors; every handler's
 // failure funnels through it so clients see one envelope shape.
-func writeError(w http.ResponseWriter, status int, code string, err error) {
+func WriteError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -373,14 +382,14 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 }
 
 func badRequest(w http.ResponseWriter, err error) {
-	writeError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
+	WriteError(w, http.StatusBadRequest, ErrCodeBadRequest, err)
 }
 
-// queryBoundedInt validates an optional positive bounded integer query
+// QueryBoundedInt validates an optional positive bounded integer query
 // parameter; strconv.Atoi alone would admit negative, zero, and
 // overflowing values that misbehave downstream. It is shared by every
 // handler with a count-like parameter (docs and facets limits).
-func queryBoundedInt(r *http.Request, name string, def, max int) (int, error) {
+func QueryBoundedInt(r *http.Request, name string, def, max int) (int, error) {
 	raw := r.URL.Query().Get(name)
 	if raw == "" {
 		return def, nil
@@ -400,12 +409,12 @@ type FacetsResponse struct {
 }
 
 func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
-	sel, err := parseSelection(r)
+	sel, err := ParseSelection(r)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	limit, err := queryBoundedInt(r, "limit", 100, 1000)
+	limit, err := QueryBoundedInt(r, "limit", 100, 1000)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -416,7 +425,7 @@ func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
 	if len(facets) > limit {
 		facets = facets[:limit]
 	}
-	writeJSON(w, FacetsResponse{
+	WriteJSON(w, FacetsResponse{
 		Parent: parent,
 		Total:  iface.MatchCount(sel),
 		Facets: facets,
@@ -424,7 +433,7 @@ func (s *Server) handleFacets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.metrics.Snapshot())
+	WriteJSON(w, s.metrics.Snapshot())
 }
 
 // DocSummary is one document in the /api/v1/docs payload.
@@ -443,12 +452,12 @@ type DocsResponse struct {
 }
 
 func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
-	sel, err := parseSelection(r)
+	sel, err := ParseSelection(r)
 	if err != nil {
 		badRequest(w, err)
 		return
 	}
-	limit, err := queryBoundedInt(r, "limit", 20, 500)
+	limit, err := QueryBoundedInt(r, "limit", 20, 500)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -469,7 +478,7 @@ func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 			Snippet: textdb.Snippet(doc, sel.Query, 24),
 		})
 	}
-	writeJSON(w, resp)
+	WriteJSON(w, resp)
 }
 
 // DateBucket is one histogram bucket in the /api/v1/dates payload.
@@ -479,7 +488,7 @@ type DateBucket struct {
 }
 
 func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
-	sel, err := parseSelection(r)
+	sel, err := ParseSelection(r)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -497,11 +506,11 @@ func (s *Server) handleDates(w http.ResponseWriter, r *http.Request) {
 	for i, h := range hist {
 		out[i] = DateBucket{Bucket: h.Bucket.Format("2006-01-02"), Count: h.Count}
 	}
-	writeJSON(w, out)
+	WriteJSON(w, out)
 }
 
 func (s *Server) handleCross(w http.ResponseWriter, r *http.Request) {
-	sel, err := parseSelection(r)
+	sel, err := ParseSelection(r)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -516,7 +525,7 @@ func (s *Server) handleCross(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	writeJSON(w, ct)
+	WriteJSON(w, ct)
 }
 
 var indexTemplate = template.Must(template.New("index").Parse(`<!DOCTYPE html>
@@ -578,7 +587,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	sel, err := parseSelection(r)
+	sel, err := ParseSelection(r)
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -685,10 +694,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ing *inges
 	// client gives up or the server drains.
 	for i, doc := range docs {
 		if err := ing.SubmitContext(r.Context(), doc); err != nil {
-			writeError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
+			WriteError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
 				fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err))
 			return
 		}
 	}
-	writeJSON(w, IngestResponse{Accepted: len(docs)})
+	WriteJSON(w, IngestResponse{Accepted: len(docs)})
 }

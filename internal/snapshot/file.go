@@ -1,7 +1,9 @@
 package snapshot
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -62,6 +64,42 @@ func Load(path string, reg *obsv.Registry) (*Snapshot, error) {
 		reg.Gauge("snapshot.size_bytes").Set(int64(len(data)))
 	}
 	return s, nil
+}
+
+// PeekEpochFile reports the ingest epoch of the snapshot at path by
+// reading only the header and the first payload varint (see PeekEpoch).
+// Replicas use it to answer since= freshness checks against an on-disk
+// snapshot without deserializing the browse payload.
+func PeekEpochFile(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: peek: %w", err)
+	}
+	defer f.Close()
+	// headerLen bytes of fixed prefix plus up to one maximal uvarint.
+	buf := make([]byte, headerLen+binary.MaxVarintLen64)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.ErrUnexpectedEOF {
+		return 0, fmt.Errorf("snapshot: peek %s: %w", path, err)
+	}
+	buf = buf[:n]
+	// A snapshot shorter than the probe window is legal (tiny payload):
+	// PeekEpoch's own truncation checks are authoritative, but its
+	// payload-length validation needs the real file size, so substitute
+	// the declared length check with the actual remaining size.
+	epoch, perr := peekEpochPrefix(buf, fileSize(f))
+	if perr != nil {
+		return 0, fmt.Errorf("snapshot: peek %s: %w", path, perr)
+	}
+	return epoch, nil
+}
+
+func fileSize(f *os.File) int64 {
+	st, err := f.Stat()
+	if err != nil {
+		return -1
+	}
+	return st.Size()
 }
 
 // LoadBrowse is the warm-start path: load the snapshot at path and

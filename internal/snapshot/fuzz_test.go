@@ -50,9 +50,18 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add(mutated)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		peeked, peekErr := PeekEpoch(data) // must never panic either
 		s, err := Decode(data)
 		if err != nil {
 			return // rejected input: the only requirement is no panic
+		}
+		// Anything the full decoder accepts, the header-only epoch peek
+		// must also accept — and agree on the epoch.
+		if peekErr != nil {
+			t.Fatalf("Decode accepted input but PeekEpoch rejected it: %v", peekErr)
+		}
+		if peeked != s.Meta.Epoch {
+			t.Fatalf("PeekEpoch = %d, Decode says epoch %d", peeked, s.Meta.Epoch)
 		}
 		re, err := Encode(s)
 		if err != nil {

@@ -327,6 +327,56 @@ func appendString(p []byte, s string) []byte {
 
 // --- decoding ---
 
+// PeekEpoch returns the snapshot's ingest epoch by reading only the
+// fixed header and the first payload varint — no posting list, document,
+// or hierarchy is decoded, so replication peers can answer "is this
+// newer than epoch N?" on multi-megabyte snapshots in nanoseconds. It
+// validates magic, version, and the declared payload length, but
+// deliberately does NOT verify the checksum (that would touch every
+// payload byte, defeating the point); callers that go on to use the
+// bytes must still run them through Decode, which does.
+func PeekEpoch(data []byte) (uint64, error) {
+	return peekEpochPrefix(data, int64(len(data)))
+}
+
+// peekEpochPrefix is PeekEpoch over a prefix of the snapshot bytes:
+// totalSize (when >= 0) stands in for len(data) in the payload-length
+// validation, so a caller holding only the first few hundred bytes of a
+// file (PeekEpochFile) can still validate the declared length against
+// the real file size.
+func peekEpochPrefix(data []byte, totalSize int64) (uint64, error) {
+	if len(data) < len(magic) {
+		return 0, ErrTruncated
+	}
+	if string(data[:len(magic)]) != magic {
+		return 0, ErrBadMagic
+	}
+	if len(data) < headerLen {
+		return 0, ErrTruncated
+	}
+	version := binary.LittleEndian.Uint16(data[4:6])
+	if version != Version {
+		return 0, &VersionError{Got: version}
+	}
+	payloadLen := binary.LittleEndian.Uint64(data[8:16])
+	if totalSize >= 0 {
+		if totalSize < int64(headerLen) || uint64(totalSize)-uint64(headerLen) < payloadLen {
+			return 0, ErrTruncated
+		}
+		if uint64(totalSize)-uint64(headerLen) > payloadLen {
+			return 0, fmt.Errorf("%w: %d trailing bytes after payload", ErrCorrupt, uint64(totalSize)-uint64(headerLen)-payloadLen)
+		}
+	}
+	epoch, n := binary.Uvarint(data[headerLen:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, ErrTruncated
+		}
+		return 0, fmt.Errorf("%w: uvarint overflow", ErrCorrupt)
+	}
+	return epoch, nil
+}
+
 // Decode parses and validates a serialized snapshot.
 func Decode(data []byte) (*Snapshot, error) {
 	if len(data) < len(magic) {

@@ -277,3 +277,82 @@ func TestEncodeRejectsRaggedInput(t *testing.T) {
 		t.Fatal("Encode accepted mismatched doc/annotation counts")
 	}
 }
+
+// TestPeekEpoch: the header-only epoch read agrees with the full decode,
+// works through every truncation, and — by design — does NOT checksum,
+// so it stays O(header) even on multi-gigabyte snapshots.
+func TestPeekEpoch(t *testing.T) {
+	snap := captureFixture(t)
+	data, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := PeekEpoch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != snap.Meta.Epoch {
+		t.Fatalf("PeekEpoch = %d, want %d", epoch, snap.Meta.Epoch)
+	}
+	// Every strict prefix fails typed, never panics. (A prefix that ends
+	// inside the payload still fails: PeekEpoch validates the declared
+	// payload length against the input size.)
+	for n := 0; n < len(data); n++ {
+		if _, err := PeekEpoch(data[:n]); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("prefix %d: err = %v, want ErrTruncated or ErrBadMagic", n, err)
+		}
+	}
+	// Trailing garbage is corruption, same as Decode.
+	if _, err := PeekEpoch(append(append([]byte(nil), data...), 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+	// Bad magic and wrong version are rejected before any payload read.
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := PeekEpoch(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	// Deliberate non-goal: a flipped PAYLOAD byte beyond the epoch varint
+	// is invisible to the peek (no checksum pass); full Decode catches it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, err := PeekEpoch(flipped); err != nil {
+		t.Fatalf("peek should skip checksumming, got %v", err)
+	}
+	if _, err := Decode(flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("Decode of flipped payload: err = %v", err)
+	}
+}
+
+// TestPeekEpochFile: same contract against an on-disk snapshot, reading
+// only the probe window rather than the whole file.
+func TestPeekEpochFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.fsnp")
+	snap := captureFixture(t)
+	if err := Save(path, snap, nil); err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := PeekEpochFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != snap.Meta.Epoch {
+		t.Fatalf("PeekEpochFile = %d, want %d", epoch, snap.Meta.Epoch)
+	}
+	if _, err := PeekEpochFile(filepath.Join(dir, "absent.fsnp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v", err)
+	}
+	// A truncated file fails typed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := filepath.Join(dir, "short.fsnp")
+	if err := os.WriteFile(short, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PeekEpochFile(short); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated file: err = %v", err)
+	}
+}
