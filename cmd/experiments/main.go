@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|faultreport]
-//	            [-full] [-seed N] [-workers N] [-out FILE]
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|hierarchybakeoff|faultreport]
+//	            [-full] [-docs N] [-seed N] [-workers N] [-hierarchy NAME] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
 // 5000 documents) so a full regeneration finishes in minutes on a laptop;
-// -full uses the paper's sizes (1000 / 17000 / 30000).
+// -full uses the paper's sizes (1000 / 17000 / 30000), and -docs N forces
+// every profile to N documents (the CI smoke runs use a small N).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,10 +33,13 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, faultreport)")
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, hierarchybakeoff, faultreport)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
+	docs := flag.Int("docs", 0, "force every dataset profile to this many documents (0 = profile defaults; used by the CI bake-off smoke)")
 	seed := flag.Uint64("seed", 42, "master seed")
-	workers := flag.Int("workers", 0, "pipeline worker pool size for the stage report (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "pipeline worker pool size for the stage report and hierarchy builders (0 = GOMAXPROCS)")
+	hierarchyName := flag.String("hierarchy", "", "hierarchy builder for the stage report (registry name; \"\" = subsumption)")
+	bench := flag.String("hierarchy-bench", "BENCH_hierarchy.json", "where hierarchybakeoff writes its bench trajectory (\"\" disables)")
 	out := flag.String("out", "", "also write output to this file")
 	csvDir := flag.String("csvdir", "", "also write each recall/precision table as CSV into this directory")
 	flag.Parse()
@@ -47,9 +53,31 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	if err := runAll(w, *run, *full, *seed, *workers, *csvDir); err != nil {
+	cfg := runConfig{
+		which:     *run,
+		full:      *full,
+		docs:      *docs,
+		seed:      *seed,
+		workers:   *workers,
+		hierarchy: *hierarchyName,
+		benchPath: *bench,
+		csvDir:    *csvDir,
+	}
+	if err := runAll(w, cfg); err != nil {
 		log.Fatalf("experiments: %v", err)
 	}
+}
+
+// runConfig carries the command-line knobs into runAll.
+type runConfig struct {
+	which     string
+	full      bool
+	docs      int
+	seed      uint64
+	workers   int
+	hierarchy string
+	benchPath string
+	csvDir    string
 }
 
 // writeCSV stores a table as CSV under dir (no-op when dir is empty).
@@ -63,15 +91,19 @@ func writeCSV(dir, name string, table *eval.Table) error {
 	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(table.CSV()), 0o644)
 }
 
-func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvDir string) error {
+func runAll(w io.Writer, cfg runConfig) error {
+	which, seed, workers, csvDir := cfg.which, cfg.seed, cfg.workers, cfg.csvDir
 	start := time.Now()
 	lab, err := eval.NewLab(seed)
 	if err != nil {
 		return err
 	}
 	snytDocs, snbDocs, mnytDocs := 1000, 3000, 5000
-	if full {
+	if cfg.full {
 		snbDocs, mnytDocs = 17000, 30000
+	}
+	if cfg.docs > 0 {
+		snytDocs, snbDocs, mnytDocs = cfg.docs, cfg.docs, cfg.docs
 	}
 	profiles := map[string]newsgen.Profile{
 		"SNYT": newsgen.SNYT.WithDocs(snytDocs),
@@ -216,7 +248,7 @@ func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvD
 	}
 	if want("stagereport") {
 		section("Stage report — runtime per-stage timing (StageReport)")
-		if err := stageReport(w, seed, workers); err != nil {
+		if err := stageReport(w, seed, workers, cfg.hierarchy); err != nil {
 			return err
 		}
 	}
@@ -231,6 +263,28 @@ func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvD
 			return err
 		}
 		fmt.Fprintln(w, res.Format())
+	}
+	if want("hierarchybakeoff") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Hierarchy bake-off — every registered builder vs. ground truth")
+		bk, err := eval.HierarchyBakeoff(context.Background(), dr, eval.BakeoffOptions{TopK: 100, Workers: workers})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, bk.Format())
+		if cfg.benchPath != "" {
+			data, err := json.MarshalIndent(bk.Bench(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.benchPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "(bench trajectory written to %s)\n", cfg.benchPath)
+		}
 	}
 	if want("faultreport") {
 		section("Fault report — injected error rate vs. output stability and retry cost")
@@ -249,7 +303,7 @@ func runAll(w io.Writer, which string, full bool, seed uint64, workers int, csvD
 // pipeline runs twice, sequentially (Workers=1) and sharded across the
 // requested worker pool, and the report includes the per-stage parallel
 // speedup; the two runs produce identical facets by construction.
-func stageReport(w io.Writer, seed uint64, workers int) error {
+func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -262,7 +316,7 @@ func stageReport(w io.Writer, seed uint64, workers int) error {
 		return err
 	}
 	runOnce := func(workers int) ([]facet.StageTiming, error) {
-		sys, err := facet.NewSystem(env, facet.Options{TopK: 100, Workers: workers})
+		sys, err := facet.NewSystem(env, facet.Options{TopK: 100, Workers: workers, HierarchyBuilder: hierarchyBuilder})
 		if err != nil {
 			return nil, err
 		}

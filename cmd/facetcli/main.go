@@ -4,6 +4,7 @@
 //
 //	facetcli [-docs N] [-profile SNYT|SNB|MNYT] [-topk K] [-seed N]
 //	         [-workers N] [-extractors NE,Yahoo,Wikipedia] [-resources ...]
+//	         [-hierarchy subsumption|evidence|treemin|agglomerative]
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	workers := flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 	extractors := flag.String("extractors", "", "comma-separated extractor subset (default: all)")
 	resources := flag.String("resources", "", "comma-separated resource subset (default: all)")
+	hierarchyBuilder := flag.String("hierarchy", "", "hierarchy builder registry name (default: subsumption)")
 	dotOut := flag.String("dot", "", "write the hierarchy as Graphviz DOT to this file")
 	jsonOut := flag.String("json", "", "write the hierarchy as JSON to this file")
 	flag.Parse()
@@ -37,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := facet.Options{TopK: *topK, Workers: *workers}
+	opts := facet.Options{TopK: *topK, Workers: *workers, HierarchyBuilder: *hierarchyBuilder}
 	if *extractors != "" {
 		opts.Extractors = strings.Split(*extractors, ",")
 	}

@@ -1,9 +1,9 @@
 // Command facetserve builds a faceted browsing interface over a news
 // archive and serves it over HTTP: a server-rendered front end at /, a
 // versioned JSON API under /api/v1/ (facets, docs, dates, cross,
-// metrics; the unversioned /api/ paths remain as deprecated aliases),
-// and — with -live — streaming document intake with incremental facet
-// rebuilds.
+// metrics; the deprecated unversioned /api/ aliases have been removed
+// and now answer 404), and — with -live — streaming document intake
+// with incremental facet rebuilds.
 //
 // Observability: GET /api/v1/metrics returns a JSON snapshot of every
 // counter, gauge, and latency histogram (per-route HTTP metrics, ingest
@@ -76,6 +76,7 @@ func main() {
 	profile := flag.String("profile", "SNYT", "dataset profile")
 	seed := flag.Uint64("seed", 42, "seed")
 	topK := flag.Int("topk", 120, "facet terms to extract")
+	hierarchyBuilder := flag.String("hierarchy", "", "hierarchy builder registry name (subsumption, evidence, treemin, agglomerative; \"\" = subsumption); live mode rebuilds every epoch with it")
 	live := flag.Bool("live", false, "enable streaming ingestion (POST /api/v1/ingest) with incremental rebuilds")
 	storeDir := flag.String("store", "", "segment store directory for durable intake (live mode; empty = in-memory only)")
 	epochDocs := flag.Int("epoch-docs", 200, "rebuild the hierarchy after this many new documents (live mode)")
@@ -179,7 +180,7 @@ func main() {
 		}
 	}
 
-	sys, err := facet.NewSystem(env, facet.Options{TopK: *topK})
+	sys, err := facet.NewSystem(env, facet.Options{TopK: *topK, HierarchyBuilder: *hierarchyBuilder})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -194,16 +195,17 @@ func main() {
 	}
 
 	ing, err := ingest.New(ingest.Config{
-		Extractors:   sys.CoreExtractors(),
-		Resources:    sys.CoreResources(),
-		TopK:         *topK,
-		QueueSize:    *queueSize,
-		EpochDocs:    *epochDocs,
-		MaxStaleness: *maxStaleness,
-		CacheSize:    *cacheSize,
-		Store:        store,
-		Logf:         log.Printf,
-		Metrics:      metrics,
+		Extractors:       sys.CoreExtractors(),
+		Resources:        sys.CoreResources(),
+		TopK:             *topK,
+		HierarchyBuilder: *hierarchyBuilder,
+		QueueSize:        *queueSize,
+		EpochDocs:        *epochDocs,
+		MaxStaleness:     *maxStaleness,
+		CacheSize:        *cacheSize,
+		Store:            store,
+		Logf:             log.Printf,
+		Metrics:          metrics,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -2,7 +2,9 @@ package facet
 
 import (
 	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/hierarchy"
@@ -44,24 +46,28 @@ func NewGlossaryResource(name string, thesaurus map[string][]string) (ContextRes
 	return core.NewGlossaryResource(name, thesaurus)
 }
 
-// HierarchyMethod selects the hierarchy-construction algorithm.
-type HierarchyMethod int
+// HierarchyMethod selects the hierarchy-construction algorithm by
+// registry name (see hierarchy.Names for the full set). The historical
+// constants below are the names of the three original strategies; any
+// registered builder name — e.g. "agglomerative" — is equally valid.
+type HierarchyMethod string
 
 const (
 	// HierarchySubsumption is the paper's choice (Sanderson & Croft 1999).
-	HierarchySubsumption HierarchyMethod = iota
+	HierarchySubsumption HierarchyMethod = "subsumption"
 	// HierarchyEvidence combines subsumption with WordNet-hypernym and
 	// Wikipedia-link evidence (the Snow-style improvement the paper
 	// anticipates: "newer algorithms may give even better results").
-	HierarchyEvidence
+	HierarchyEvidence HierarchyMethod = "evidence"
 	// HierarchyTreeMin is the Stoica–Hearst prior-work baseline: WordNet
 	// hypernym paths merged and minimized, no co-occurrence signal.
-	HierarchyTreeMin
+	HierarchyTreeMin HierarchyMethod = "treemin"
 )
 
 // BuildHierarchyWith is BuildHierarchy with an explicit construction
-// method. Its wall-clock cost is recorded as the build_hierarchy stage
-// of Result.StageReport.
+// method: any registered hierarchy.Builder name. The empty string
+// selects Options.HierarchyBuilder, then "subsumption". Its wall-clock
+// cost is recorded as the build_hierarchy stage of Result.StageReport.
 func (r *Result) BuildHierarchyWith(method HierarchyMethod) (*Hierarchy, error) {
 	return r.BuildHierarchyWithContext(context.Background(), method)
 }
@@ -74,80 +80,85 @@ func (r *Result) BuildHierarchyWithContext(ctx context.Context, method Hierarchy
 	if r.stages != nil {
 		defer r.stages.Start("build_hierarchy")()
 	}
+	name := string(method)
+	if name == "" {
+		name = r.sys.opts.HierarchyBuilder
+	}
+	if name == "" {
+		name = string(HierarchySubsumption)
+	}
+	b, ok := hierarchy.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("facet: unknown hierarchy builder %q (registered: %s)",
+			name, strings.Join(hierarchy.Names(), ", "))
+	}
 	terms := r.Terms()
 	docTerms := r.assignDocTerms(terms)
-	workers := parallel.Workers(r.sys.opts.Workers)
-	switch method {
-	case HierarchyEvidence:
-		env := r.sys.env
-		wnEvidence := hierarchy.EvidenceFunc{
-			EvidenceName: "wordnet-hypernym",
-			Fn: func(parent, child string) float64 {
-				lemma, ok := env.wnet.Morphy(child)
-				if !ok {
-					return 0
-				}
-				for _, h := range env.wnet.Hypernyms(lemma, 6) {
-					if h == parent {
-						return 1
-					}
-				}
+	forest, err := b.Build(ctx, terms, docTerms, r.sys.hierarchyBuildConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{forest: forest, docTerms: docTerms}, nil
+}
+
+// hierarchyBuildConfig assembles the shared BuildConfig every registered
+// builder draws from: the session's threshold and worker knobs plus the
+// environment-backed taxonomy wiring (WordNet-hypernym and
+// Wikipedia-link evidence sources for the "evidence" builder, hypernym
+// chains for "treemin"). Builders ignore the options that do not apply
+// to them, so one config serves the whole registry.
+func (s *System) hierarchyBuildConfig() hierarchy.BuildConfig {
+	env := s.env
+	wnEvidence := hierarchy.EvidenceFunc{
+		EvidenceName: "wordnet-hypernym",
+		Fn: func(parent, child string) float64 {
+			lemma, ok := env.wnet.Morphy(child)
+			if !ok {
 				return 0
-			},
-		}
-		wikiEvidence := hierarchy.EvidenceFunc{
-			EvidenceName: "wikipedia-link",
-			Fn: func(parent, child string) float64 {
-				cp, ok := env.wiki.Resolve(child)
-				if !ok {
-					return 0
+			}
+			for _, h := range env.wnet.Hypernyms(lemma, 6) {
+				if h == parent {
+					return 1
 				}
-				pp, ok := env.wiki.Resolve(parent)
-				if !ok {
-					return 0
-				}
-				for _, l := range cp.Links {
-					if l.Target == pp.ID {
-						return 1
-					}
-				}
+			}
+			return 0
+		},
+	}
+	wikiEvidence := hierarchy.EvidenceFunc{
+		EvidenceName: "wikipedia-link",
+		Fn: func(parent, child string) float64 {
+			cp, ok := env.wiki.Resolve(child)
+			if !ok {
 				return 0
-			},
+			}
+			pp, ok := env.wiki.Resolve(parent)
+			if !ok {
+				return 0
+			}
+			for _, l := range cp.Links {
+				if l.Target == pp.ID {
+					return 1
+				}
+			}
+			return 0
+		},
+	}
+	chains := hierarchy.ChainFunc(func(term string) []string {
+		lemma, ok := env.wnet.Morphy(term)
+		if !ok {
+			return nil
 		}
-		forest, err := hierarchy.BuildWithEvidenceContext(ctx, terms, docTerms, hierarchy.EvidenceConfig{
+		return env.wnet.Hypernyms(lemma, 8)
+	})
+	return hierarchy.BuildConfig{
+		Threshold: s.opts.SubsumptionThreshold,
+		Workers:   parallel.Workers(s.opts.Workers),
+		Evidence: hierarchy.EvidenceOptions{
 			Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
 			Weights:   []float64{0.5, 0.5},
 			Threshold: 0.6,
-			Workers:   workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
-	case HierarchyTreeMin:
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		env := r.sys.env
-		chains := hierarchy.ChainFunc(func(term string) []string {
-			lemma, ok := env.wnet.Morphy(term)
-			if !ok {
-				return nil
-			}
-			return env.wnet.Hypernyms(lemma, 8)
-		})
-		forest := hierarchy.BuildTreeMinimization(terms, chains)
-		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
-	default:
-		th := r.sys.opts.SubsumptionThreshold
-		forest, err := hierarchy.BuildSubsumptionContext(ctx, terms, docTerms, hierarchy.SubsumptionConfig{
-			Threshold: th,
-			Workers:   workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &Hierarchy{forest: forest, docTerms: docTerms}, nil
+		},
+		Chains: chains,
 	}
 }
 

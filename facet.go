@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/browse"
@@ -163,6 +164,12 @@ type Options struct {
 	Resources []string
 	// SubsumptionThreshold is θ for hierarchy construction (default 0.8).
 	SubsumptionThreshold float64
+	// HierarchyBuilder selects the hierarchy-construction strategy by
+	// registry name ("subsumption", "evidence", "treemin",
+	// "agglomerative"; see hierarchy.Names). Empty selects "subsumption",
+	// the paper's choice. Result.BuildHierarchy honors it; an explicit
+	// Result.BuildHierarchyWith overrides it per call.
+	HierarchyBuilder string
 	// ExtraExtractors and ExtraResources plug domain-specific tools into
 	// the pipeline alongside the built-in ones (Section VII of the paper;
 	// see NewGlossaryExtractor / NewGlossaryResource).
@@ -215,6 +222,12 @@ func NewSystem(env *Environment, opts Options) (*System, error) {
 		case "Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph":
 		default:
 			return nil, fmt.Errorf("facet: unknown resource %q", r)
+		}
+	}
+	if opts.HierarchyBuilder != "" {
+		if _, ok := hierarchy.Lookup(opts.HierarchyBuilder); !ok {
+			return nil, fmt.Errorf("facet: unknown hierarchy builder %q (registered: %s)",
+				opts.HierarchyBuilder, strings.Join(hierarchy.Names(), ", "))
 		}
 	}
 	return &System{env: env, opts: opts, corpus: textdb.NewCorpus()}, nil
@@ -440,10 +453,11 @@ type Node struct {
 }
 
 // BuildHierarchy organizes the extracted facet terms into per-facet trees
-// with the Sanderson–Croft subsumption algorithm over the expanded
-// document collection.
+// over the expanded document collection, using the strategy selected by
+// Options.HierarchyBuilder (default: the Sanderson–Croft subsumption
+// algorithm the paper uses).
 func (r *Result) BuildHierarchy() (*Hierarchy, error) {
-	return r.BuildHierarchyWith(HierarchySubsumption)
+	return r.BuildHierarchyWith("")
 }
 
 // assignDocTerms computes the document-to-facet assignment: terms from

@@ -210,7 +210,7 @@ func TestBuildHierarchyMethods(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []HierarchyMethod{HierarchySubsumption, HierarchyEvidence, HierarchyTreeMin} {
+	for _, m := range []HierarchyMethod{HierarchySubsumption, HierarchyEvidence, HierarchyTreeMin, "agglomerative"} {
 		h, err := res.BuildHierarchyWith(m)
 		if err != nil {
 			t.Fatalf("method %v: %v", m, err)
@@ -221,6 +221,52 @@ func TestBuildHierarchyMethods(t *testing.T) {
 		if _, err := res.Browser(h); err != nil {
 			t.Fatalf("method %v: browser: %v", m, err)
 		}
+	}
+	if _, err := res.BuildHierarchyWith("bogus"); err == nil {
+		t.Fatal("unknown builder name accepted")
+	}
+}
+
+// TestHierarchyBuilderOption: Options.HierarchyBuilder selects the
+// default strategy for BuildHierarchy, round-tripping through
+// NewSystem → ExtractFacetsContext → Result.
+func TestHierarchyBuilderOption(t *testing.T) {
+	env := testEnv(t)
+	docs, err := env.GenerateNewsCorpus("SNYT", 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(env, Options{TopK: 100, HierarchyBuilder: "agglomerative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		sys.Add(d)
+	}
+	res, err := sys.ExtractFacets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOption, err := res.BuildHierarchy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := res.BuildHierarchyWith("agglomerative")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viaOption.FormatTree(), explicit.FormatTree(); got != want {
+		t.Fatalf("BuildHierarchy() ignored Options.HierarchyBuilder:\n--- option ---\n%s\n--- explicit ---\n%s", got, want)
+	}
+	subsumption, err := res.BuildHierarchyWith(HierarchySubsumption)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOption.FormatTree() == subsumption.FormatTree() && len(viaOption.Roots()) == len(subsumption.Roots()) {
+		t.Log("agglomerative and subsumption agree on this corpus (unusual but not wrong)")
+	}
+	if _, err := NewSystem(env, Options{HierarchyBuilder: "bogus"}); err == nil {
+		t.Fatal("unknown HierarchyBuilder accepted by NewSystem")
 	}
 }
 

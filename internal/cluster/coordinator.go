@@ -191,15 +191,15 @@ func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) Metrics() *obsv.Registry { return c.cfg.Metrics }
 
 func (c *Coordinator) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
-	path := strings.TrimPrefix(r.URL.Path, "/api/")
-	path = strings.TrimPrefix(path, "v1/")
-	if methods, ok := c.apiRoutes[path]; ok {
-		allow := append([]string(nil), methods...)
-		sort.Strings(allow)
-		w.Header().Set("Allow", strings.Join(allow, ", "))
-		serve.WriteError(w, http.StatusMethodNotAllowed, serve.ErrCodeMethodNotAllowed,
-			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
-		return
+	if path, versioned := strings.CutPrefix(strings.TrimPrefix(r.URL.Path, "/api/"), "v1/"); versioned {
+		if methods, ok := c.apiRoutes[path]; ok {
+			allow := append([]string(nil), methods...)
+			sort.Strings(allow)
+			w.Header().Set("Allow", strings.Join(allow, ", "))
+			serve.WriteError(w, http.StatusMethodNotAllowed, serve.ErrCodeMethodNotAllowed,
+				fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
+			return
+		}
 	}
 	serve.WriteError(w, http.StatusNotFound, serve.ErrCodeNotFound,
 		fmt.Errorf("unknown API route %s", r.URL.Path))

@@ -31,16 +31,12 @@ type HierarchyMethodResult struct {
 	Precision float64 // judged by the annotator pool
 }
 
-// CompareHierarchies runs the comparison on the All×All cell.
-func CompareHierarchies(dr *DataRun, topK int) (*HierarchyComparison, error) {
-	if topK == 0 {
-		topK = 100
-	}
-	result := dr.RunCell(ExtAll, ResAll, topK)
-	terms := result.FacetTermStrings()
-	docTerms := ExpandedDocTerms(dr, result, terms)
-
-	wn := dr.Lab.WordNet
+// EvidenceSources builds the lab's taxonomy evidence sources for the
+// evidence-combination builder: WordNet-hypernym and Wikipedia-link
+// membership tests over the lab's substrates. Weight them 0.5 each with
+// threshold 0.6 for the configuration the comparison experiments use.
+func (l *Lab) EvidenceSources() []hierarchy.TaxonomicEvidence {
+	wn := l.WordNet
 	wnEvidence := hierarchy.EvidenceFunc{
 		EvidenceName: "wordnet-hypernym",
 		Fn: func(parent, child string) float64 {
@@ -56,7 +52,7 @@ func CompareHierarchies(dr *DataRun, topK int) (*HierarchyComparison, error) {
 			return 0
 		},
 	}
-	w := dr.Lab.Wiki
+	w := l.Wiki
 	wikiEvidence := hierarchy.EvidenceFunc{
 		EvidenceName: "wikipedia-link",
 		Fn: func(parent, child string) float64 {
@@ -76,26 +72,44 @@ func CompareHierarchies(dr *DataRun, topK int) (*HierarchyComparison, error) {
 			return 0
 		},
 	}
+	return []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence}
+}
+
+// HypernymChains builds the lab's chain provider for the
+// tree-minimization builder: WordNet hypernym chains up to depth 8.
+func (l *Lab) HypernymChains() hierarchy.ChainProvider {
+	wn := l.WordNet
+	return hierarchy.ChainFunc(func(term string) []string {
+		lemma, ok := wn.Morphy(term)
+		if !ok {
+			return nil
+		}
+		return wn.Hypernyms(lemma, 8)
+	})
+}
+
+// CompareHierarchies runs the comparison on the All×All cell.
+func CompareHierarchies(dr *DataRun, topK int) (*HierarchyComparison, error) {
+	if topK == 0 {
+		topK = 100
+	}
+	result := dr.RunCell(ExtAll, ResAll, topK)
+	terms := result.FacetTermStrings()
+	docTerms := ExpandedDocTerms(dr, result, terms)
 
 	subsumption, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{})
 	if err != nil {
 		return nil, err
 	}
 	evidence, err := hierarchy.BuildWithEvidence(terms, docTerms, hierarchy.EvidenceConfig{
-		Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
+		Sources:   dr.Lab.EvidenceSources(),
 		Weights:   []float64{0.5, 0.5},
 		Threshold: 0.6,
 	})
 	if err != nil {
 		return nil, err
 	}
-	treeMin := hierarchy.BuildTreeMinimization(terms, hierarchy.ChainFunc(func(term string) []string {
-		lemma, ok := wn.Morphy(term)
-		if !ok {
-			return nil
-		}
-		return wn.Hypernyms(lemma, 8)
-	}))
+	treeMin := hierarchy.BuildTreeMinimization(terms, dr.Lab.HypernymChains())
 
 	cmp := &HierarchyComparison{}
 	for _, m := range []struct {

@@ -1,0 +1,147 @@
+package hierarchy
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// agglomerativeBuilder is the registered "agglomerative" strategy:
+// average-linkage agglomerative clustering over the per-term posting
+// bitsets, following the cluster-then-name-then-merge shape of systems
+// like OpenClio. Where subsumption asks an asymmetric question ("does x
+// appear in almost every document y appears in?"), clustering asks a
+// symmetric one ("do x and y cover similar document sets?") and derives
+// the hierarchy from the merge order:
+//
+//  1. cluster — every surviving term starts as its own cluster; pairwise
+//     similarity is the Jaccard overlap of posting lists, |x∧y| / |x∨y|,
+//     computed with bitset.AndCount (only co-occurring pairs can be
+//     similar, so the sweep skips empty intersections).
+//  2. name — a cluster is named by its highest-DF member (ties broken
+//     lexicographically): the most general term stands for the group.
+//  3. merge — the closest pair of clusters (average linkage, Lance–
+//     Williams update) merges while similarity ≥ MinSimilarity; the
+//     losing cluster's name term attaches as a child of the winning
+//     name. Each term therefore gains at most one parent, with
+//     df(parent) ≥ df(child), so the forest is acyclic and DF-layered
+//     by construction.
+//
+// The merge order is fully deterministic (ties on similarity resolve by
+// the lexicographically smallest name pair) and workers only shard the
+// initial similarity matrix, so the forest is identical at every worker
+// count.
+type agglomerativeBuilder struct{}
+
+// Name implements Builder.
+func (agglomerativeBuilder) Name() string { return "agglomerative" }
+
+// Build implements Builder.
+func (agglomerativeBuilder) Build(ctx context.Context, terms []string, docTerms [][]string, cfg BuildConfig) (*Forest, error) {
+	minSim := cfg.Agglomerative.MinSimilarity
+	if minSim == 0 {
+		minSim = 0.25
+	}
+	if minSim < 0 || minSim > 1 {
+		return nil, fmt.Errorf("hierarchy: min similarity %v outside [0,1]", minSim)
+	}
+	if cfg.MinDF == 0 {
+		cfg.MinDF = 2
+	}
+	st := newTermStats(terms, docTerms, cfg.MinDF)
+	uniq, sets, df, alive := st.uniq, st.sets, st.df, st.alive
+	n := len(alive)
+
+	// Pairwise Jaccard similarity over the alive terms. Row i is written
+	// only by the worker that owns it, so the O(n²) AndCount sweep shards
+	// like the subsumption sweep.
+	sim := make([]float64, n*n)
+	err := parallel.For(ctx, n, cfg.Workers, func(_, i int) {
+		a := alive[i]
+		for j := i + 1; j < n; j++ {
+			b := alive[j]
+			co := sets[a].AndCount(sets[b])
+			if co == 0 {
+				continue
+			}
+			union := df[a] + df[b] - co
+			sim[i*n+j] = float64(co) / float64(union)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sim[j*n+i] = sim[i*n+j]
+		}
+	}
+
+	// Each cluster tracks its size (for the average-linkage update) and
+	// its name: the global index of the highest-DF member.
+	active := make([]bool, n)
+	size := make([]int, n)
+	name := make([]int, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+		size[i] = 1
+		name[i] = alive[i]
+	}
+	// moreGeneral reports whether term a should name a merged cluster
+	// over term b: higher DF first, then lexicographically smaller.
+	moreGeneral := func(a, b int) bool {
+		if df[a] != df[b] {
+			return df[a] > df[b]
+		}
+		return uniq[a] < uniq[b]
+	}
+
+	parentOf := make(map[int]int)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Closest active pair; ties resolve by the lexicographically
+		// smallest (name_i, name_j) pair, which is scan order here since
+		// clusters keep their creation slots and alive is sorted.
+		bestI, bestJ, bestSim := -1, -1, 0.0
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if s := sim[i*n+j]; s > bestSim {
+					bestI, bestJ, bestSim = i, j, s
+				}
+			}
+		}
+		if bestI < 0 || bestSim < minSim {
+			break
+		}
+		// Name the merged cluster and record the hierarchy edge: the
+		// less general name attaches under the more general one.
+		winner, loser := name[bestI], name[bestJ]
+		if moreGeneral(loser, winner) {
+			winner, loser = loser, winner
+		}
+		parentOf[loser] = winner
+		// Lance–Williams average-linkage update into slot bestI.
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bestI || k == bestJ {
+				continue
+			}
+			merged := (float64(size[bestI])*sim[bestI*n+k] + float64(size[bestJ])*sim[bestJ*n+k]) /
+				float64(size[bestI]+size[bestJ])
+			sim[bestI*n+k] = merged
+			sim[k*n+bestI] = merged
+		}
+		size[bestI] += size[bestJ]
+		name[bestI] = winner
+		active[bestJ] = false
+	}
+	return assembleForest(st, parentOf), nil
+}

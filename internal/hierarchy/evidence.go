@@ -3,9 +3,7 @@ package hierarchy
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/parallel"
 )
 
@@ -32,9 +30,12 @@ func (e EvidenceFunc) Name() string { return e.EvidenceName }
 func (e EvidenceFunc) Score(parent, child string) float64 { return e.Fn(parent, child) }
 
 // EvidenceConfig parameterizes BuildWithEvidence.
+//
+// Deprecated: use BuildConfig with the "evidence" Builder — the fields
+// map onto BuildConfig.{MinDF, Workers} and the nested EvidenceOptions.
+// This struct is kept so external callers compile.
 type EvidenceConfig struct {
-	// SubsumptionWeight scales the co-occurrence evidence P(x|y); the
-	// remaining sources contribute with their own weights. 0 selects 1.0.
+	// SubsumptionWeight as in EvidenceOptions; 0 selects 1.0.
 	SubsumptionWeight float64
 	// Weights per evidence source, aligned with Sources; nil gives every
 	// source weight 1.
@@ -43,11 +44,10 @@ type EvidenceConfig struct {
 	// Threshold is the minimum combined score for attaching a child to a
 	// parent; 0 selects 0.8 (comparable to plain subsumption's θ).
 	Threshold float64
-	// MinDF as in SubsumptionConfig.
+	// MinDF as in BuildConfig.
 	MinDF int
-	// Workers as in SubsumptionConfig: shards the pairwise evidence
-	// scoring, <= 1 runs sequentially, output is identical either way.
-	// Sources must be safe for concurrent use when Workers > 1.
+	// Workers as in BuildConfig. Sources must be safe for concurrent use
+	// when Workers > 1.
 	Workers int
 }
 
@@ -62,67 +62,60 @@ func BuildWithEvidence(terms []string, docTerms [][]string, cfg EvidenceConfig) 
 // checked between terms of the sharded pairwise evidence sweep, and a
 // canceled build returns ctx's error instead of a partial forest.
 func BuildWithEvidenceContext(ctx context.Context, terms []string, docTerms [][]string, cfg EvidenceConfig) (*Forest, error) {
-	if cfg.SubsumptionWeight == 0 {
-		cfg.SubsumptionWeight = 1.0
+	return evidenceBuilder{}.Build(ctx, terms, docTerms, BuildConfig{
+		MinDF:   cfg.MinDF,
+		Workers: cfg.Workers,
+		Evidence: EvidenceOptions{
+			SubsumptionWeight: cfg.SubsumptionWeight,
+			Weights:           cfg.Weights,
+			Sources:           cfg.Sources,
+			Threshold:         cfg.Threshold,
+		},
+	})
+}
+
+// evidenceBuilder is the registered "evidence" strategy.
+type evidenceBuilder struct{}
+
+// Name implements Builder.
+func (evidenceBuilder) Name() string { return "evidence" }
+
+// Build implements Builder.
+func (evidenceBuilder) Build(ctx context.Context, terms []string, docTerms [][]string, cfg BuildConfig) (*Forest, error) {
+	opts := cfg.Evidence
+	if opts.SubsumptionWeight == 0 {
+		opts.SubsumptionWeight = 1.0
 	}
-	if cfg.Threshold == 0 {
-		cfg.Threshold = 0.8
+	threshold := opts.Threshold
+	if threshold == 0 {
+		threshold = cfg.Threshold
+	}
+	if threshold == 0 {
+		threshold = 0.8
 	}
 	if cfg.MinDF == 0 {
 		cfg.MinDF = 2
 	}
-	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Sources) {
-		return nil, fmt.Errorf("hierarchy: %d weights for %d sources", len(cfg.Weights), len(cfg.Sources))
+	if opts.Weights != nil && len(opts.Weights) != len(opts.Sources) {
+		return nil, fmt.Errorf("hierarchy: %d weights for %d sources", len(opts.Weights), len(opts.Sources))
 	}
 	weight := func(i int) float64 {
-		if cfg.Weights == nil {
+		if opts.Weights == nil {
 			return 1
 		}
-		return cfg.Weights[i]
+		return opts.Weights[i]
 	}
-	totalWeight := cfg.SubsumptionWeight
-	for i := range cfg.Sources {
+	totalWeight := opts.SubsumptionWeight
+	for i := range opts.Sources {
 		totalWeight += weight(i)
 	}
 	if totalWeight <= 0 {
 		return nil, fmt.Errorf("hierarchy: non-positive total evidence weight")
 	}
 
-	idx := make(map[string]int, len(terms))
-	uniq := make([]string, 0, len(terms))
-	for _, t := range terms {
-		if _, dup := idx[t]; !dup {
-			idx[t] = len(uniq)
-			uniq = append(uniq, t)
-		}
-	}
-	sets := make([]*bitset.Set, len(uniq))
-	for i := range sets {
-		sets[i] = bitset.New(len(docTerms))
-	}
-	for d, ts := range docTerms {
-		for _, t := range ts {
-			if i, ok := idx[t]; ok {
-				sets[i].Set(d)
-			}
-		}
-	}
-	df := make([]int, len(uniq))
-	for i, s := range sets {
-		df[i] = s.Count()
-	}
-	var alive []int
-	for i := range uniq {
-		if df[i] >= cfg.MinDF {
-			alive = append(alive, i)
-		}
-	}
-	sort.Slice(alive, func(a, b int) bool { return uniq[alive[a]] < uniq[alive[b]] })
+	st := newTermStats(terms, docTerms, cfg.MinDF)
+	uniq, sets, df, alive := st.uniq, st.sets, st.df, st.alive
 
-	nodes := make(map[int]*Node, len(alive))
-	for _, i := range alive {
-		nodes[i] = &Node{Term: uniq[i], DF: df[i]}
-	}
 	// As in BuildSubsumption, every term's best parent is computed
 	// independently, so the pairwise evidence combination shards across
 	// workers into per-term slots merged deterministically afterwards.
@@ -140,8 +133,8 @@ func BuildWithEvidenceContext(ctx context.Context, terms []string, docTerms [][]
 			if pyx >= 1 {
 				continue
 			}
-			score := cfg.SubsumptionWeight * float64(co) / float64(df[y])
-			for i, src := range cfg.Sources {
+			score := opts.SubsumptionWeight * float64(co) / float64(df[y])
+			for i, src := range opts.Sources {
 				score += weight(i) * clamp01(src.Score(uniq[x], uniq[y]))
 			}
 			score /= totalWeight
@@ -151,7 +144,7 @@ func BuildWithEvidenceContext(ctx context.Context, terms []string, docTerms [][]
 			}
 		}
 		parents[yi] = -1
-		if bestIdx >= 0 && bestScore >= cfg.Threshold {
+		if bestIdx >= 0 && bestScore >= threshold {
 			parents[yi] = bestIdx
 		}
 	})
@@ -164,42 +157,7 @@ func BuildWithEvidenceContext(ctx context.Context, terms []string, docTerms [][]
 			parentOf[y] = parents[yi]
 		}
 	}
-	// Cycle guard as in BuildSubsumption.
-	for _, y := range alive {
-		seen := map[int]bool{y: true}
-		cur, ok := parentOf[y]
-		for ok {
-			if seen[cur] {
-				delete(parentOf, y)
-				break
-			}
-			seen[cur] = true
-			cur, ok = parentOf[cur]
-		}
-	}
-	forest := &Forest{index: map[string]*Node{}}
-	for _, i := range alive {
-		forest.index[uniq[i]] = nodes[i]
-	}
-	for _, y := range alive {
-		if p, ok := parentOf[y]; ok {
-			nodes[y].Parent = nodes[p]
-			nodes[p].Children = append(nodes[p].Children, nodes[y])
-		} else {
-			forest.Roots = append(forest.Roots, nodes[y])
-		}
-	}
-	less := func(a, b *Node) bool {
-		if a.DF != b.DF {
-			return a.DF > b.DF
-		}
-		return a.Term < b.Term
-	}
-	forest.Walk(func(n *Node, _ int) {
-		sort.Slice(n.Children, func(i, j int) bool { return less(n.Children[i], n.Children[j]) })
-	})
-	sort.Slice(forest.Roots, func(i, j int) bool { return less(forest.Roots[i], forest.Roots[j]) })
-	return forest, nil
+	return assembleForest(st, parentOf), nil
 }
 
 func clamp01(v float64) float64 {

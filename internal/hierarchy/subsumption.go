@@ -5,19 +5,20 @@
 // results"): term x subsumes term y when P(x|y) ≥ θ (θ = 0.8) and
 // P(y|x) < 1, with probabilities estimated from document co-occurrence.
 //
-// Two comparators are included: a Stoica–Hearst-style tree-minimization
-// builder over WordNet hypernym paths (the prior work the paper contrasts
-// with), and a Snow-style evidence-combination builder (the "newer
-// algorithms [5] may give even better results" note), which merges
-// subsumption evidence with taxonomy evidence from external resources.
+// Construction is pluggable: every strategy implements Builder and is
+// selected by name through the Register/Lookup/Names registry. Four are
+// built in — "subsumption" (the paper's choice), "treemin" (a
+// Stoica–Hearst-style tree-minimization builder over WordNet hypernym
+// paths, the prior work the paper contrasts with), "evidence" (a
+// Snow-style evidence-combination builder, the "newer algorithms [5] may
+// give even better results" note), and "agglomerative" (average-linkage
+// co-occurrence clustering over the posting bitsets).
 package hierarchy
 
 import (
 	"context"
 	"fmt"
-	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/parallel"
 )
 
@@ -59,23 +60,17 @@ func (f *Forest) Walk(fn func(n *Node, depth int)) {
 }
 
 // SubsumptionConfig parameterizes BuildSubsumption.
+//
+// Deprecated: use BuildConfig with the "subsumption" Builder; the fields
+// map one-to-one. This struct is kept so external callers compile.
 type SubsumptionConfig struct {
 	// Threshold is θ in P(x|y) ≥ θ; 0 selects the standard 0.8.
 	Threshold float64
-	// MinDF drops terms observed in fewer documents; co-occurrence
-	// estimates below a handful of documents are noise. 0 selects 2.
+	// MinDF drops terms observed in fewer documents; 0 selects 2.
 	MinDF int
-	// MaxChildDFFraction: a term present in more than this fraction of
-	// the collection is a facet DIMENSION — it stays a root and is never
-	// attached as a child (at such densities P(x|y) ≥ θ holds against
-	// almost any x by saturation, not by meaning). 0 selects 0.6;
-	// set >= 1 to disable.
+	// MaxChildDFFraction as in BuildConfig; 0 selects 0.6.
 	MaxChildDFFraction float64
-	// Workers shards the O(terms²) pairwise co-occurrence counting — the
-	// dominant cost of hierarchy construction — across a bounded worker
-	// pool. <= 1 (the zero value) runs sequentially; the forest is
-	// identical for every worker count, since each term's parent is
-	// selected independently from the frozen bitsets.
+	// Workers as in BuildConfig.
 	Workers int
 }
 
@@ -95,6 +90,22 @@ func BuildSubsumption(terms []string, docTerms [][]string, cfg SubsumptionConfig
 // checked between terms of the sharded O(terms²) sweep, and a canceled
 // build returns ctx's error instead of a partially attached forest.
 func BuildSubsumptionContext(ctx context.Context, terms []string, docTerms [][]string, cfg SubsumptionConfig) (*Forest, error) {
+	return subsumptionBuilder{}.Build(ctx, terms, docTerms, BuildConfig{
+		Threshold:          cfg.Threshold,
+		MinDF:              cfg.MinDF,
+		MaxChildDFFraction: cfg.MaxChildDFFraction,
+		Workers:            cfg.Workers,
+	})
+}
+
+// subsumptionBuilder is the registered "subsumption" strategy.
+type subsumptionBuilder struct{}
+
+// Name implements Builder.
+func (subsumptionBuilder) Name() string { return "subsumption" }
+
+// Build implements Builder.
+func (subsumptionBuilder) Build(ctx context.Context, terms []string, docTerms [][]string, cfg BuildConfig) (*Forest, error) {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = 0.8
 	}
@@ -107,44 +118,8 @@ func BuildSubsumptionContext(ctx context.Context, terms []string, docTerms [][]s
 	if cfg.MaxChildDFFraction == 0 {
 		cfg.MaxChildDFFraction = 0.6
 	}
-	idx := make(map[string]int, len(terms))
-	uniq := make([]string, 0, len(terms))
-	for _, t := range terms {
-		if _, dup := idx[t]; !dup {
-			idx[t] = len(uniq)
-			uniq = append(uniq, t)
-		}
-	}
-	nDocs := len(docTerms)
-	sets := make([]*bitset.Set, len(uniq))
-	for i := range sets {
-		sets[i] = bitset.New(nDocs)
-	}
-	for d, ts := range docTerms {
-		for _, t := range ts {
-			if i, ok := idx[t]; ok {
-				sets[i].Set(d)
-			}
-		}
-	}
-	df := make([]int, len(uniq))
-	for i, s := range sets {
-		df[i] = s.Count()
-	}
-
-	// Candidate terms surviving the df floor, in deterministic order.
-	var alive []int
-	for i := range uniq {
-		if df[i] >= cfg.MinDF {
-			alive = append(alive, i)
-		}
-	}
-	sort.Slice(alive, func(a, b int) bool { return uniq[alive[a]] < uniq[alive[b]] })
-
-	nodes := make(map[int]*Node, len(alive))
-	for _, i := range alive {
-		nodes[i] = &Node{Term: uniq[i], DF: df[i]}
-	}
+	st := newTermStats(terms, docTerms, cfg.MinDF)
+	uniq, sets, df, alive, nDocs := st.uniq, st.sets, st.df, st.alive, st.nDocs
 
 	// Parent selection. A subsumer must be strictly more general
 	// (df(x) > df(y)): with P(x|y)·df(y) = P(y|x)·df(x), this is exactly
@@ -192,47 +167,7 @@ func BuildSubsumptionContext(ctx context.Context, terms []string, docTerms [][]s
 			parentOf[y] = parents[yi]
 		}
 	}
-
-	// Cycle guard: subsumption with P(y|x) < 1 cannot create 2-cycles on
-	// exact ties, but transitive chains through floating-point equalities
-	// are broken defensively by walking up and cutting back-edges.
-	for _, y := range alive {
-		seen := map[int]bool{y: true}
-		cur, ok := parentOf[y]
-		for ok {
-			if seen[cur] {
-				delete(parentOf, y) // cut: y becomes a root
-				break
-			}
-			seen[cur] = true
-			cur, ok = parentOf[cur]
-		}
-	}
-
-	forest := &Forest{index: map[string]*Node{}}
-	for _, i := range alive {
-		forest.index[uniq[i]] = nodes[i]
-	}
-	for _, y := range alive {
-		if p, ok := parentOf[y]; ok {
-			nodes[y].Parent = nodes[p]
-			nodes[p].Children = append(nodes[p].Children, nodes[y])
-		} else {
-			forest.Roots = append(forest.Roots, nodes[y])
-		}
-	}
-	// Deterministic child and root order: by descending DF then term.
-	less := func(a, b *Node) bool {
-		if a.DF != b.DF {
-			return a.DF > b.DF
-		}
-		return a.Term < b.Term
-	}
-	forest.Walk(func(n *Node, _ int) {
-		sort.Slice(n.Children, func(i, j int) bool { return less(n.Children[i], n.Children[j]) })
-	})
-	sort.Slice(forest.Roots, func(i, j int) bool { return less(forest.Roots[i], forest.Roots[j]) })
-	return forest, nil
+	return assembleForest(st, parentOf), nil
 }
 
 // parentCand is a candidate subsumer for a term.

@@ -1,6 +1,7 @@
 package hierarchy
 
 import (
+	"context"
 	"sort"
 )
 
@@ -96,6 +97,27 @@ func BuildTreeMinimization(terms []string, chains ChainProvider) *Forest {
 		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Term < n.Children[j].Term })
 	})
 	return forest
+}
+
+// treeminBuilder is the registered "treemin" strategy: it adapts
+// BuildTreeMinimization to the Builder contract using cfg.Chains as the
+// chain provider. docTerms and the co-occurrence knobs are ignored — the
+// hierarchy comes entirely from the taxonomy chains.
+type treeminBuilder struct{}
+
+// Name implements Builder.
+func (treeminBuilder) Name() string { return "treemin" }
+
+// Build implements Builder.
+func (treeminBuilder) Build(ctx context.Context, terms []string, docTerms [][]string, cfg BuildConfig) (*Forest, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	chains := cfg.Chains
+	if chains == nil {
+		chains = ChainFunc(func(string) []string { return nil })
+	}
+	return BuildTreeMinimization(terms, chains), nil
 }
 
 func isAncestorNode(a, b *Node) bool {

@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -60,7 +62,15 @@ func (ing *Ingester) runEpoch() error {
 	res := core.AnalyzeTables(snap.Dict(), dfD, dfC, ctxTerms, n, ing.cfg.TopK, core.AnalyzeOptions{Workers: ing.cfg.Workers})
 	terms := res.FacetTermStrings()
 	docTerms := assignDocTerms(snap, important, votes, terms)
-	forest, err := hierarchy.BuildSubsumption(terms, docTerms, hierarchy.SubsumptionConfig{
+	builderName := ing.cfg.HierarchyBuilder
+	if builderName == "" {
+		builderName = "subsumption"
+	}
+	builder, ok := hierarchy.Lookup(builderName)
+	if !ok {
+		return fmt.Errorf("ingest: unknown hierarchy builder %q", builderName)
+	}
+	forest, err := builder.Build(context.Background(), terms, docTerms, hierarchy.BuildConfig{
 		Threshold: ing.cfg.SubsumptionThreshold,
 		Workers:   ing.cfg.Workers,
 	})

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/browse"
 	"repro/internal/core"
+	"repro/internal/hierarchy"
 	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/textdb"
@@ -63,6 +64,12 @@ type Config struct {
 	TopK int
 	// SubsumptionThreshold is θ for hierarchy construction (0 = 0.8).
 	SubsumptionThreshold float64
+	// HierarchyBuilder selects the hierarchy strategy by registry name
+	// (hierarchy.Names); "" = "subsumption". Taxonomy-backed builders
+	// ("evidence", "treemin") run without external sources here — the
+	// live pipeline has no environment wiring — so co-occurrence
+	// builders ("subsumption", "agglomerative") are the useful choices.
+	HierarchyBuilder string
 	// MaxImportantPerDoc caps important terms per document (0 = no cap).
 	MaxImportantPerDoc int
 
@@ -174,6 +181,11 @@ func New(cfg Config) (*Ingester, error) {
 	}
 	if len(cfg.Resources) == 0 {
 		return nil, fmt.Errorf("ingest: no resources configured")
+	}
+	if cfg.HierarchyBuilder != "" {
+		if _, ok := hierarchy.Lookup(cfg.HierarchyBuilder); !ok {
+			return nil, fmt.Errorf("ingest: unknown hierarchy builder %q", cfg.HierarchyBuilder)
+		}
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)

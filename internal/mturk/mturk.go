@@ -436,6 +436,30 @@ func (p *Pool) useful(term string) bool {
 	return false
 }
 
+// PlacedOK reports whether the node's position in its hierarchy is
+// consistent with the knowledge base (see placedOK). Exposed for the
+// ground-truth hierarchy scoring in internal/eval, which needs the
+// noise-free placement oracle rather than a simulated judging round.
+func (p *Pool) PlacedOK(n *hierarchy.Node) bool { return p.placedOK(n) }
+
+// FacetAncestor reports whether, per the knowledge base, the facet
+// concept denoted by parent strictly subsumes the one denoted by child —
+// direct taxonomy ancestry or entity-population subsumption. Terms that
+// do not denote facet concepts never participate. Exposed so
+// internal/eval can enumerate the ground-truth ancestor pairs a built
+// hierarchy should recover (tree recall).
+func (p *Pool) FacetAncestor(parent, child string) bool {
+	cID, ok := p.MatchFacet(lang.NormalizePhrase(child))
+	if !ok {
+		return false
+	}
+	pID, ok := p.MatchFacet(lang.NormalizePhrase(parent))
+	if !ok || pID == cID {
+		return false
+	}
+	return p.kb.IsAncestor(pID, cID) || p.facetSubsumes(pID, cID)
+}
+
 // placedOK reports whether the node's position in the extracted hierarchy
 // is consistent with the knowledge base: roots are acceptable; a child
 // must sit under a term that denotes one of its facet ancestors (or its

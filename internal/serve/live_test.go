@@ -107,7 +107,7 @@ func TestIngestEndpoints(t *testing.T) {
 	defer ing.Close(context.Background())
 
 	post := func(body *bytes.Reader) *httptest.ResponseRecorder {
-		req := httptest.NewRequest(http.MethodPost, "/api/ingest", body)
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest", body)
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
 		return rec
@@ -148,7 +148,7 @@ func TestIngestEndpoints(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	rec = httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/ingest/stats", nil))
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/ingest/stats", nil))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("stats status %d", rec.Code)
 	}
@@ -193,7 +193,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			paths := []string{"/api/facets", "/api/docs?limit=5", "/api/facets?terms=france", "/api/ingest/stats", "/api/v1/metrics"}
+			paths := []string{"/api/v1/facets", "/api/v1/docs?limit=5", "/api/v1/facets?terms=france", "/api/v1/ingest/stats", "/api/v1/metrics"}
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
@@ -208,7 +208,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 					t.Errorf("%s: status %d", path, rec.Code)
 					return
 				}
-				if strings.HasPrefix(path, "/api/facets") && !strings.Contains(path, "terms") {
+				if strings.HasPrefix(path, "/api/v1/facets") && !strings.Contains(path, "terms") {
 					var resp FacetsResponse
 					if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 						t.Errorf("%s: %v", path, err)
@@ -234,7 +234,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	}
 
 	for b := 0; b < batches; b++ {
-		req := httptest.NewRequest(http.MethodPost, "/api/ingest", ingestBody(liveDocs(perPost, bootstrapDocs+b*perPost)))
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/ingest", ingestBody(liveDocs(perPost, bootstrapDocs+b*perPost)))
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
@@ -252,7 +252,7 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	total := bootstrapDocs + batches*perPost
 	var final FacetsResponse
 	rec := httptest.NewRecorder()
-	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/facets", nil))
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/facets", nil))
 	if err := json.Unmarshal(rec.Body.Bytes(), &final); err != nil {
 		t.Fatal(err)
 	}

@@ -9,10 +9,11 @@ import (
 	"repro/internal/obsv"
 )
 
-// TestLegacyAliasesDeprecated: every unversioned /api/ route answers
-// with a body identical to its /api/v1/ successor plus the Deprecation
-// and successor-version Link headers, which the v1 route must not carry.
-func TestLegacyAliasesDeprecated(t *testing.T) {
+// TestLegacyAliasesRemoved: the unversioned /api/ aliases from the v1
+// migration are gone — every former alias path now answers 404 with the
+// unified error envelope and no Deprecation/Link migration headers,
+// while its /api/v1/ successor still serves normally.
+func TestLegacyAliasesRemoved(t *testing.T) {
 	s := testServer(t)
 	for _, route := range []string{
 		"facets",
@@ -23,20 +24,21 @@ func TestLegacyAliasesDeprecated(t *testing.T) {
 	} {
 		v1 := get(t, s, "/api/v1/"+route)
 		legacy := get(t, s, "/api/"+route)
-		if v1.Code != http.StatusOK || legacy.Code != v1.Code {
-			t.Fatalf("%s: status v1=%d legacy=%d", route, v1.Code, legacy.Code)
+		if v1.Code != http.StatusOK {
+			t.Fatalf("%s: v1 status %d", route, v1.Code)
 		}
-		if route != "metrics" && legacy.Body.String() != v1.Body.String() {
-			// metrics is excluded: serving the alias itself moves the
-			// counters it reports.
-			t.Errorf("%s: alias body differs from v1 body", route)
+		if legacy.Code != http.StatusNotFound {
+			t.Fatalf("%s: removed alias status %d, want 404", route, legacy.Code)
 		}
-		if dep := legacy.Header().Get("Deprecation"); dep != "true" {
-			t.Errorf("%s: legacy Deprecation header = %q", route, dep)
+		var er ErrorResponse
+		if err := json.Unmarshal(legacy.Body.Bytes(), &er); err != nil || er.Error.Code != ErrCodeNotFound {
+			t.Errorf("%s: alias 404 body %q is not the unified envelope", route, legacy.Body.String())
 		}
-		path := "/api/v1/" + strings.SplitN(route, "?", 2)[0]
-		if link := legacy.Header().Get("Link"); !strings.Contains(link, path) || !strings.Contains(link, "successor-version") {
-			t.Errorf("%s: legacy Link header = %q", route, link)
+		if dep := legacy.Header().Get("Deprecation"); dep != "" {
+			t.Errorf("%s: removed alias still carries Deprecation header %q", route, dep)
+		}
+		if link := legacy.Header().Get("Link"); strings.Contains(link, "successor-version") {
+			t.Errorf("%s: removed alias still carries Link header %q", route, link)
 		}
 		if v1.Header().Get("Deprecation") != "" {
 			t.Errorf("%s: v1 route carries a Deprecation header", route)
@@ -45,12 +47,11 @@ func TestLegacyAliasesDeprecated(t *testing.T) {
 }
 
 // TestMetricsEndpoint: the middleware records request counts, status
-// classes, and latencies per route, v1 and legacy hits share one series,
-// and /api/v1/metrics serves the snapshot.
+// classes, and latencies per route, and /api/v1/metrics serves the
+// snapshot.
 func TestMetricsEndpoint(t *testing.T) {
 	s := testServer(t)
 	get(t, s, "/api/v1/facets")
-	get(t, s, "/api/facets") // legacy alias, same series
 	get(t, s, "/api/v1/docs?limit=0")
 	get(t, s, "/")
 
@@ -62,11 +63,11 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
 		t.Fatalf("metrics body is not a snapshot: %v", err)
 	}
-	if got := snap.Counters["http.requests.facets"]; got != 2 {
-		t.Errorf("facets requests = %d, want 2 (v1 + alias)", got)
+	if got := snap.Counters["http.requests.facets"]; got != 1 {
+		t.Errorf("facets requests = %d, want 1", got)
 	}
-	if got := snap.Counters["http.status.facets.2xx"]; got != 2 {
-		t.Errorf("facets 2xx = %d, want 2", got)
+	if got := snap.Counters["http.status.facets.2xx"]; got != 1 {
+		t.Errorf("facets 2xx = %d, want 1", got)
 	}
 	if got := snap.Counters["http.status.docs.4xx"]; got != 1 {
 		t.Errorf("docs 4xx = %d, want 1", got)
@@ -81,7 +82,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	// The Server.Metrics accessor exposes the same registry.
-	if s.Metrics().Counter("http.requests.facets").Value() != 2 {
+	if s.Metrics().Counter("http.requests.facets").Value() != 1 {
 		t.Error("Metrics() returned a different registry")
 	}
 }

@@ -43,6 +43,7 @@ func TestUnknownAPIRoutes404(t *testing.T) {
 		"/api/nope",
 		"/api/",
 		"/api/v2/facets", // unknown version: 404, not a v1 route
+		"/api/facets",    // removed unversioned alias: 404 even for known v1 paths
 	} {
 		rec := do(t, s, http.MethodGet, path)
 		if rec.Code != http.StatusNotFound {
@@ -69,7 +70,6 @@ func TestWrongMethod405(t *testing.T) {
 		{http.MethodPost, "/api/v1/metrics", "GET"},
 		{http.MethodPost, "/api/v1/healthz", "GET"},
 		{http.MethodPost, "/api/v1/readyz", "GET"},
-		{http.MethodPost, "/api/facets", "GET"}, // legacy prefix, same contract
 	}
 	for _, tc := range cases {
 		rec := do(t, s, tc.method, tc.path)

@@ -6,9 +6,10 @@
 //
 // Every route is instrumented through obsv.HTTPMetrics (request counts,
 // status classes, latency histograms per route) and the registry is
-// served at GET /api/v1/metrics. The unversioned /api/ paths remain as
-// thin aliases that answer identically but carry a Deprecation header
-// and a Link to their successor.
+// served at GET /api/v1/metrics. The API surface is /api/v1/ only: the
+// unversioned /api/ aliases that shipped during the v1 migration carried
+// Deprecation + successor Link headers for five releases and have been
+// removed; unversioned paths now answer with the unified 404 envelope.
 //
 // Every non-2xx API response is the unified envelope
 //
@@ -168,50 +169,39 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, ReadyzResponse{Status: "ready", Checks: checks})
 }
 
-// Handle registers one API route twice: the canonical versioned path
-// /api/v1/<path> and the legacy alias /api/<path>, which serves the
-// identical body but marks itself deprecated. Both share the same
-// instrumented handler, so a route's metrics aggregate across versions.
-// It is exported so sibling subsystems (internal/cluster's shard and
-// leader endpoints) can mount additional routes on the same server,
-// inheriting the fallback 404/405 envelope and per-route metrics; like
+// Handle registers one API route at its canonical versioned path
+// /api/v1/<path>. (The unversioned /api/<path> aliases from the v1
+// migration are gone; they now fall through to the 404 envelope.) It is
+// exported so sibling subsystems (internal/cluster's shard and leader
+// endpoints) can mount additional routes on the same server, inheriting
+// the fallback 404/405 envelope and per-route metrics; like
 // EnableIngest, registration must happen before traffic starts.
 func (s *Server) Handle(method, path, route string, h http.HandlerFunc) {
 	wrapped := s.httpm.Wrap(route, h)
 	s.mux.Handle(method+" /api/v1/"+path, wrapped)
-	s.mux.Handle(method+" /api/"+path, deprecated("/api/v1/"+path, wrapped))
 	s.apiRoutes[path] = append(s.apiRoutes[path], method)
 }
 
 // handleAPIFallback answers every /api/ request no registered route
-// claims. A known path hit with the wrong method gets 405 with an Allow
-// header; anything else gets 404. Both use the unified envelope — before
+// claims. A known versioned path hit with the wrong method gets 405 with
+// an Allow header; anything else — including the removed unversioned
+// /api/<path> aliases — gets 404. Both use the unified envelope — before
 // this handler existed, these cases leaked net/http's plain-text "404
 // page not found" / "Method Not Allowed" bodies, the one place the API
 // broke its own error contract.
 func (s *Server) handleAPIFallback(w http.ResponseWriter, r *http.Request) {
-	path := strings.TrimPrefix(r.URL.Path, "/api/")
-	path = strings.TrimPrefix(path, "v1/")
-	if methods, ok := s.apiRoutes[path]; ok {
-		allow := append([]string(nil), methods...)
-		sort.Strings(allow)
-		w.Header().Set("Allow", strings.Join(allow, ", "))
-		WriteError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
-			fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
-		return
+	if path, versioned := strings.CutPrefix(strings.TrimPrefix(r.URL.Path, "/api/"), "v1/"); versioned {
+		if methods, ok := s.apiRoutes[path]; ok {
+			allow := append([]string(nil), methods...)
+			sort.Strings(allow)
+			w.Header().Set("Allow", strings.Join(allow, ", "))
+			WriteError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed,
+				fmt.Errorf("method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
+			return
+		}
 	}
 	WriteError(w, http.StatusNotFound, ErrCodeNotFound,
 		fmt.Errorf("unknown API route %s", r.URL.Path))
-}
-
-// deprecated wraps a legacy alias: same handler, plus the Deprecation
-// header (RFC 9745) and a Link to the successor route.
-func deprecated(successor string, next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", "true")
-		w.Header().Set("Link", "<"+successor+`>; rel="successor-version"`)
-		next.ServeHTTP(w, r)
-	})
 }
 
 // Publish atomically swaps the served browsing interface; in-flight
@@ -238,10 +228,9 @@ func (s *Server) SetAccessLog(w io.Writer) { s.httpm.SetAccessLog(w) }
 // /api/v1/ingest (accept documents), GET /api/v1/ingest/stats
 // (subsystem health), GET /api/v1/ingest/deadletter (documents whose
 // analysis failed permanently), and POST /api/v1/ingest/retry
-// (re-analyze the dead-letter queue) — plus their deprecated /api/
-// aliases — and exposes the ingester's gauges through the server's
-// metrics registry. It must be called before the server starts handling
-// traffic.
+// (re-analyze the dead-letter queue) — and exposes the ingester's
+// gauges through the server's metrics registry. It must be called
+// before the server starts handling traffic.
 func (s *Server) EnableIngest(ing *ingest.Ingester) {
 	ing.RegisterMetrics(s.metrics)
 	s.Handle(http.MethodPost, "ingest", "ingest", func(w http.ResponseWriter, r *http.Request) {

@@ -57,7 +57,7 @@ func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
 
 func TestFacetsEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/api/facets")
+	rec := get(t, s, "/api/v1/facets")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -69,7 +69,7 @@ func TestFacetsEndpoint(t *testing.T) {
 		t.Fatalf("resp = %+v", resp)
 	}
 	// Restricted by a facet term.
-	rec = get(t, s, "/api/facets?terms=europe&parent=europe")
+	rec = get(t, s, "/api/v1/facets?terms=europe&parent=europe")
 	json.Unmarshal(rec.Body.Bytes(), &resp)
 	if resp.Total != 3 {
 		t.Fatalf("europe total = %d", resp.Total)
@@ -78,7 +78,7 @@ func TestFacetsEndpoint(t *testing.T) {
 
 func TestDocsEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/api/docs?terms=france&q=election")
+	rec := get(t, s, "/api/v1/docs?terms=france&q=election")
 	var resp DocsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
@@ -89,14 +89,14 @@ func TestDocsEndpoint(t *testing.T) {
 	if !strings.Contains(resp.Docs[0].Snippet, "election") {
 		t.Fatalf("snippet = %q", resp.Docs[0].Snippet)
 	}
-	if rec := get(t, s, "/api/docs?limit=0"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/api/v1/docs?limit=0"); rec.Code != http.StatusBadRequest {
 		t.Fatal("bad limit accepted")
 	}
 }
 
 func TestDatesEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/api/dates?granularity=day")
+	rec := get(t, s, "/api/v1/dates?granularity=day")
 	var resp []DateBucket
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
@@ -104,11 +104,11 @@ func TestDatesEndpoint(t *testing.T) {
 	if len(resp) != 4 {
 		t.Fatalf("buckets = %+v", resp)
 	}
-	if rec := get(t, s, "/api/dates?granularity=decade"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/api/v1/dates?granularity=decade"); rec.Code != http.StatusBadRequest {
 		t.Fatal("bad granularity accepted")
 	}
 	// Date-range restriction.
-	rec = get(t, s, "/api/dates?granularity=day&from=2005-11-02&to=2005-11-04")
+	rec = get(t, s, "/api/v1/dates?granularity=day&from=2005-11-02&to=2005-11-04")
 	json.Unmarshal(rec.Body.Bytes(), &resp)
 	if len(resp) != 2 {
 		t.Fatalf("range buckets = %+v", resp)
@@ -117,14 +117,14 @@ func TestDatesEndpoint(t *testing.T) {
 
 func TestCrossEndpoint(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/api/cross?a=europe&b=sports")
+	rec := get(t, s, "/api/v1/cross?a=europe&b=sports")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
-	if rec := get(t, s, "/api/cross?a=europe"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/api/v1/cross?a=europe"); rec.Code != http.StatusBadRequest {
 		t.Fatal("missing b accepted")
 	}
-	if rec := get(t, s, "/api/cross?a=europe&b=nonexistent"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/api/v1/cross?a=europe&b=nonexistent"); rec.Code != http.StatusBadRequest {
 		t.Fatal("unknown facet accepted")
 	}
 }
@@ -154,14 +154,14 @@ func TestIndexPage(t *testing.T) {
 
 func TestBadDateRejected(t *testing.T) {
 	s := testServer(t)
-	if rec := get(t, s, "/api/docs?from=notadate"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/api/v1/docs?from=notadate"); rec.Code != http.StatusBadRequest {
 		t.Fatal("bad date accepted")
 	}
 }
 
 // TestErrorResponsesAreJSON: every 4xx carries the unified envelope
-// {"error":{"code","message"}}, on both the v1 and the legacy paths, and
-// limit validation rejects negative, zero, huge, and overflowing values.
+// {"error":{"code","message"}}, and limit validation rejects negative,
+// zero, huge, and overflowing values.
 func TestErrorResponsesAreJSON(t *testing.T) {
 	s := testServer(t)
 	for _, path := range []string{
@@ -174,8 +174,6 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 		"/api/v1/facets?limit=0",
 		"/api/v1/dates?granularity=decade",
 		"/api/v1/cross?a=europe",
-		"/api/docs?limit=0", // legacy alias funnels through the same path
-		"/api/cross?a=europe",
 	} {
 		rec := get(t, s, path)
 		if rec.Code != http.StatusBadRequest {
@@ -201,7 +199,7 @@ func TestErrorResponsesAreJSON(t *testing.T) {
 func TestPublishSwapsInterface(t *testing.T) {
 	s := testServer(t)
 	var before FacetsResponse
-	json.Unmarshal(get(t, s, "/api/facets").Body.Bytes(), &before)
+	json.Unmarshal(get(t, s, "/api/v1/facets").Body.Bytes(), &before)
 	if before.Total != 4 {
 		t.Fatalf("before swap: %d docs", before.Total)
 	}
@@ -219,7 +217,7 @@ func TestPublishSwapsInterface(t *testing.T) {
 	s.Publish(iface)
 
 	var after FacetsResponse
-	json.Unmarshal(get(t, s, "/api/facets").Body.Bytes(), &after)
+	json.Unmarshal(get(t, s, "/api/v1/facets").Body.Bytes(), &after)
 	if after.Total != 1 {
 		t.Fatalf("after swap: %d docs, want 1", after.Total)
 	}
