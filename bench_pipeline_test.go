@@ -1,0 +1,52 @@
+package facet
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchPipelineSchema validates BENCH_pipeline.json when present (CI
+// re-records it on an all-core runner and then runs this): the envelope
+// must parse, the points must be sane, and — because a scaling curve
+// measured on one core is noise — the recording must either come from a
+// multi-core host (gomaxprocs > 1) or carry the explicit single_core
+// annotation writePipelineBench stamps on one-CPU machines.
+func TestBenchPipelineSchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_pipeline.json")
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("BENCH_pipeline.json not present (run BenchmarkPipelineWorkers to produce it)")
+		}
+		t.Fatal(err)
+	}
+	var got pipelineBench
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("BENCH_pipeline.json does not parse: %v", err)
+	}
+	if got.Benchmark != "BenchmarkPipelineWorkers" {
+		t.Fatalf("benchmark = %q, want BenchmarkPipelineWorkers", got.Benchmark)
+	}
+	if got.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d", got.GOMAXPROCS)
+	}
+	if got.GOMAXPROCS == 1 && !got.SingleCore {
+		t.Fatal("gomaxprocs = 1 without the single_core annotation — re-record on a multi-core host or annotate")
+	}
+	if got.GOMAXPROCS > 1 && got.SingleCore {
+		t.Fatalf("single_core annotation on a gomaxprocs=%d recording", got.GOMAXPROCS)
+	}
+	if len(got.Points) == 0 {
+		t.Fatal("no points")
+	}
+	lastWorkers := 0
+	for _, p := range got.Points {
+		if p.Workers <= lastWorkers {
+			t.Fatalf("points not strictly increasing in workers: %+v", got.Points)
+		}
+		lastWorkers = p.Workers
+		if p.DocsPerSec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("malformed point %+v", p)
+		}
+	}
+}

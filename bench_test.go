@@ -354,6 +354,28 @@ func BenchmarkPipelineWorkers(b *testing.B) {
 	}
 }
 
+// pipelineBench is the BENCH_pipeline.json envelope (the scaling
+// counterpart of serveBench for BENCH_serve.json). A recording is only
+// meaningful as a scaling curve when made on a multi-core host, so
+// either GOMAXPROCS > 1 or the recording must carry the explicit
+// single_core annotation — TestBenchPipelineSchema rejects everything
+// else, and CI re-records the file on an all-core runner.
+type pipelineBench struct {
+	Benchmark  string `json:"benchmark"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SingleCore marks a curve recorded with only one CPU available:
+	// every worker count collapses to the sequential rate and the
+	// speedup column carries no signal.
+	SingleCore bool                 `json:"single_core,omitempty"`
+	Points     []pipelineBenchPoint `json:"points"`
+}
+
+type pipelineBenchPoint struct {
+	Workers    int     `json:"workers"`
+	DocsPerSec float64 `json:"docs_per_sec"`
+	Speedup    float64 `json:"speedup_vs_sequential"`
+}
+
 // writePipelineBench stores the worker-count → docs/sec curve from
 // BenchmarkPipelineWorkers as BENCH_pipeline.json next to the package
 // sources, with GOMAXPROCS recorded so a flat curve on a small host is
@@ -367,23 +389,18 @@ func writePipelineBench(docsPerSec map[int]float64) error {
 		workers = append(workers, w)
 	}
 	sort.Ints(workers)
-	type point struct {
-		Workers    int     `json:"workers"`
-		DocsPerSec float64 `json:"docs_per_sec"`
-		Speedup    float64 `json:"speedup_vs_sequential"`
+	out := pipelineBench{
+		Benchmark:  "BenchmarkPipelineWorkers",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		SingleCore: runtime.GOMAXPROCS(0) == 1,
 	}
-	out := struct {
-		Benchmark  string  `json:"benchmark"`
-		GOMAXPROCS int     `json:"gomaxprocs"`
-		Points     []point `json:"points"`
-	}{Benchmark: "BenchmarkPipelineWorkers", GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	base := docsPerSec[workers[0]]
 	for _, w := range workers {
 		sp := 0.0
 		if base > 0 {
 			sp = docsPerSec[w] / base
 		}
-		out.Points = append(out.Points, point{Workers: w, DocsPerSec: docsPerSec[w], Speedup: sp})
+		out.Points = append(out.Points, pipelineBenchPoint{Workers: w, DocsPerSec: docsPerSec[w], Speedup: sp})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

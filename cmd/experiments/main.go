@@ -315,28 +315,30 @@ func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder string)
 	if err != nil {
 		return err
 	}
-	runOnce := func(workers int) ([]facet.StageTiming, error) {
-		sys, err := facet.NewSystem(env, facet.Options{TopK: 100, Workers: workers, HierarchyBuilder: hierarchyBuilder})
+	runOnce := func(workers int) ([]facet.StageTiming, *obsv.Registry, error) {
+		sys, err := facet.NewSystem(env, facet.Options{Workers: workers, HierarchyBuilder: hierarchyBuilder})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		reg := obsv.NewRegistry()
+		sys.SetMetrics(reg)
 		for _, d := range docs {
 			sys.Add(d)
 		}
 		res, err := sys.ExtractFacets()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if _, err := res.BuildHierarchy(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.StageReport(), nil
+		return res.StageReport(), reg, nil
 	}
-	seq, err := runOnce(1)
+	seq, _, err := runOnce(1)
 	if err != nil {
 		return err
 	}
-	par, err := runOnce(workers)
+	par, parReg, err := runOnce(workers)
 	if err != nil {
 		return err
 	}
@@ -368,6 +370,25 @@ func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder string)
 			"total", seqTotal.Round(time.Microsecond), parTotal.Round(time.Microsecond),
 			float64(seqTotal)/float64(parTotal))
 	}
+	// Pair-pruning counters from the hierarchy sweep: the posting-list
+	// candidate generator evaluates only co-occurring pairs, so on a
+	// sparse corpus `evaluated` sits far below the all-pairs count the
+	// dense formulation would sweep.
+	snap := parReg.Snapshot()
+	if n := snap.Gauges["hierarchy.sweep.terms"]; n > 0 {
+		candidate := snap.Counters["hierarchy.pairs.candidate"]
+		evaluated := snap.Counters["hierarchy.pairs.evaluated"]
+		skipped := snap.Counters["hierarchy.pairs.skipped"]
+		allPairs := n * (n - 1) / 2
+		fmt.Fprintf(w, "\nhierarchy sweep pruning (%d terms, all-pairs baseline %d):\n", n, allPairs)
+		fmt.Fprintf(w, "  hierarchy.pairs.candidate  %8d\n", candidate)
+		fmt.Fprintf(w, "  hierarchy.pairs.evaluated  %8d\n", evaluated)
+		fmt.Fprintf(w, "  hierarchy.pairs.skipped    %8d\n", skipped)
+		if evaluated > 0 {
+			fmt.Fprintf(w, "  reduction vs. all-pairs    %7.1fx\n", float64(allPairs)/float64(evaluated))
+		}
+	}
+
 	fmt.Fprintf(w, "\nvirtual network time charged by the simulated services: %v\n",
 		env.VirtualNetworkTime().Round(time.Microsecond))
 	fmt.Fprintln(w, "(wall-clock stage totals above exclude virtual latency — the clock is charged, not slept)")

@@ -153,6 +153,7 @@ func (s *System) hierarchyBuildConfig() hierarchy.BuildConfig {
 	return hierarchy.BuildConfig{
 		Threshold: s.opts.SubsumptionThreshold,
 		Workers:   parallel.Workers(s.opts.Workers),
+		Metrics:   s.metrics, // surfaces hierarchy.pairs.* pruning counters; nil disables
 		Evidence: hierarchy.EvidenceOptions{
 			Sources:   []hierarchy.TaxonomicEvidence{wnEvidence, wikiEvidence},
 			Weights:   []float64{0.5, 0.5},

@@ -80,6 +80,52 @@ func (s *Set) And(t *Set) *Set {
 	return out
 }
 
+// AndWith intersects s with t in place and returns s. Bits of s beyond
+// t's capacity are cleared (they cannot be in the intersection). The
+// in-place form lets a conjunction over many posting lists reuse one
+// accumulator instead of allocating an intermediate set per operand.
+func (s *Set) AndWith(t *Set) *Set {
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &= t.words[i]
+	}
+	for i := n; i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+	return s
+}
+
+// Intersects reports whether s and t share at least one set bit. It is
+// word-parallel with early exit — cheaper than AndCount when only
+// emptiness matters.
+func (s *Set) Intersects(t *Set) bool {
+	n := min(len(s.words), len(t.words))
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AndForEach calls fn for every bit set in both s and t in ascending
+// order; fn returning false stops the iteration. It walks the
+// intersection word-parallel without materializing it (And followed by
+// ForEach allocates a whole set; this allocates nothing).
+func (s *Set) AndForEach(t *Set, fn func(i int) bool) {
+	n := min(len(s.words), len(t.words))
+	for wi := 0; wi < n; wi++ {
+		w := s.words[wi] & t.words[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*64 + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Or returns a new set s ∪ t.
 func (s *Set) Or(t *Set) *Set {
 	out := New(max(s.n, t.n))

@@ -127,3 +127,112 @@ func TestQuickCountMatchesSlice(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAndWith(t *testing.T) {
+	a, b := New(200), New(200)
+	for _, i := range []int{1, 64, 130, 199} {
+		a.Set(i)
+	}
+	b.Set(64)
+	b.Set(199)
+	b.Set(7)
+	if got := a.AndWith(b); got != a {
+		t.Fatal("AndWith should return its receiver")
+	}
+	if a.Count() != 2 || !a.Test(64) || !a.Test(199) {
+		t.Fatalf("AndWith wrong: %v", a.Slice())
+	}
+	if !b.Test(7) {
+		t.Fatal("AndWith mutated its argument")
+	}
+	// Bits beyond the argument's capacity are cleared: they cannot be in
+	// the intersection.
+	wide, narrow := New(200), New(10)
+	wide.Set(5)
+	wide.Set(150)
+	narrow.Set(5)
+	wide.AndWith(narrow)
+	if wide.Count() != 1 || !wide.Test(5) {
+		t.Fatalf("AndWith across sizes: %v", wide.Slice())
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a, b := New(300), New(300)
+	if a.Intersects(b) {
+		t.Fatal("empty sets intersect")
+	}
+	a.Set(5)
+	b.Set(255)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Set(5)
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Fatal("Intersects missed the shared bit")
+	}
+	// Across sizes: only the common prefix can intersect.
+	small := New(10)
+	small.Set(5)
+	if !small.Intersects(a) || !a.Intersects(small) {
+		t.Fatal("Intersects across sizes")
+	}
+}
+
+func TestAndForEach(t *testing.T) {
+	a, b := New(300), New(300)
+	for _, i := range []int{0, 63, 64, 128, 255, 299} {
+		a.Set(i)
+	}
+	for _, i := range []int{63, 64, 200, 299} {
+		b.Set(i)
+	}
+	var got []int
+	a.AndForEach(b, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := a.And(b).Slice()
+	if len(got) != len(want) {
+		t.Fatalf("AndForEach got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AndForEach got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	a.AndForEach(b, func(int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+func TestQuickAndWithMatchesAnd(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, i := range xs {
+			a.Set(int(i))
+		}
+		for _, i := range ys {
+			b.Set(int(i))
+		}
+		want := a.And(b)
+		inPlace := a.Clone().AndWith(b)
+		if inPlace.Count() != want.Count() {
+			return false
+		}
+		iter := 0
+		a.AndForEach(b, func(int) bool { iter++; return true })
+		return iter == want.Count() &&
+			a.Intersects(b) == (want.Count() > 0) &&
+			a.AndCount(b) == want.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -265,21 +265,32 @@ func (b *Interface) resolve(sel Selection) *bitset.Set {
 
 // resolveUncached intersects the posting lists for the selection: facet
 // terms AND keyword matches AND the date-range run of the byDate order.
+// The accumulator materializes on the first constraint and every later
+// one intersects it in place (bitset.AndWith), so a k-constraint
+// selection costs one set allocation rather than k.
 func (b *Interface) resolveUncached(sel Selection) *bitset.Set {
-	acc := b.all
+	var acc *bitset.Set // nil until the first constraint; b.all is never mutated
 	for _, t := range sel.Terms {
 		s, ok := b.docSets[t]
 		if !ok {
 			return bitset.New(b.corpus.Len())
 		}
-		acc = acc.And(s)
+		if acc == nil {
+			acc = b.all.And(s)
+		} else {
+			acc.AndWith(s)
+		}
 	}
 	if sel.Query != "" {
 		qs := bitset.New(b.corpus.Len())
 		for _, h := range b.index.SearchAll(sel.Query, b.corpus.Len()) {
 			qs.Set(int(h.Doc))
 		}
-		acc = acc.And(qs)
+		if acc == nil {
+			acc = qs.AndWith(b.all)
+		} else {
+			acc.AndWith(qs)
+		}
 	}
 	if !sel.From.IsZero() || !sel.To.IsZero() {
 		ds := bitset.New(b.corpus.Len())
@@ -287,9 +298,13 @@ func (b *Interface) resolveUncached(sel Selection) *bitset.Set {
 		for _, i := range b.byDate[lo:hi] {
 			ds.Set(int(i))
 		}
-		acc = acc.And(ds)
+		if acc == nil {
+			acc = ds.AndWith(b.all)
+		} else {
+			acc.AndWith(ds)
+		}
 	}
-	if acc == b.all {
+	if acc == nil {
 		acc = b.all.Clone()
 	}
 	return acc

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/textdb"
+)
+
+// benchScoringTables builds prebuilt DF tables with a skewed candidate
+// population: every term appears in the original database, a subset
+// gains contextual occurrences (the only ones AnalyzeTables scores).
+func benchScoringTables(nTerms int) (*textdb.Dictionary, *textdb.DFTable, *textdb.DFTable, map[textdb.TermID]bool) {
+	dict := textdb.NewDictionary()
+	dfD := textdb.NewDFTable(dict)
+	dfC := textdb.NewDFTable(dict)
+	ctxSet := map[textdb.TermID]bool{}
+	row := make([]textdb.TermID, 1)
+	for i := 0; i < nTerms; i++ {
+		id := dict.Intern(fmt.Sprintf("term%05d", i))
+		row[0] = id
+		base := 1 + i%32
+		for k := 0; k < base; k++ {
+			dfD.AddDoc(row)
+			dfC.AddDoc(row)
+		}
+		if gain := i % 7; gain > 0 {
+			for k := 0; k < gain; k++ {
+				dfC.AddDoc(row)
+			}
+			ctxSet[id] = true
+		}
+	}
+	return dict, dfD, dfC, ctxSet
+}
+
+// BenchmarkCandidateScoring measures the Step-3 candidate scoring sweep
+// (shift tests + log-likelihood ranking) over prebuilt tables — the
+// per-epoch hot path of live ingestion, which calls AnalyzeTables on
+// every rebuild.
+func BenchmarkCandidateScoring(b *testing.B) {
+	dict, dfD, dfC, ctxSet := benchScoringTables(2000)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := AnalyzeTables(dict, dfD, dfC, ctxSet, 4096, 100, AnalyzeOptions{Workers: workers})
+				if len(res.Facets) == 0 {
+					b.Fatal("scoring produced no facets")
+				}
+			}
+		})
+	}
+}
+
+// TestExpandDocTermsAppendAllocs pins the document-expansion hot path at
+// zero steady-state allocations: with a warm buffer and scratch map, and
+// context terms already interned, expanding a document must not allocate.
+func TestExpandDocTermsAppendAllocs(t *testing.T) {
+	dict := textdb.NewDictionary()
+	var orig []textdb.TermID
+	for i := 0; i < 16; i++ {
+		orig = append(orig, dict.Intern(fmt.Sprintf("word%d", i)))
+	}
+	context := make([]string, 8)
+	for i := range context {
+		context[i] = fmt.Sprintf("context%d", i)
+		dict.Intern(context[i])
+	}
+	scratch := map[textdb.TermID]bool{}
+	ctxSet := map[textdb.TermID]bool{}
+	buf := make([]textdb.TermID, 0, len(orig)+len(context))
+	buf = ExpandDocTermsAppend(buf[:0], dict, orig, context, scratch, ctxSet) // warm
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = ExpandDocTermsAppend(buf[:0], dict, orig, context, scratch, ctxSet)
+	}); allocs > 0 {
+		t.Errorf("steady-state ExpandDocTermsAppend allocates %v times per run, want 0", allocs)
+	}
+	if len(buf) != len(orig)+len(context) {
+		t.Fatalf("expanded row has %d terms, want %d", len(buf), len(orig)+len(context))
+	}
+}

@@ -510,27 +510,36 @@ type AnalyzeOptions struct {
 // contextualized DF tables through this one helper, so the two always
 // agree on what C(D) contains.
 func ExpandDocTerms(dict *textdb.Dictionary, orig []textdb.TermID, context []string, scratch map[textdb.TermID]bool, ctxSet map[textdb.TermID]bool) []textdb.TermID {
+	return ExpandDocTermsAppend(make([]textdb.TermID, 0, len(orig)+len(context)), dict, orig, context, scratch, ctxSet)
+}
+
+// ExpandDocTermsAppend is ExpandDocTerms writing into dst (appended to
+// and returned like append). Callers expanding many documents pass the
+// previous row's buffer as dst[:0] so the per-document row costs zero
+// allocations once the buffer and scratch map reach steady-state size —
+// this is the hot path of both the batch analysis (AnalyzeWith) and live
+// ingestion.
+func ExpandDocTermsAppend(dst []textdb.TermID, dict *textdb.Dictionary, orig []textdb.TermID, context []string, scratch map[textdb.TermID]bool, ctxSet map[textdb.TermID]bool) []textdb.TermID {
 	if scratch == nil {
 		scratch = make(map[textdb.TermID]bool, len(orig)+len(context))
 	} else {
 		clear(scratch)
 	}
-	merged := make([]textdb.TermID, 0, len(orig)+len(context))
 	for _, id := range orig {
 		scratch[id] = true
-		merged = append(merged, id)
+		dst = append(dst, id)
 	}
 	for _, c := range context {
 		id := dict.Intern(c)
 		if !scratch[id] {
 			scratch[id] = true
-			merged = append(merged, id)
+			dst = append(dst, id)
 			if ctxSet != nil {
 				ctxSet[id] = true
 			}
 		}
 	}
-	return merged
+	return dst
 }
 
 // ContextVotes returns, per document, how many distinct important terms
@@ -590,9 +599,11 @@ func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts Analy
 		dfC := textdb.NewDFTable(dict)
 		ctxTermSet := map[textdb.TermID]bool{}
 		scratch := map[textdb.TermID]bool{}
+		var buf []textdb.TermID
 		for i := 0; i < n; i++ {
 			orig := corpus.DocTerms(textdb.DocID(i))
-			dfC.AddDoc(ExpandDocTerms(dict, orig, context[i], scratch, ctxTermSet))
+			buf = ExpandDocTermsAppend(buf[:0], dict, orig, context[i], scratch, ctxTermSet)
+			dfC.AddDoc(buf)
 		}
 		return AnalyzeTables(dict, dfD, dfC, ctxTermSet, n, topK, opts)
 	}
@@ -603,6 +614,7 @@ func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts Analy
 		dfD, dfC *textdb.DFTable
 		ctxSet   map[textdb.TermID]bool
 		scratch  map[textdb.TermID]bool
+		buf      []textdb.TermID
 	}
 	deltas := make([]*delta, workers)
 	for w := range deltas {
@@ -617,7 +629,8 @@ func AnalyzeWith(corpus *textdb.Corpus, context [][]string, topK int, opts Analy
 		d := deltas[w]
 		orig := corpus.DocTerms(textdb.DocID(i))
 		d.dfD.AddDoc(orig)
-		d.dfC.AddDoc(ExpandDocTerms(dict, orig, context[i], d.scratch, d.ctxSet))
+		d.buf = ExpandDocTermsAppend(d.buf[:0], dict, orig, context[i], d.scratch, d.ctxSet)
+		d.dfC.AddDoc(d.buf)
 	})
 	dfD, dfC := textdb.NewDFTable(dict), textdb.NewDFTable(dict)
 	ctxTermSet := map[textdb.TermID]bool{}

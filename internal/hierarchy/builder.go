@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/bitset"
+	"repro/internal/obsv"
 )
 
 // Builder constructs a facet hierarchy over extracted terms. terms is the
@@ -55,6 +56,18 @@ type BuildConfig struct {
 	// worker pool. <= 1 (the zero value) runs sequentially; the forest
 	// is identical for every worker count.
 	Workers int
+	// Metrics, when set, receives the sweep's pair-pruning counters —
+	// hierarchy.pairs.{candidate,evaluated,skipped} and the
+	// hierarchy.sweep.terms gauge (see pairCounts). nil disables
+	// instrumentation.
+	Metrics *obsv.Registry
+
+	// denseSweep forces the pre-pruning all-pairs sweep. It exists only
+	// so the differential tests (TestPrunedSweepEquivalence and the
+	// TestBuilderInvariants extension) can prove the posting-list-pruned
+	// sweeps byte-identical to the dense reference; it is unexported so
+	// external callers always get the pruned path.
+	denseSweep bool
 
 	// Evidence holds the evidence-combination builder's options.
 	Evidence EvidenceOptions

@@ -167,6 +167,22 @@ func TestBuilderInvariants(t *testing.T) {
 				t.Errorf("%s: Workers=8 forest differs from Workers=1:\n--- w1 ---\n%s\n--- w8 ---\n%s", name, sequential, got)
 			}
 
+			// Pruned-sweep equivalence: the posting-list-pruned sweep
+			// (the default) must render the same forest as the dense
+			// all-pairs reference. Registered builders inherit this
+			// check, so a new strategy cannot ship a pruning shortcut
+			// that silently drops pairs. (TestPrunedSweepEquivalence
+			// repeats this on a larger skewed corpus.)
+			denseCfg := fixtureConfig(1)
+			denseCfg.denseSweep = true
+			denseForest, err := b.Build(context.Background(), terms, docTerms, denseCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := FormatTree(denseForest); got != sequential {
+				t.Errorf("%s: dense reference sweep differs from pruned:\n--- pruned ---\n%s\n--- dense ---\n%s", name, sequential, got)
+			}
+
 			// A canceled context aborts the build with ctx's error, never a
 			// partial forest.
 			canceled, cancel := context.WithCancel(context.Background())

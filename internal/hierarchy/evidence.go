@@ -116,22 +116,48 @@ func (evidenceBuilder) Build(ctx context.Context, terms []string, docTerms [][]s
 	st := newTermStats(terms, docTerms, cfg.MinDF)
 	uniq, sets, df, alive := st.uniq, st.sets, st.df, st.alive
 
+	// Pruning gate. A pair with empty posting-list intersection scores
+	// at most maxZeroCoScore — the external sources' full endorsement
+	// with zero co-occurrence evidence — so when the attachment
+	// threshold exceeds that ceiling, zero-co pairs can neither reach
+	// the threshold nor displace a candidate that does, and the sweep
+	// can run over the pairIndex candidates alone. When the threshold
+	// sits at or below the ceiling (or the caller forces the dense
+	// reference), taxonomy evidence alone can attach terms that never
+	// co-occur and the sweep must stay dense for correctness.
+	maxZeroCoScore := 0.0
+	for i := range opts.Sources {
+		if w := weight(i); w > 0 {
+			maxZeroCoScore += w
+		}
+	}
+	maxZeroCoScore /= totalWeight
+	pruned := !cfg.denseSweep && threshold > maxZeroCoScore
+
 	// As in BuildSubsumption, every term's best parent is computed
 	// independently, so the pairwise evidence combination shards across
 	// workers into per-term slots merged deterministically afterwards.
+	// The best-candidate tie-break (max score, then lexicographically
+	// smallest term) is a total order, so the pruned sweep's different
+	// visit order cannot change the winner.
 	parents := make([]int, len(alive))
-	err := parallel.For(ctx, len(alive), cfg.Workers, func(_, yi int) {
+	var ix *pairIndex
+	var scratches []*pairScratch
+	var counts []pairCounts
+	if pruned {
+		ix = newPairIndex(st)
+		nw := sweepWorkers(cfg.Workers)
+		scratches = make([]*pairScratch, nw)
+		counts = make([]pairCounts, nw)
+	}
+	err := parallel.For(ctx, len(alive), cfg.Workers, func(w, yi int) {
 		y := alive[yi]
 		bestScore := 0.0
 		bestIdx := -1
-		for _, x := range alive {
-			if x == y {
-				continue
-			}
-			co := sets[x].AndCount(sets[y])
+		consider := func(x, co int) {
 			pyx := float64(co) / float64(df[x])
 			if pyx >= 1 {
-				continue
+				return
 			}
 			score := opts.SubsumptionWeight * float64(co) / float64(df[y])
 			for i, src := range opts.Sources {
@@ -143,6 +169,28 @@ func (evidenceBuilder) Build(ctx context.Context, terms []string, docTerms [][]s
 				bestIdx = x
 			}
 		}
+		if pruned {
+			sc := scratches[w]
+			if sc == nil {
+				sc = ix.newScratch()
+				scratches[w] = sc
+			}
+			yielded := int64(0)
+			ix.forCandidates(yi, sc, 1, func(xi, co int) {
+				yielded++
+				consider(alive[xi], co)
+			})
+			counts[w].candidate += yielded
+			counts[w].evaluated += yielded
+			counts[w].skipped += int64(len(alive)-1) - yielded
+		} else {
+			for _, x := range alive {
+				if x == y {
+					continue
+				}
+				consider(x, sets[x].AndCount(sets[y]))
+			}
+		}
 		parents[yi] = -1
 		if bestIdx >= 0 && bestScore >= threshold {
 			parents[yi] = bestIdx
@@ -150,6 +198,9 @@ func (evidenceBuilder) Build(ctx context.Context, terms []string, docTerms [][]s
 	})
 	if err != nil {
 		return nil, err
+	}
+	if pruned {
+		publishPairCounts(cfg.Metrics, counts, len(alive))
 	}
 	parentOf := map[int]int{}
 	for yi, y := range alive {

@@ -18,6 +18,7 @@ package hierarchy
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/parallel"
 )
@@ -126,40 +127,92 @@ func (subsumptionBuilder) Build(ctx context.Context, terms []string, docTerms []
 	// Sanderson & Croft's directionality P(x|y) > P(y|x); enforcing it on
 	// document frequencies keeps the forest layered even when the
 	// co-occurrence estimates saturate.
+	//
 	// Each term's parent is selected independently from the frozen
-	// bitsets, so the O(terms²) AndCount sweep shards across workers;
-	// every worker writes only its own terms' slots, and the slot array
-	// is folded into parentOf in deterministic order afterwards.
+	// bitsets, so the sweep shards across workers; every worker writes
+	// only its own terms' slots, and the slot array is folded into
+	// parentOf in deterministic order afterwards. The default sweep is
+	// pruned: P(x|y) ≥ θ > 0 needs co-occurrence, so only the candidate
+	// partners the pairIndex yields can subsume y and everything else is
+	// provably skippable. The dense all-pairs reference survives behind
+	// cfg.denseSweep for the differential tests.
 	parents := make([]int, len(alive))
 	maxChildDF := int(cfg.MaxChildDFFraction * float64(nDocs))
-	err := parallel.For(ctx, len(alive), cfg.Workers, func(_, yi int) {
+	var ix *pairIndex
+	var scratches []*pairScratch
+	var counts []pairCounts
+	if !cfg.denseSweep {
+		ix = newPairIndex(st)
+		nw := sweepWorkers(cfg.Workers)
+		scratches = make([]*pairScratch, nw)
+		counts = make([]pairCounts, nw)
+	}
+	err := parallel.For(ctx, len(alive), cfg.Workers, func(w, yi int) {
 		parents[yi] = -1
 		y := alive[yi]
-		if nDocs > 0 && df[y] > maxChildDF {
-			return // saturated term: keep as a facet-dimension root
-		}
-		var best *parentCand
-		for _, x := range alive {
-			if x == y || df[x] <= df[y] {
-				continue
+		// Terms rejected by the cheap structural guards skip their whole
+		// dense row — count it so candidate+skipped always reconstructs
+		// the all-pairs iteration space.
+		if df[y] == 0 { // degenerate posting list: nothing co-occurs with y
+			if !cfg.denseSweep {
+				counts[w].skipped += int64(len(alive) - 1)
 			}
-			co := sets[x].AndCount(sets[y])
+			return
+		}
+		if nDocs > 0 && df[y] > maxChildDF { // saturated term: keep as a facet-dimension root
+			if !cfg.denseSweep {
+				counts[w].skipped += int64(len(alive) - 1)
+			}
+			return
+		}
+		var best parentCand
+		have := false
+		consider := func(x, co int) {
 			pxy := float64(co) / float64(df[y])
 			pyx := float64(co) / float64(df[x])
 			if pxy < cfg.Threshold || pyx >= 1 {
-				continue
+				return
 			}
-			cand := &parentCand{idx: x, pxy: pxy, dfx: df[x], term: uniq[x]}
-			if best == nil || moreSpecific(cand, best) {
-				best = cand
+			cand := parentCand{idx: x, pxy: pxy, dfx: df[x], term: uniq[x]}
+			if !have || moreSpecific(&cand, &best) {
+				best, have = cand, true
 			}
 		}
-		if best != nil {
+		if cfg.denseSweep {
+			for _, x := range alive {
+				if x == y || df[x] <= df[y] {
+					continue
+				}
+				consider(x, sets[x].AndCount(sets[y]))
+			}
+		} else {
+			sc := scratches[w]
+			if sc == nil {
+				sc = ix.newScratch()
+				scratches[w] = sc
+			}
+			yielded := int64(0)
+			ix.forCandidates(yi, sc, thresholdMinCo(cfg.Threshold, df[y]), func(xi, co int) {
+				yielded++
+				x := alive[xi]
+				if df[x] <= df[y] {
+					return
+				}
+				counts[w].evaluated++
+				consider(x, co)
+			})
+			counts[w].candidate += yielded
+			counts[w].skipped += int64(len(alive)-1) - yielded
+		}
+		if have {
 			parents[yi] = best.idx
 		}
 	})
 	if err != nil {
 		return nil, err
+	}
+	if !cfg.denseSweep {
+		publishPairCounts(cfg.Metrics, counts, len(alive))
 	}
 	parentOf := make(map[int]int)
 	for yi, y := range alive {
@@ -168,6 +221,27 @@ func (subsumptionBuilder) Build(ctx context.Context, terms []string, docTerms []
 		}
 	}
 	return assembleForest(st, parentOf), nil
+}
+
+// thresholdMinCo returns the smallest co-occurrence count whose
+// P(x|y) = co/dfY reaches threshold under float64 arithmetic — the
+// generator floor that lets the sweep skip pairs the P(x|y) ≥ θ test
+// would reject anyway. The ceil estimate is corrected against the exact
+// float predicate the scoring code uses (0.8·5 rounds above 4 in
+// float64, yet 4.0/5.0 == 0.8), so the pruned sweep never drops a pair
+// the dense reference would accept.
+func thresholdMinCo(threshold float64, dfY int) int {
+	c := int(math.Ceil(threshold * float64(dfY)))
+	if c < 1 {
+		c = 1
+	}
+	for c > 1 && float64(c-1)/float64(dfY) >= threshold {
+		c--
+	}
+	for float64(c)/float64(dfY) < threshold {
+		c++
+	}
+	return c
 }
 
 // parentCand is a candidate subsumer for a term.

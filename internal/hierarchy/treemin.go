@@ -102,7 +102,10 @@ func BuildTreeMinimization(terms []string, chains ChainProvider) *Forest {
 // treeminBuilder is the registered "treemin" strategy: it adapts
 // BuildTreeMinimization to the Builder contract using cfg.Chains as the
 // chain provider. docTerms and the co-occurrence knobs are ignored — the
-// hierarchy comes entirely from the taxonomy chains.
+// hierarchy comes entirely from the taxonomy chains, so there is no
+// pairwise co-occurrence sweep to prune: the candidate-pair generator
+// (pairIndex) and the hierarchy.pairs.* counters do not apply here, and
+// cfg.denseSweep is a no-op. Cost is O(Σ chain length), not O(terms²).
 type treeminBuilder struct{}
 
 // Name implements Builder.

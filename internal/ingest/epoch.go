@@ -73,6 +73,7 @@ func (ing *Ingester) runEpoch() error {
 	forest, err := builder.Build(context.Background(), terms, docTerms, hierarchy.BuildConfig{
 		Threshold: ing.cfg.SubsumptionThreshold,
 		Workers:   ing.cfg.Workers,
+		Metrics:   ing.cfg.Metrics, // hierarchy.pairs.* pruning counters per epoch; nil disables
 	})
 	if err != nil {
 		return err

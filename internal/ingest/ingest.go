@@ -149,6 +149,12 @@ type Ingester struct {
 	ctxTerms    map[textdb.TermID]bool
 	pending     []*textdb.Document // accepted but not yet persisted
 	unpublished int                // accepted but not yet in the served interface
+	// Reusable expansion state for admit (guarded by mu like the tables
+	// it feeds): documents arrive one at a time under the lock, so one
+	// scratch map and one row buffer serve every admission allocation-free
+	// at steady state.
+	expandScratch map[textdb.TermID]bool
+	expandBuf     []textdb.TermID
 
 	// Lifecycle. submitMu serializes Submit against Close so the queue is
 	// never written after it is closed.
@@ -204,15 +210,16 @@ func New(cfg Config) (*Ingester, error) {
 	}
 	corpus := textdb.NewCorpus()
 	ing := &Ingester{
-		cfg:      cfg,
-		cache:    newLRUCache(cfg.CacheSize),
-		queue:    make(chan *textdb.Document, cfg.QueueSize),
-		corpus:   corpus,
-		dfD:      textdb.NewDFTable(corpus.Dict()),
-		dfC:      textdb.NewDFTable(corpus.Dict()),
-		ctxTerms: map[textdb.TermID]bool{},
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+		cfg:           cfg,
+		cache:         newLRUCache(cfg.CacheSize),
+		queue:         make(chan *textdb.Document, cfg.QueueSize),
+		corpus:        corpus,
+		dfD:           textdb.NewDFTable(corpus.Dict()),
+		dfC:           textdb.NewDFTable(corpus.Dict()),
+		ctxTerms:      map[textdb.TermID]bool{},
+		expandScratch: map[textdb.TermID]bool{},
+		kick:          make(chan struct{}, 1),
+		stop:          make(chan struct{}),
 	}
 	ing.extractors = make([]core.ExtractorErr, len(cfg.Extractors))
 	for i, ex := range cfg.Extractors {
@@ -431,7 +438,8 @@ func (ing *Ingester) admit(doc *textdb.Document, a analysis, persist bool) {
 	id := ing.corpus.Add(doc)
 	orig := ing.corpus.DocTerms(id)
 	ing.dfD.AddDoc(orig)
-	ing.dfC.AddDoc(core.ExpandDocTerms(ing.corpus.Dict(), orig, a.ctx, nil, ing.ctxTerms))
+	ing.expandBuf = core.ExpandDocTermsAppend(ing.expandBuf[:0], ing.corpus.Dict(), orig, a.ctx, ing.expandScratch, ing.ctxTerms)
+	ing.dfC.AddDoc(ing.expandBuf)
 	ing.important = append(ing.important, a.important)
 	ing.votes = append(ing.votes, a.votes)
 	if persist && ing.cfg.Store != nil {

@@ -29,10 +29,29 @@ func (t *DFTable) AddDoc(termIDs []TermID) {
 	}
 }
 
+// ensure grows the count array to cover id. Growth doubles capacity so
+// a stream of rising term IDs costs amortized O(1) allocations, and
+// reslicing into existing capacity allocates nothing (the re-exposed
+// region is zeroed explicitly rather than trusting its history — the
+// table never shrinks today, but a stale nonzero count would corrupt
+// frequencies silently).
 func (t *DFTable) ensure(id TermID) {
-	for int(id) >= len(t.df) {
-		t.df = append(t.df, make([]int32, int(id)+1-len(t.df))...)
+	need := int(id) + 1
+	if need <= len(t.df) {
+		return
 	}
+	if need <= cap(t.df) {
+		clear(t.df[len(t.df):need])
+		t.df = t.df[:need]
+		return
+	}
+	newCap := 2 * cap(t.df)
+	if newCap < need {
+		newCap = need
+	}
+	grown := make([]int32, need, newCap)
+	copy(grown, t.df)
+	t.df = grown
 }
 
 // Clone returns an independent copy of the table (sharing the

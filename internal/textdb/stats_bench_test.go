@@ -1,0 +1,93 @@
+package textdb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDeltas builds the per-worker delta tables the parallel pipeline
+// merges at the end of an epoch: overlapping term ranges so Merge hits
+// both the add-into-existing and the grow paths.
+func benchDeltas(dict *Dictionary, workers, nTerms int) []*DFTable {
+	deltas := make([]*DFTable, workers)
+	row := make([]TermID, 0, 64)
+	for w := range deltas {
+		d := NewDFTable(dict)
+		for doc := 0; doc < 32; doc++ {
+			row = row[:0]
+			start := (w*311 + doc*67) % nTerms
+			for k := 0; k < 64; k++ {
+				row = append(row, TermID((start+k)%nTerms))
+			}
+			d.AddDoc(row)
+		}
+		deltas[w] = d
+	}
+	return deltas
+}
+
+// BenchmarkDFTableMerge measures the epoch-boundary fold of per-worker
+// DF deltas into the master table — the textdb hot path the ensure
+// rewrite targets (amortized-doubling growth, zero allocations once the
+// table covers the dictionary).
+func BenchmarkDFTableMerge(b *testing.B) {
+	dict := NewDictionary()
+	const nTerms = 4096
+	for i := 0; i < nTerms; i++ {
+		dict.Intern(fmt.Sprintf("term%05d", i))
+	}
+	deltas := benchDeltas(dict, 8, nTerms)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := NewDFTable(dict)
+		for _, d := range deltas {
+			total.Merge(d)
+		}
+		if total.NumDocs() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}
+
+// TestDFTableMergeAllocs pins the steady-state allocation ceiling: once
+// the master table covers the incoming ID range, Merge and AddDoc must
+// not allocate at all.
+func TestDFTableMergeAllocs(t *testing.T) {
+	dict := NewDictionary()
+	ids := make([]TermID, 512)
+	for i := range ids {
+		ids[i] = TermID(i)
+	}
+	delta := NewDFTable(dict)
+	delta.AddDoc(ids)
+	total := NewDFTable(dict)
+	total.Merge(delta) // first merge grows the count array
+	if allocs := testing.AllocsPerRun(100, func() { total.Merge(delta) }); allocs > 0 {
+		t.Errorf("steady-state Merge allocates %v times per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { total.AddDoc(ids) }); allocs > 0 {
+		t.Errorf("steady-state AddDoc allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestDFTableEnsureGrowth exercises the doubling growth path one ID at a
+// time: counts must survive every growth step and the re-exposed region
+// must read as zero.
+func TestDFTableEnsureGrowth(t *testing.T) {
+	table := NewDFTable(NewDictionary())
+	for id := 0; id < 1000; id++ {
+		table.AddDoc([]TermID{TermID(id)})
+	}
+	for id := 0; id < 1000; id++ {
+		if got := table.DF(TermID(id)); got != 1 {
+			t.Fatalf("DF(%d) = %d after incremental growth, want 1", id, got)
+		}
+	}
+	if got := table.DF(TermID(5000)); got != 0 {
+		t.Fatalf("DF beyond the table = %d, want 0", got)
+	}
+	if table.NumDocs() != 1000 {
+		t.Fatalf("NumDocs = %d, want 1000", table.NumDocs())
+	}
+}
