@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|hierarchybakeoff|faultreport]
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|hierarchybakeoff|faultreport|overloadreport]
 //	            [-full] [-docs N] [-seed N] [-workers N] [-hierarchy NAME] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, hierarchybakeoff, faultreport)")
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, hierarchybakeoff, faultreport, overloadreport)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
 	docs := flag.Int("docs", 0, "force every dataset profile to this many documents (0 = profile defaults; used by the CI bake-off smoke)")
 	seed := flag.Uint64("seed", 42, "master seed")
@@ -289,6 +289,12 @@ func runAll(w io.Writer, cfg runConfig) error {
 	if want("faultreport") {
 		section("Fault report — injected error rate vs. output stability and retry cost")
 		if err := faultReport(w, seed, workers); err != nil {
+			return err
+		}
+	}
+	if want("overloadreport") {
+		section("Overload report — goodput and admitted-request latency under 1x/3x/10x load")
+		if err := overloadReport(w, seed); err != nil {
 			return err
 		}
 	}

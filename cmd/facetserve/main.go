@@ -64,10 +64,35 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ingest"
 	"repro/internal/obsv"
+	"repro/internal/overload"
 	"repro/internal/serve"
 	"repro/internal/snapshot"
 	"repro/internal/textdb"
 )
+
+// hardening carries the http.Server protection knobs: without explicit
+// timeouts a single slow-loris client (or a stalled read) holds a
+// connection and its goroutine forever, which is exactly the unbounded
+// pile-up the overload work exists to prevent.
+type hardening struct {
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+	maxHeaderBytes    int
+}
+
+// server builds a hardened http.Server around handler.
+func (h hardening) server(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: h.readHeaderTimeout,
+		ReadTimeout:       h.readTimeout,
+		WriteTimeout:      h.writeTimeout,
+		IdleTimeout:       h.idleTimeout,
+		MaxHeaderBytes:    h.maxHeaderBytes,
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -93,6 +118,15 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "coordinator: per-shard fan-out deadline (hedged retry fires at a quarter of it)")
 	pollInterval := flag.Duration("poll-interval", 2*time.Second, "replica: snapshot poll cadence")
 	maxLag := flag.Uint64("max-lag", 1, "replica: replication lag in epochs beyond which readyz fails")
+	overloadOn := flag.Bool("overload", true, "adaptive admission control: per-class concurrency limits (AIMD on observed latency) shedding excess load as 429/503 + Retry-After")
+	overloadLimit := flag.Int("overload-limit", 0, "initial concurrency limit per admission class (0 = per-class defaults: read 64, expensive 8, write 16)")
+	overloadQueue := flag.Int("overload-queue", 0, "bounded admission wait-queue length per class (0 = per-class defaults; queued requests shed when their deadline budget fires)")
+	hard := hardening{}
+	flag.DurationVar(&hard.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (closes slowloris connections)")
+	flag.DurationVar(&hard.readTimeout, "read-timeout", 30*time.Second, "http.Server ReadTimeout (full request including body)")
+	flag.DurationVar(&hard.writeTimeout, "write-timeout", 60*time.Second, "http.Server WriteTimeout (full response)")
+	flag.DurationVar(&hard.idleTimeout, "idle-timeout", 120*time.Second, "http.Server IdleTimeout (keep-alive connections)")
+	flag.IntVar(&hard.maxHeaderBytes, "max-header-bytes", 1<<20, "http.Server MaxHeaderBytes")
 	flag.Parse()
 
 	// One registry spans every layer: HTTP routes, the ingester, and the
@@ -103,6 +137,26 @@ func main() {
 		serveOpts = append(serveOpts, serve.WithAccessLog(os.Stderr))
 	}
 
+	// Admission control: one governor per process, shared by every route
+	// class. -overload-limit / -overload-queue override the starting point
+	// uniformly; the AIMD loop re-learns the real capacity either way.
+	var gov *overload.Governor
+	if *overloadOn {
+		gcfg := overload.GovernorConfig{Metrics: metrics}
+		if *overloadLimit > 0 {
+			gcfg.Read.InitialLimit = *overloadLimit
+			gcfg.Expensive.InitialLimit = *overloadLimit
+			gcfg.Write.InitialLimit = *overloadLimit
+		}
+		if *overloadQueue > 0 {
+			gcfg.Read.Queue = *overloadQueue
+			gcfg.Expensive.Queue = *overloadQueue
+			gcfg.Write.Queue = *overloadQueue
+		}
+		gov = overload.NewGovernor(gcfg)
+		serveOpts = append(serveOpts, serve.WithOverload(gov))
+	}
+
 	// Cluster roles that never build a corpus dispatch immediately; shard
 	// and leader fall through to the normal build paths and adjust what
 	// gets served at the end.
@@ -111,10 +165,10 @@ func main() {
 	switch *role {
 	case "", "shard", "leader":
 	case "coordinator":
-		runCoordinator(*addr, *peersRaw, *shardTimeout, metrics)
+		runCoordinator(*addr, *peersRaw, *shardTimeout, metrics, gov, hard)
 		return
 	case "replica":
-		runReplica(*addr, *peersRaw, *pollInterval, *maxLag, metrics, serveOpts, *pprofOn)
+		runReplica(*addr, *peersRaw, *pollInterval, *maxLag, metrics, serveOpts, *pprofOn, hard)
 		return
 	default:
 		log.Fatalf("unknown -role %q (want shard, coordinator, leader, or replica)", *role)
@@ -136,7 +190,7 @@ func main() {
 			title := fmt.Sprintf("%s archive — %d stories, %d facet terms (snapshot)", snap.Meta.Profile, len(snap.Docs), len(snap.Facets))
 			log.Printf("warm start: %s (%d docs, %d posting lists, epoch %d); pipeline skipped", *snapPath, len(snap.Docs), len(snap.Postings), snap.Meta.Epoch)
 			go validateSnapshot(snap, *snapPath, metrics)
-			serveFrozen(iface, title, *addr, serveOpts, *pprofOn, cl)
+			serveFrozen(iface, title, *addr, serveOpts, *pprofOn, cl, hard)
 			return
 		} else if !errors.Is(err, os.ErrNotExist) {
 			log.Printf("snapshot %s unusable (%v); rebuilding from the pipeline", *snapPath, err)
@@ -190,7 +244,7 @@ func main() {
 	}
 
 	if !*live {
-		serveBatch(sys, *addr, *profile, *seed, *snapPath, metrics, serveOpts, *pprofOn, cl)
+		serveBatch(sys, *addr, *profile, *seed, *snapPath, metrics, serveOpts, *pprofOn, cl, hard)
 		return
 	}
 
@@ -273,7 +327,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := hard.server(srv)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// ctx cancels the instant the signal lands, so main must wait on this
@@ -316,23 +370,23 @@ type clusterOpts struct {
 // serveForever listens explicitly and logs the bound address before
 // serving — with -addr :0 (tests, multi-process smoke runs) the log line
 // is how callers learn the real port.
-func serveForever(addr string, h http.Handler) {
+func serveForever(addr string, h http.Handler, hard hardening) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("listening on http://%s", ln.Addr())
-	log.Fatal(http.Serve(ln, h))
+	log.Fatal(hard.server(h).Serve(ln))
 }
 
 // runCoordinator serves the scatter-gather front end: no corpus, no
 // pipeline, just fan-out over the shard peers.
-func runCoordinator(addr, peersRaw string, timeout time.Duration, metrics *obsv.Registry) {
+func runCoordinator(addr, peersRaw string, timeout time.Duration, metrics *obsv.Registry, gov *overload.Governor, hard hardening) {
 	peers, err := cluster.ParsePeers(peersRaw)
 	if err != nil {
 		log.Fatalf("%v (coordinator needs -peers=name=url,name=url)", err)
 	}
-	coord, err := cluster.NewCoordinator(peers, cluster.Config{Timeout: timeout, Metrics: metrics})
+	coord, err := cluster.NewCoordinator(peers, cluster.Config{Timeout: timeout, Metrics: metrics, Governor: gov})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -341,13 +395,13 @@ func runCoordinator(addr, peersRaw string, timeout time.Duration, metrics *obsv.
 		names[i] = p.Name
 	}
 	log.Printf("coordinator over %d shards: %s", len(peers), strings.Join(names, ", "))
-	serveForever(addr, coord)
+	serveForever(addr, coord, hard)
 }
 
 // runReplica pulls the leader's snapshots: block until the first epoch
 // is applied, then serve it and keep polling in the background. The
 // replica holds no durable state — a restart just re-syncs.
-func runReplica(addr, leaderURL string, interval time.Duration, maxLag uint64, metrics *obsv.Registry, opts []serve.Option, pprofOn bool) {
+func runReplica(addr, leaderURL string, interval time.Duration, maxLag uint64, metrics *obsv.Registry, opts []serve.Option, pprofOn bool, hard hardening) {
 	if leaderURL == "" {
 		log.Fatal("-role=replica needs -peers=<leader base URL>")
 	}
@@ -384,12 +438,12 @@ func runReplica(addr, leaderURL string, interval time.Duration, maxLag uint64, m
 	epoch, _ := rep.AppliedEpoch()
 	log.Printf("replica: serving epoch %d, polling every %v", epoch, interval)
 	go rep.Run(context.Background(), interval)
-	serveForever(addr, srv)
+	serveForever(addr, srv, hard)
 }
 
 // serveBatch is the frozen-corpus mode: run the pipeline once, optionally
 // persist the result as a snapshot, and serve.
-func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath string, metrics *obsv.Registry, opts []serve.Option, pprofOn bool, cl *clusterOpts) {
+func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath string, metrics *obsv.Registry, opts []serve.Option, pprofOn bool, cl *clusterOpts, hard hardening) {
 	log.Printf("extracting facets from %d documents...", sys.Len())
 	res, err := sys.ExtractFacets()
 	if err != nil {
@@ -422,7 +476,7 @@ func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath s
 		}
 	}
 	title := fmt.Sprintf("%s archive — %d stories, %d facet terms", profile, sys.Len(), len(res.Facets))
-	serveFrozen(iface, title, addr, opts, pprofOn, cl)
+	serveFrozen(iface, title, addr, opts, pprofOn, cl, hard)
 }
 
 // serveFrozen serves an already-built interface forever (shared by the
@@ -430,7 +484,7 @@ func serveBatch(sys *facet.System, addr, profile string, seed uint64, snapPath s
 // what exactly goes on the wire: a shard serves its ring partition plus
 // the scatter endpoints, a leader serves everything plus the snapshot
 // shipping endpoint, a plain node just serves.
-func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Option, pprofOn bool, cl *clusterOpts) {
+func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Option, pprofOn bool, cl *clusterOpts, hard hardening) {
 	srv := serve.New(iface, title, opts...)
 	switch cl.role {
 	case "shard":
@@ -462,7 +516,7 @@ func serveFrozen(iface *browse.Interface, title, addr string, opts []serve.Optio
 		srv.EnablePprof()
 	}
 	log.Printf("serving %s", title)
-	serveForever(addr, srv)
+	serveForever(addr, srv, hard)
 }
 
 // validateSnapshot is the warm start's background deep check: recompute

@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/overload"
+	"repro/internal/serve"
+)
+
+// TestCoordinatorShedsSpentBudget: when the caller's deadline budget is
+// already spent, the coordinator sheds BEFORE issuing a single shard
+// sub-request — a well-formed 503 with Retry-After and the overloaded
+// envelope, counted in cluster.budget_shed.
+func TestCoordinatorShedsSpentBudget(t *testing.T) {
+	iface := clusterFixture(t, 60)
+	reg := obsv.NewRegistry()
+	topo := buildTopology(t, iface, Config{Timeout: 5 * time.Second, Metrics: reg})
+
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/facets", nil)
+	ctx, cancel := context.WithDeadline(req.Context(), time.Now().Add(-time.Second))
+	defer cancel()
+	rec := httptest.NewRecorder()
+	topo.coord.ServeHTTP(rec, req.WithContext(ctx))
+
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("missing Retry-After on budget shed")
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != serve.ErrCodeOverloaded {
+		t.Errorf("body %q, want envelope code %q", rec.Body.String(), serve.ErrCodeOverloaded)
+	}
+	if n := reg.Snapshot().Counters["cluster.budget_shed"]; n != 1 {
+		t.Errorf("cluster.budget_shed = %d, want 1", n)
+	}
+}
+
+// TestCoordinatorAdmissionSheds: a Governor on the coordinator applies
+// the same per-class admission control the single node uses — with the
+// read class saturated, scatter-gather routes shed 503 while probes and
+// metrics keep answering.
+func TestCoordinatorAdmissionSheds(t *testing.T) {
+	iface := clusterFixture(t, 60)
+	reg := obsv.NewRegistry()
+	one := overload.Config{InitialLimit: 1, MaxLimit: 1, Queue: -1}
+	gov := overload.NewGovernor(overload.GovernorConfig{Read: one, Expensive: one, Write: one, Metrics: reg})
+	topo := buildTopology(t, iface, Config{Timeout: 5 * time.Second, Metrics: reg, Governor: gov})
+
+	release, err := gov.Acquire(context.Background(), overload.ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := fetchBytes(t, topo.coordSrv.URL, "/api/v1/facets")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("saturated coordinator: status %d, want 503: %s", status, body)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code != serve.ErrCodeOverloaded {
+		t.Errorf("body %q, want envelope code %q", body, serve.ErrCodeOverloaded)
+	}
+	for _, path := range []string{"/api/v1/healthz", "/api/v1/readyz", "/api/v1/metrics"} {
+		if status, _ := fetchBytes(t, topo.coordSrv.URL, path); status != http.StatusOK {
+			t.Errorf("%s during saturation: status %d, want 200", path, status)
+		}
+	}
+	release(0)
+	if status, _ := fetchBytes(t, topo.coordSrv.URL, "/api/v1/facets"); status != http.StatusOK {
+		t.Errorf("post-release status %d, want 200", status)
+	}
+}
+
+// TestBudgetPropagatesToShards: the coordinator re-encodes the caller's
+// REMAINING budget on every scattered sub-request, so each shard sees
+// X-Deadline-Budget no larger than what the client sent.
+func TestBudgetPropagatesToShards(t *testing.T) {
+	iface := clusterFixture(t, 60)
+	names := []string{"shard-a", "shard-b", "shard-c"}
+	ring, err := NewRing(names, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := map[string][]string{}
+	var peers []Peer
+	for _, name := range names {
+		sh, err := BuildShard(iface, ring, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.New(sh.Interface(), name)
+		sh.Register(srv)
+		name := name
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			seen[name] = append(seen[name], r.Header.Get(overload.BudgetHeader))
+			mu.Unlock()
+			srv.ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		peers = append(peers, Peer{Name: name, BaseURL: ts.URL})
+	}
+	coord, err := NewCoordinator(peers, Config{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clientMS = 137
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/facets", nil)
+	req.Header.Set(overload.BudgetHeader, strconv.Itoa(clientMS))
+	rec := httptest.NewRecorder()
+	coord.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, name := range names {
+		if len(seen[name]) == 0 {
+			t.Errorf("shard %s received no sub-request", name)
+			continue
+		}
+		for _, raw := range seen[name] {
+			ms, err := strconv.Atoi(raw)
+			if err != nil {
+				t.Errorf("shard %s got budget %q, want integer milliseconds", name, raw)
+				continue
+			}
+			if ms < 1 || ms > clientMS {
+				t.Errorf("shard %s got budget %dms, want within (0, %d]", name, ms, clientMS)
+			}
+		}
+	}
+}

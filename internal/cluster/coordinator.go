@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/browse"
 	"repro/internal/obsv"
+	"repro/internal/overload"
 	"repro/internal/resilient"
 	"repro/internal/serve"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	Breaker resilient.BreakerConfig
 	// Client issues the shard requests; nil selects http.DefaultClient.
 	Client *http.Client
+	// Governor, when set, applies per-class adaptive admission control
+	// to the coordinator's public routes (reads vs. expensive cross-
+	// tabulations), the same policy internal/serve applies on a single
+	// node. Nil serves unthrottled.
+	Governor *overload.Governor
 	// Metrics, when set, receives cluster.fanout_latency and
 	// cluster.merge_latency histograms, per-shard
 	// cluster.shard.<name>.{errors,hedges} counters and breaker-state
@@ -111,9 +117,10 @@ type Coordinator struct {
 	httpm     *obsv.HTTPMetrics
 	apiRoutes map[string][]string
 
-	fanout   *obsv.Histogram
-	merge    *obsv.Histogram
-	degraded *obsv.Counter
+	fanout     *obsv.Histogram
+	merge      *obsv.Histogram
+	degraded   *obsv.Counter
+	budgetShed *obsv.Counter
 }
 
 // NewCoordinator builds a coordinator over the given shard peers.
@@ -124,10 +131,11 @@ func NewCoordinator(peers []Peer, cfg Config) (*Coordinator, error) {
 	cfg = cfg.withDefaults()
 	seen := map[string]bool{}
 	c := &Coordinator{
-		cfg:      cfg,
-		fanout:   cfg.Metrics.Histogram("cluster.fanout_latency"),
-		merge:    cfg.Metrics.Histogram("cluster.merge_latency"),
-		degraded: cfg.Metrics.Counter("cluster.degraded_responses"),
+		cfg:        cfg,
+		fanout:     cfg.Metrics.Histogram("cluster.fanout_latency"),
+		merge:      cfg.Metrics.Histogram("cluster.merge_latency"),
+		degraded:   cfg.Metrics.Counter("cluster.degraded_responses"),
+		budgetShed: cfg.Metrics.Counter("cluster.budget_shed"),
 	}
 	for _, p := range peers {
 		if p.Name == "" || p.BaseURL == "" {
@@ -158,28 +166,52 @@ func NewCoordinator(peers []Peer, cfg Config) (*Coordinator, error) {
 // buildMux wires the coordinator's routes: the public browse API under
 // /api/v1/ (scatter-gather), plus metrics and probes, with the same
 // unified-envelope fallback for unknown routes the single node uses.
+// Every route passes through the robustness stack internal/serve
+// exports — panic recovery, X-Deadline-Budget parsing, and (when a
+// Governor is configured) per-class admission control; probes and
+// metrics are exempt from admission, exactly like the single node.
 func (c *Coordinator) buildMux() {
 	c.httpm = obsv.NewHTTPMetrics(c.cfg.Metrics)
 	c.mux = http.NewServeMux()
 	c.apiRoutes = map[string][]string{}
-	fallback := c.httpm.Wrap("api_unmatched", http.HandlerFunc(c.handleAPIFallback))
+	instrument := func(class overload.Class, h http.Handler) http.Handler {
+		h = serve.Admission(c.cfg.Governor, class, h)
+		h = serve.BudgetMiddleware(h)
+		return serve.Recovery(c.cfg.Metrics, h)
+	}
+	fallback := c.httpm.Wrap("api_unmatched", instrument("", http.HandlerFunc(c.handleAPIFallback)))
 	c.mux.Handle("/api/", fallback)
 	c.mux.Handle("/api/v1/", fallback)
-	handle := func(path, route string, h http.HandlerFunc) {
-		c.mux.Handle(http.MethodGet+" /api/v1/"+path, c.httpm.Wrap(route, h))
+	handle := func(path, route string, class overload.Class, h http.HandlerFunc) {
+		c.mux.Handle(http.MethodGet+" /api/v1/"+path, c.httpm.Wrap(route, instrument(class, h)))
 		c.apiRoutes[path] = append(c.apiRoutes[path], http.MethodGet)
 	}
-	handle("facets", "facets", c.handleFacets)
-	handle("docs", "docs", c.handleDocs)
-	handle("dates", "dates", c.handleDates)
-	handle("cross", "cross", c.handleCross)
-	handle("metrics", "metrics", func(w http.ResponseWriter, r *http.Request) {
+	handle("facets", "facets", overload.ClassRead, c.handleFacets)
+	handle("docs", "docs", overload.ClassRead, c.handleDocs)
+	handle("dates", "dates", overload.ClassRead, c.handleDates)
+	handle("cross", "cross", overload.ClassExpensive, c.handleCross)
+	handle("metrics", "metrics", "", func(w http.ResponseWriter, r *http.Request) {
 		serve.WriteJSON(w, c.cfg.Metrics.Snapshot())
 	})
-	handle("healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("healthz", "healthz", "", func(w http.ResponseWriter, r *http.Request) {
 		serve.WriteJSON(w, serve.HealthzResponse{Status: "ok"})
 	})
-	handle("readyz", "readyz", c.handleReadyz)
+	handle("readyz", "readyz", "", c.handleReadyz)
+}
+
+// admitBudget enforces deadline propagation at the cheapest possible
+// point: when the caller's budget is already spent, fanning out would
+// buy nothing — every shard reply would arrive past the deadline — so
+// the coordinator sheds before issuing a single sub-request.
+func (c *Coordinator) admitBudget(w http.ResponseWriter, r *http.Request) bool {
+	remaining, ok := serve.RemainingBudget(r.Context())
+	if !ok || remaining > 0 {
+		return true
+	}
+	c.budgetShed.Inc()
+	serve.WriteShed(w, http.StatusServiceUnavailable, 1,
+		fmt.Errorf("deadline budget spent before fan-out"))
+	return false
 }
 
 // ServeHTTP implements http.Handler.
@@ -351,11 +383,24 @@ func (c *Coordinator) fetch(ctx context.Context, sc *shardClient, pathAndQuery s
 	}
 }
 
-// get issues one HTTP attempt against the shard.
+// get issues one HTTP attempt against the shard. When the scattered
+// context carries a deadline — the caller's propagated budget and/or
+// the per-shard timeout, whichever is nearer — the attempt forwards the
+// REMAINING budget in X-Deadline-Budget, so the shard sheds its own
+// work the moment the coordinator would no longer accept the answer.
+// Hedged retries pass through here too: a hedge launched later encodes
+// a smaller remaining budget, charging the hedge against the same
+// allowance instead of granting it a fresh one.
 func (sc *shardClient) get(ctx context.Context, pathAndQuery string) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sc.baseURL+pathAndQuery, nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if remaining, ok := serve.RemainingBudget(ctx); ok {
+		if remaining <= 0 {
+			return nil, 0, context.DeadlineExceeded
+		}
+		req.Header.Set(overload.BudgetHeader, overload.FormatBudget(remaining))
 	}
 	resp, err := sc.client.Do(req)
 	if err != nil {
@@ -458,6 +503,9 @@ func (c *Coordinator) handleFacets(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
 		return
 	}
+	if !c.admitBudget(w, r) {
+		return
+	}
 	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/facets?"+r.URL.RawQuery)
 	if degr != nil && len(degr.MissingShards) == len(c.shards) {
 		c.allShardsDown(w, degr)
@@ -513,6 +561,9 @@ func (c *Coordinator) handleDocs(w http.ResponseWriter, r *http.Request) {
 		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
 		return
 	}
+	if !c.admitBudget(w, r) {
+		return
+	}
 	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/docs?"+r.URL.RawQuery)
 	if degr != nil && len(degr.MissingShards) == len(c.shards) {
 		c.allShardsDown(w, degr)
@@ -543,6 +594,9 @@ func (c *Coordinator) handleDocs(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleDates(w http.ResponseWriter, r *http.Request) {
 	if _, err := serve.ParseSelection(r); err != nil {
 		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, err)
+		return
+	}
+	if !c.admitBudget(w, r) {
 		return
 	}
 	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/dates?"+r.URL.RawQuery)
@@ -583,6 +637,9 @@ func (c *Coordinator) handleCross(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("a") == "" || r.URL.Query().Get("b") == "" {
 		serve.WriteError(w, http.StatusBadRequest, serve.ErrCodeBadRequest, errNeedAB)
+		return
+	}
+	if !c.admitBudget(w, r) {
 		return
 	}
 	replies, degr := c.scatter(r.Context(), "/api/v1/cluster/cross?"+r.URL.RawQuery)

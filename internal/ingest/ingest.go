@@ -176,6 +176,7 @@ type Ingester struct {
 	persistedDocs     atomic.Int64
 	persistedSegments atomic.Int64
 	analysisFailures  atomic.Int64
+	queueRejections   atomic.Int64
 }
 
 // New validates the configuration and returns an idle ingester. Call
@@ -268,6 +269,7 @@ func (ing *Ingester) RegisterMetrics(reg *obsv.Registry) {
 	})
 	reg.GaugeFunc("ingest.dead_letter_dropped", ing.dlqDropped.Load)
 	reg.GaugeFunc("ingest.analysis_failures", ing.analysisFailures.Load)
+	reg.GaugeFunc("ingest.queue_rejections", ing.queueRejections.Load)
 }
 
 // analysis is the lock-free part of processing one document.
@@ -555,6 +557,7 @@ func (ing *Ingester) Submit(doc *textdb.Document) error {
 	case ing.queue <- doc:
 		return nil
 	default:
+		ing.queueRejections.Add(1)
 		return ErrQueueFull
 	}
 }
@@ -572,6 +575,9 @@ func (ing *Ingester) SubmitContext(ctx context.Context, doc *textdb.Document) er
 	case ing.queue <- doc:
 		return nil
 	case <-ctx.Done():
+		// The caller's budget expired while the queue was saturated —
+		// the same backpressure signal as a fail-fast rejection.
+		ing.queueRejections.Add(1)
 		return ctx.Err()
 	}
 }

@@ -1,0 +1,62 @@
+package overload
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// BudgetHeader is the request header carrying the caller's remaining
+// latency budget. The serve middleware parses it into a context
+// deadline; the cluster coordinator re-encodes the REMAINING budget on
+// its scattered shard sub-requests, so every hop down the fan-out tree
+// works against what is actually left rather than a fresh allowance.
+const BudgetHeader = "X-Deadline-Budget"
+
+// MaxBudget bounds an accepted deadline budget. Anything longer is not
+// a latency budget, it is a client asking to hold a connection open.
+const MaxBudget = 10 * time.Minute
+
+// ParseBudget parses a BudgetHeader value: either a Go duration string
+// ("250ms", "1.5s") or a bare non-negative integer meaning
+// milliseconds. The result is always in (0, MaxBudget]; zero, negative,
+// overflowing, and malformed values are errors (a spent budget is the
+// caller's signal to shed locally, not something to forward).
+func ParseBudget(raw string) (time.Duration, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("overload: empty deadline budget")
+	}
+	var d time.Duration
+	if ms, err := strconv.ParseInt(raw, 10, 64); err == nil {
+		if ms > int64(MaxBudget/time.Millisecond) {
+			return 0, fmt.Errorf("overload: deadline budget %q exceeds %v", raw, MaxBudget)
+		}
+		d = time.Duration(ms) * time.Millisecond
+	} else {
+		d, err = time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("overload: bad deadline budget %q (want a duration like 250ms or integer milliseconds)", raw)
+		}
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("overload: deadline budget %q is not positive", raw)
+	}
+	if d > MaxBudget {
+		return 0, fmt.Errorf("overload: deadline budget %q exceeds %v", raw, MaxBudget)
+	}
+	return d, nil
+}
+
+// FormatBudget renders a budget in the canonical on-the-wire form
+// (integer milliseconds, rounded up so a forwarded budget is never
+// encoded as spent while time remains).
+func FormatBudget(d time.Duration) string {
+	if d > MaxBudget {
+		d = MaxBudget
+	}
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(int64(ms), 10)
+}

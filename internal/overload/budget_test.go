@@ -1,0 +1,102 @@
+package overload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseBudget(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want time.Duration
+		ok   bool
+	}{
+		{"250ms", 250 * time.Millisecond, true},
+		{"1.5s", 1500 * time.Millisecond, true},
+		{"2m", 2 * time.Minute, true},
+		{"250", 250 * time.Millisecond, true}, // bare integer = milliseconds
+		{"1", time.Millisecond, true},
+		{"600000", 10 * time.Minute, true}, // exactly MaxBudget
+		{"", 0, false},
+		{"0", 0, false},
+		{"-5", 0, false},
+		{"0s", 0, false},
+		{"-1s", 0, false},
+		{"11m", 0, false},    // beyond MaxBudget
+		{"600001", 0, false}, // beyond MaxBudget in milliseconds
+		{"999999999999999999999", 0, false},
+		{"banana", 0, false},
+		{"1h1x", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseBudget(tc.raw)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseBudget(%q) = %v, %v; want %v", tc.raw, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseBudget(%q) = %v, want error", tc.raw, got)
+		}
+	}
+}
+
+func TestFormatBudgetRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Millisecond, 250 * time.Millisecond, time.Second,
+		1500 * time.Millisecond, MaxBudget,
+		// Sub-millisecond budgets round UP on the wire: a forwarded
+		// budget must never be encoded as already spent.
+		100 * time.Microsecond,
+	} {
+		got, err := ParseBudget(FormatBudget(d))
+		if err != nil {
+			t.Fatalf("round trip %v: %v", d, err)
+		}
+		want := d.Round(time.Millisecond)
+		if d%time.Millisecond != 0 {
+			want = d.Truncate(time.Millisecond) + time.Millisecond
+		}
+		if want < time.Millisecond {
+			want = time.Millisecond
+		}
+		if got != want {
+			t.Fatalf("round trip %v = %v, want %v", d, got, want)
+		}
+	}
+}
+
+// FuzzParseBudget pins the parser's safety contract: it never panics,
+// every accepted value is in (0, MaxBudget], and the canonical encoding
+// of an accepted value is itself accepted with millisecond-identical
+// meaning.
+func FuzzParseBudget(f *testing.F) {
+	for _, seed := range []string{"250ms", "1.5s", "250", "0", "-1s", "", "banana",
+		"600000", "600001", "10m", "99999h", "1ns", "+1", " 5 ", "0x10"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		d, err := ParseBudget(raw)
+		if err != nil {
+			return
+		}
+		if d <= 0 || d > MaxBudget {
+			t.Fatalf("ParseBudget(%q) = %v outside (0, %v]", raw, d, MaxBudget)
+		}
+		enc := FormatBudget(d)
+		if strings.ContainsAny(enc, " \t\r\n") {
+			t.Fatalf("FormatBudget(%v) = %q contains whitespace", d, enc)
+		}
+		d2, err := ParseBudget(enc)
+		if err != nil {
+			t.Fatalf("re-parse of canonical %q (from %q): %v", enc, raw, err)
+		}
+		// Canonical form is millisecond-granular, rounded up.
+		want := d.Truncate(time.Millisecond)
+		if d%time.Millisecond != 0 {
+			want += time.Millisecond
+		}
+		if d2 != want {
+			t.Fatalf("canonical round trip %q -> %v -> %q -> %v, want %v", raw, d, enc, d2, want)
+		}
+	})
+}

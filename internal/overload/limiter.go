@@ -1,0 +1,359 @@
+package overload
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Config parameterizes one Limiter.
+type Config struct {
+	// InitialLimit is the concurrency limit before any adaptation
+	// (0 = 32). MinLimit/MaxLimit bound the AIMD walk (0 = 1 and 4096).
+	InitialLimit int
+	MinLimit     int
+	MaxLimit     int
+
+	// Queue bounds the wait queue absorbing bursts above the limit
+	// (0 = 64, negative = no queue: at-limit requests shed
+	// immediately). Queued requests are shed when their context
+	// deadline fires, so a deadline-carrying caller never waits past
+	// its budget.
+	Queue int
+
+	// Interval is how many completions make one AIMD adjustment window
+	// (0 = 16). Counting completions instead of wall time keeps the
+	// schedule deterministic.
+	Interval int
+	// Threshold is the degradation ratio that triggers a multiplicative
+	// decrease: the window's mean latency exceeding Threshold × the
+	// moving baseline means the extra concurrency is buying queueing
+	// delay, not throughput (0 = 1.5).
+	Threshold float64
+	// Decrease is the multiplicative backoff factor applied to the
+	// limit on degradation (0 = 0.75).
+	Decrease float64
+
+	// Now replaces time.Now for queue-wait measurement (nil = time.Now).
+	Now func() time.Time
+	// Metrics, when set, receives the limiter's instruments under
+	// overload.<name>.*.
+	Metrics *obsv.Registry
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.InitialLimit <= 0 {
+		cfg.InitialLimit = 32
+	}
+	if cfg.MinLimit <= 0 {
+		cfg.MinLimit = 1
+	}
+	if cfg.MaxLimit <= 0 {
+		cfg.MaxLimit = 4096
+	}
+	if cfg.Queue == 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Queue < 0 {
+		cfg.Queue = 0
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 16
+	}
+	if cfg.Threshold <= 1 {
+		cfg.Threshold = 1.5
+	}
+	if cfg.Decrease <= 0 || cfg.Decrease >= 1 {
+		cfg.Decrease = 0.75
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.InitialLimit < cfg.MinLimit {
+		cfg.InitialLimit = cfg.MinLimit
+	}
+	if cfg.InitialLimit > cfg.MaxLimit {
+		cfg.InitialLimit = cfg.MaxLimit
+	}
+	return cfg
+}
+
+// waiter is one queued request; ready is closed (with the slot already
+// transferred) when a release hands over capacity.
+type waiter struct {
+	ready chan struct{}
+}
+
+// Limiter is an adaptive concurrency limiter: at most `limit` requests
+// run at once, a bounded FIFO queue absorbs bursts, and the limit
+// itself follows an AIMD schedule driven by completion latency against
+// a moving baseline.
+//
+// The baseline is an EWMA of each adjustment window's MINIMUM latency:
+// under overload the mean explodes but the fastest request of a window
+// still finishes near the true service time, so the floor tracks what
+// "healthy" looks like even while the system is drowning — comparing
+// the window mean against it detects queueing delay rather than
+// chasing it.
+//
+// All state transitions are functions of the Acquire/Release call
+// sequence and the latencies passed to release; the wall clock is read
+// only to measure queue wait for the histogram. Tests therefore drive
+// exact limit trajectories with synthetic latencies.
+type Limiter struct {
+	cfg Config
+
+	mu       sync.Mutex
+	limit    int
+	inflight int
+	waiters  []*waiter
+
+	// AIMD window accumulation (guarded by mu).
+	windowSum time.Duration
+	windowMin time.Duration
+	windowN   int
+	baseline  float64 // ns; EWMA of window minima
+	recent    float64 // ns; last window's mean, for Retry-After hints
+
+	admitted  *obsv.Counter
+	shed      *obsv.Counter
+	queued    *obsv.Counter
+	queueWait *obsv.Histogram
+}
+
+// NewLimiter builds a limiter; name scopes its instruments
+// (overload.<name>.admitted and friends).
+func NewLimiter(name string, cfg Config) *Limiter {
+	cfg = cfg.withDefaults()
+	l := &Limiter{cfg: cfg, limit: cfg.InitialLimit}
+	if reg := cfg.Metrics; reg != nil {
+		l.admitted = reg.Counter("overload." + name + ".admitted")
+		l.shed = reg.Counter("overload." + name + ".shed")
+		l.queued = reg.Counter("overload." + name + ".queued")
+		l.queueWait = reg.Histogram("overload." + name + ".queue_wait")
+		reg.GaugeFunc("overload."+name+".limit", func() int64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return int64(l.limit)
+		})
+		reg.GaugeFunc("overload."+name+".inflight", func() int64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return int64(l.inflight)
+		})
+	}
+	return l
+}
+
+// Limit returns the current adaptive concurrency limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// Inflight returns the number of currently admitted requests.
+func (l *Limiter) Inflight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// Acquire admits one request, queueing when the limiter is full. The
+// returned release must be called exactly once with the request's
+// observed service latency; it feeds the AIMD schedule and hands the
+// slot to the next waiter. A non-nil error is always ErrShed (wrapping
+// the context error when the caller's deadline fired in the queue) and
+// means no slot was taken.
+func (l *Limiter) Acquire(ctx context.Context) (release func(latency time.Duration), err error) {
+	// A spent budget sheds before any queueing: the work's answer could
+	// not be delivered in time anyway, and the cheapest place to refuse
+	// load is before it holds anything.
+	if cerr := ctx.Err(); cerr != nil {
+		l.countShed()
+		return nil, shedErrorCtx(cerr)
+	}
+	l.mu.Lock()
+	if l.inflight < l.limit {
+		l.inflight++
+		l.mu.Unlock()
+		if l.admitted != nil {
+			l.admitted.Inc()
+		}
+		return l.releaseFunc(), nil
+	}
+	if len(l.waiters) >= l.cfg.Queue {
+		l.mu.Unlock()
+		l.countShed()
+		return nil, shedError("at concurrency limit, wait queue full")
+	}
+	w := &waiter{ready: make(chan struct{})}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+	if l.queued != nil {
+		l.queued.Inc()
+	}
+	start := l.cfg.Now()
+	select {
+	case <-w.ready:
+		// The releasing request transferred its slot: inflight already
+		// accounts for this waiter.
+		if l.queueWait != nil {
+			l.queueWait.Observe(l.cfg.Now().Sub(start))
+		}
+		if l.admitted != nil {
+			l.admitted.Inc()
+		}
+		return l.releaseFunc(), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		removed := l.removeWaiter(w)
+		l.mu.Unlock()
+		if !removed {
+			// Lost the race: a release already granted the slot. Take it
+			// and put it straight back (no latency sample — this request
+			// did no work) so capacity is not leaked.
+			<-w.ready
+			l.release(0, false)
+		}
+		l.countShed()
+		return nil, shedErrorCtx(ctx.Err())
+	}
+}
+
+// releaseFunc returns the single-use release closure for one admitted
+// request.
+func (l *Limiter) releaseFunc() func(time.Duration) {
+	var once sync.Once
+	return func(latency time.Duration) {
+		once.Do(func() { l.release(latency, true) })
+	}
+}
+
+// release returns one slot: record the latency sample (when the slot
+// actually served a request), run the AIMD adjustment at window
+// boundaries, then hand the slot to the oldest waiter or free it.
+func (l *Limiter) release(latency time.Duration, sample bool) {
+	l.mu.Lock()
+	if sample {
+		l.observe(latency)
+	}
+	var grant *waiter
+	if len(l.waiters) > 0 && l.inflight <= l.limit {
+		// Transfer the slot FIFO instead of decrementing: a decrement
+		// followed by the waiter re-incrementing would let a barging
+		// Acquire overtake the queue.
+		grant = l.waiters[0]
+		copy(l.waiters, l.waiters[1:])
+		l.waiters[len(l.waiters)-1] = nil
+		l.waiters = l.waiters[:len(l.waiters)-1]
+	} else {
+		l.inflight--
+	}
+	l.mu.Unlock()
+	if grant != nil {
+		close(grant.ready)
+	}
+}
+
+// observe accumulates one completion into the AIMD window; the caller
+// holds l.mu.
+func (l *Limiter) observe(latency time.Duration) {
+	if latency < 0 {
+		latency = 0
+	}
+	if l.windowN == 0 || latency < l.windowMin {
+		l.windowMin = latency
+	}
+	l.windowSum += latency
+	l.windowN++
+	if l.windowN < l.cfg.Interval {
+		return
+	}
+	mean := float64(l.windowSum) / float64(l.windowN)
+	minNS := float64(l.windowMin)
+	l.windowSum, l.windowMin, l.windowN = 0, 0, 0
+	l.recent = mean
+	if l.baseline == 0 {
+		l.baseline = minNS
+	} else {
+		// Slow EWMA of window minima: the healthy-latency floor.
+		l.baseline += 0.1 * (minNS - l.baseline)
+	}
+	if mean > l.cfg.Threshold*l.baseline {
+		// Latency degraded past the baseline: concurrency above capacity
+		// is only buying queueing delay. Multiplicative decrease.
+		next := int(float64(l.limit) * l.cfg.Decrease)
+		if next >= l.limit {
+			next = l.limit - 1
+		}
+		if next < l.cfg.MinLimit {
+			next = l.cfg.MinLimit
+		}
+		l.limit = next
+	} else if l.limit < l.cfg.MaxLimit {
+		// Healthy window: probe for more capacity. Additive increase.
+		l.limit++
+	}
+}
+
+// removeWaiter unlinks w; false means a release already granted it. The
+// caller holds l.mu.
+func (l *Limiter) removeWaiter(w *waiter) bool {
+	for i, cand := range l.waiters {
+		if cand == w {
+			copy(l.waiters[i:], l.waiters[i+1:])
+			l.waiters[len(l.waiters)-1] = nil
+			l.waiters = l.waiters[:len(l.waiters)-1]
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Limiter) countShed() {
+	if l.shed != nil {
+		l.shed.Inc()
+	}
+}
+
+// retryAfterSeconds estimates when a shed client should retry: roughly
+// one queue-drain time at the recent per-request latency, clamped to
+// [1s, 30s].
+func (l *Limiter) retryAfterSeconds() int {
+	l.mu.Lock()
+	recent := l.recent
+	ahead := l.inflight + len(l.waiters)
+	limit := l.limit
+	l.mu.Unlock()
+	if recent == 0 || limit <= 0 {
+		return 1
+	}
+	sec := int(time.Duration(recent*float64(ahead)/float64(limit)) / time.Second)
+	if sec < 1 {
+		return 1
+	}
+	if sec > 30 {
+		return 30
+	}
+	return sec
+}
+
+// shedErrorCtx wraps ErrShed around a context error so callers can
+// distinguish "queue full" from "budget spent" with errors.Is while the
+// middleware treats both as sheds.
+func shedErrorCtx(cause error) error {
+	if cause == nil {
+		return ErrShed
+	}
+	return &shedCtxError{cause: cause}
+}
+
+type shedCtxError struct{ cause error }
+
+func (e *shedCtxError) Error() string { return "overload: shed: " + e.cause.Error() }
+
+// Unwrap exposes both ErrShed and the context error to errors.Is.
+func (e *shedCtxError) Unwrap() []error { return []error{ErrShed, e.cause} }

@@ -1,0 +1,173 @@
+// Package overload is the admission-control layer that keeps the
+// serving stack useful when offered load exceeds capacity. Without it
+// the server has no behavior between "healthy" and "drowning": excess
+// requests pile up unboundedly in the Go runtime, every response slows
+// down together, and by the time latency is visible the queue is
+// already hopeless. The paper's interactive faceted browsing model
+// (Section V-E) only works if drill-down queries stay fast, so under
+// saturation the right move is to serve fewer requests well — shed the
+// excess quickly and keep tail latency bounded for what is admitted.
+//
+// The package has three pieces:
+//
+//   - Limiter: an adaptive concurrency limiter. The limit follows an
+//     AIMD schedule driven by observed completion latency against a
+//     moving baseline — additive increase while latency holds near the
+//     baseline, multiplicative decrease when it degrades — so capacity
+//     is discovered rather than configured. A small bounded wait queue
+//     absorbs bursts; waiters are shed the moment their context
+//     deadline fires, so the queue can never hide unbounded delay.
+//   - Governor: per-route-class limiters. Cheap reads, expensive
+//     cross-tabulations, and ingest writes saturate at very different
+//     request counts, so each class adapts its own limit and a flood of
+//     one class cannot starve the others.
+//   - ParseBudget/FormatBudget: the X-Deadline-Budget header codec for
+//     deadline propagation. A front end attaches its remaining latency
+//     budget; the serve middleware turns it into a context deadline;
+//     the cluster coordinator decrements it before scatter-gather so
+//     shards inherit only what is left.
+//
+// Determinism: the limiter's state transitions depend solely on the
+// sequence of Acquire/Release calls and the latency samples handed to
+// Release — never on wall-clock reads — so tests drive the AIMD
+// schedule with synthetic latencies and assert exact limit
+// trajectories, the same virtual-clock discipline internal/resilient
+// uses for its breaker.
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// ErrShed is returned by Acquire when a request is refused admission —
+// the limiter is at its limit and the wait queue is full, or the
+// caller's context expired while queued. Handlers translate it into a
+// 429/503 with Retry-After.
+var ErrShed = errors.New("overload: shed")
+
+// Class partitions requests by cost so each class adapts its own
+// concurrency limit: a flood of cheap reads cannot starve ingest, and a
+// handful of expensive cross-tabulations cannot freeze browsing.
+type Class string
+
+const (
+	// ClassRead covers cheap indexed reads (facets, docs, dates, the
+	// HTML front end).
+	ClassRead Class = "read"
+	// ClassExpensive covers cross-tabulations and other wide scans.
+	ClassExpensive Class = "expensive"
+	// ClassWrite covers ingest writes; sheds answer 429 (slow down)
+	// where read sheds answer 503 (server busy).
+	ClassWrite Class = "write"
+)
+
+// Classes lists every class a Governor maintains.
+var Classes = []Class{ClassRead, ClassExpensive, ClassWrite}
+
+// GovernorConfig assembles a Governor. Zero-value class configs select
+// per-class defaults sized for their typical cost.
+type GovernorConfig struct {
+	Read      Config
+	Expensive Config
+	Write     Config
+
+	// Now, when set, replaces time.Now for queue-wait measurement
+	// (virtual-clock tests); the AIMD schedule itself never reads a
+	// clock.
+	Now func() time.Time
+	// Metrics, when set, receives per-class instruments:
+	// overload.<class>.{admitted,shed,queued} counters, an
+	// overload.<class>.limit gauge, and an overload.<class>.queue_wait
+	// histogram.
+	Metrics *obsv.Registry
+}
+
+// Governor holds one adaptive Limiter per request class.
+type Governor struct {
+	limiters map[Class]*Limiter
+}
+
+// NewGovernor builds the per-class limiters. Class defaults: reads
+// start at limit 64 (queue 128), expensive queries at 8 (queue 16),
+// writes at 16 (queue 32); every class adapts from there.
+func NewGovernor(cfg GovernorConfig) *Governor {
+	defaults := func(c Config, limit, queue int) Config {
+		if c.InitialLimit == 0 {
+			c.InitialLimit = limit
+		}
+		if c.Queue == 0 {
+			c.Queue = queue
+		}
+		if c.Now == nil {
+			c.Now = cfg.Now
+		}
+		if c.Metrics == nil {
+			c.Metrics = cfg.Metrics
+		}
+		return c
+	}
+	g := &Governor{limiters: map[Class]*Limiter{
+		ClassRead:      NewLimiter(string(ClassRead), defaults(cfg.Read, 64, 128)),
+		ClassExpensive: NewLimiter(string(ClassExpensive), defaults(cfg.Expensive, 8, 16)),
+		ClassWrite:     NewLimiter(string(ClassWrite), defaults(cfg.Write, 16, 32)),
+	}}
+	return g
+}
+
+// Limiter returns the limiter backing a class (nil for unknown
+// classes).
+func (g *Governor) Limiter(class Class) *Limiter { return g.limiters[class] }
+
+// Acquire admits one request of the given class, blocking in the
+// class's bounded wait queue when the limiter is at its limit. The
+// returned release must be called exactly once with the request's
+// service latency (the AIMD signal). ErrShed (possibly wrapping the
+// context error) means the request was refused and nothing must be
+// released. An unknown class is admitted unconditionally — admission
+// control must fail open, not 503 the world over a typo.
+func (g *Governor) Acquire(ctx context.Context, class Class) (release func(latency time.Duration), err error) {
+	l := g.limiters[class]
+	if l == nil {
+		return func(time.Duration) {}, nil
+	}
+	return l.Acquire(ctx)
+}
+
+// RetryAfterSeconds estimates how long a shed client should wait before
+// retrying: the class's recent per-request latency times the number of
+// requests ahead of it, clamped to [1s, 30s]. It is the Retry-After
+// header value for shed responses.
+func (g *Governor) RetryAfterSeconds(class Class) int {
+	l := g.limiters[class]
+	if l == nil {
+		return 1
+	}
+	return l.retryAfterSeconds()
+}
+
+// Wrap is a convenience for non-HTTP callers: run fn under admission
+// control, measuring its latency as the AIMD sample.
+func (g *Governor) Wrap(ctx context.Context, class Class, fn func(context.Context) error) error {
+	l := g.limiters[class]
+	if l == nil {
+		return fn(ctx)
+	}
+	release, err := l.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	start := l.cfg.Now()
+	err = fn(ctx)
+	release(l.cfg.Now().Sub(start))
+	return err
+}
+
+// shedError builds the ErrShed chain for one refusal reason.
+func shedError(reason string) error {
+	return fmt.Errorf("%w: %s", ErrShed, reason)
+}

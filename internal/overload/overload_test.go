@@ -1,0 +1,319 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// drive feeds n completions of the given latency through an
+// already-admitted slot sequence: acquire, release(latency), repeat.
+// Every acquire must admit (the limiter is otherwise idle).
+func drive(t *testing.T, l *Limiter, n int, latency time.Duration) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		release, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		release(latency)
+	}
+}
+
+func TestAIMDAdditiveIncrease(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 4, Interval: 4})
+	// Three healthy windows: steady latency never exceeds the baseline
+	// threshold, so each window bumps the limit by one.
+	drive(t, l, 12, 10*time.Millisecond)
+	if got := l.Limit(); got != 7 {
+		t.Fatalf("limit after 3 healthy windows = %d, want 7", got)
+	}
+}
+
+func TestAIMDMultiplicativeDecrease(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 16, Interval: 4, Threshold: 1.5, Decrease: 0.5})
+	// Establish a 10ms baseline.
+	drive(t, l, 4, 10*time.Millisecond)
+	if got := l.Limit(); got != 17 {
+		t.Fatalf("limit after healthy window = %d, want 17", got)
+	}
+	// A degraded window: mean latency 5x the baseline floor. The window
+	// minimum stays near 10ms via one fast completion, so the baseline
+	// keeps tracking the healthy floor while the mean explodes.
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(10 * time.Millisecond)
+	drive(t, l, 3, 80*time.Millisecond)
+	if got := l.Limit(); got != 8 {
+		t.Fatalf("limit after degraded window = %d, want 8 (17 * 0.5)", got)
+	}
+	// Recovery: healthy windows climb back additively.
+	drive(t, l, 8, 10*time.Millisecond)
+	if got := l.Limit(); got != 10 {
+		t.Fatalf("limit after recovery = %d, want 10", got)
+	}
+}
+
+func TestAIMDDeterministic(t *testing.T) {
+	run := func() []int {
+		l := NewLimiter("t", Config{InitialLimit: 8, Interval: 2})
+		lats := []time.Duration{5, 5, 40, 50, 5, 6, 90, 100, 5, 5, 5, 5} // ms
+		var limits []int
+		for _, ms := range lats {
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			release(ms * time.Millisecond)
+			limits = append(limits, l.Limit())
+		}
+		return limits
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("limit trajectory diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLimitBounds(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 2, MinLimit: 2, MaxLimit: 3, Interval: 1, Decrease: 0.5})
+	drive(t, l, 10, 10*time.Millisecond)
+	if got := l.Limit(); got != 3 {
+		t.Fatalf("limit = %d, want MaxLimit 3", got)
+	}
+	// Alternate one fast and one catastrophically slow completion per
+	// window; decreases must stop at MinLimit.
+	for i := 0; i < 10; i++ {
+		drive(t, l, 1, 500*time.Millisecond)
+	}
+	if got := l.Limit(); got != 2 {
+		t.Fatalf("limit = %d, want MinLimit 2", got)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	reg := obsv.NewRegistry()
+	l := NewLimiter("t", Config{InitialLimit: 1, Queue: 1, Metrics: reg})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	admitted := make(chan func(time.Duration), 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- r
+	}()
+	// Wait until the waiter is actually queued.
+	for i := 0; ; i++ {
+		reg2 := reg.Snapshot()
+		if reg2.Counters["overload.t.queued"] == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The queue is now full: the next acquire sheds immediately.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	release(time.Millisecond)
+	r2 := <-admitted
+	r2(time.Millisecond)
+	snap := reg.Snapshot()
+	if snap.Counters["overload.t.admitted"] != 2 || snap.Counters["overload.t.shed"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["overload.t.queue_wait"].Count != 1 {
+		t.Fatalf("queue_wait count = %d, want 1", snap.Histograms["overload.t.queue_wait"].Count)
+	}
+}
+
+func TestQueuedWaiterShedOnDeadline(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 1, Queue: 4})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, ErrShed) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrShed wrapping DeadlineExceeded", err)
+	}
+	// The abandoned waiter left no residue: releasing the one slot makes
+	// the limiter fully idle again.
+	release(time.Millisecond)
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	r, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire after shed: %v", err)
+	}
+	r(time.Millisecond)
+}
+
+func TestSpentBudgetShedsBeforeQueueing(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, ErrShed) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrShed wrapping Canceled", err)
+	}
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+func TestSlotHandoffFIFO(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 1, Queue: 8})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	starts := make(chan struct{}, 3)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize queue entry so FIFO order is well-defined.
+			starts <- struct{}{}
+			r, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r(time.Millisecond)
+		}(i)
+		// Wait for goroutine i to be queued before launching i+1.
+		for l.queueLen() < i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	release(time.Millisecond)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("grant order = %v, want [1 2 3]", order)
+	}
+	<-starts
+	<-starts
+	<-starts
+}
+
+// queueLen is a test-only view of the wait queue depth.
+func (l *Limiter) queueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 4})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(time.Millisecond)
+	release(time.Millisecond) // second call must be a no-op
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+}
+
+func TestGovernorClassIsolation(t *testing.T) {
+	reg := obsv.NewRegistry()
+	g := NewGovernor(GovernorConfig{
+		Read:      Config{InitialLimit: 1, Queue: -1},
+		Expensive: Config{InitialLimit: 1, Queue: -1},
+		Write:     Config{InitialLimit: 1, Queue: -1},
+		Metrics:   reg,
+	})
+	// Saturate reads; expensive and write must still admit.
+	relRead, err := g.Acquire(context.Background(), ClassRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background(), ClassRead); !errors.Is(err, ErrShed) {
+		t.Fatalf("second read: err = %v, want ErrShed", err)
+	}
+	relExp, err := g.Acquire(context.Background(), ClassExpensive)
+	if err != nil {
+		t.Fatalf("expensive admission during read saturation: %v", err)
+	}
+	relWrite, err := g.Acquire(context.Background(), ClassWrite)
+	if err != nil {
+		t.Fatalf("write admission during read saturation: %v", err)
+	}
+	relRead(time.Millisecond)
+	relExp(time.Millisecond)
+	relWrite(time.Millisecond)
+	snap := reg.Snapshot()
+	if snap.Counters["overload.read.shed"] != 1 {
+		t.Fatalf("read shed = %d, want 1", snap.Counters["overload.read.shed"])
+	}
+	if snap.Gauges["overload.expensive.limit"] != 1 {
+		t.Fatalf("expensive limit gauge = %d, want 1", snap.Gauges["overload.expensive.limit"])
+	}
+}
+
+func TestGovernorUnknownClassFailsOpen(t *testing.T) {
+	g := NewGovernor(GovernorConfig{})
+	release, err := g.Acquire(context.Background(), Class("mystery"))
+	if err != nil {
+		t.Fatalf("unknown class must admit, got %v", err)
+	}
+	release(time.Millisecond)
+	if sec := g.RetryAfterSeconds(Class("mystery")); sec != 1 {
+		t.Fatalf("retry-after for unknown class = %d, want 1", sec)
+	}
+}
+
+func TestRetryAfterClamped(t *testing.T) {
+	l := NewLimiter("t", Config{InitialLimit: 1, Interval: 1})
+	drive(t, l, 1, 2*time.Second) // recent = 2s, nothing ahead
+	if sec := l.retryAfterSeconds(); sec < 1 || sec > 30 {
+		t.Fatalf("retry-after = %d, want within [1, 30]", sec)
+	}
+}
+
+func TestWrapMeasuresLatency(t *testing.T) {
+	now := time.Unix(0, 0)
+	g := NewGovernor(GovernorConfig{
+		Read: Config{InitialLimit: 2, Interval: 1},
+		Now:  func() time.Time { return now },
+	})
+	err := g.Wrap(context.Background(), ClassRead, func(context.Context) error {
+		now = now.Add(40 * time.Millisecond) // virtual service time
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := g.Limiter(ClassRead)
+	l.mu.Lock()
+	recent := l.recent
+	l.mu.Unlock()
+	if recent != float64(40*time.Millisecond) {
+		t.Fatalf("recent latency = %v, want 40ms", time.Duration(recent))
+	}
+}

@@ -19,7 +19,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/browse"
 	"repro/internal/ingest"
 	"repro/internal/obsv"
+	"repro/internal/overload"
 	"repro/internal/textdb"
 )
 
@@ -49,6 +52,10 @@ type Server struct {
 	metrics   *obsv.Registry
 	httpm     *obsv.HTTPMetrics
 	accessLog io.Writer
+
+	// gov, when set (WithOverload), applies per-class adaptive admission
+	// control to every non-exempt route; nil serves unthrottled.
+	gov *overload.Governor
 
 	// readiness checks gate /api/v1/readyz; registered before traffic
 	// starts (AddReadiness), each is typically a resilience wrapper's
@@ -103,7 +110,7 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	// exactly the requests no real route claims — unknown paths and wrong
 	// methods on known paths — and answer with the unified error envelope
 	// instead of the mux's plain-text defaults.
-	fallback := s.httpm.Wrap("api_unmatched", http.HandlerFunc(s.handleAPIFallback))
+	fallback := s.httpm.Wrap("api_unmatched", s.instrument("api_unmatched", http.HandlerFunc(s.handleAPIFallback)))
 	s.mux.Handle("/api/", fallback)
 	s.mux.Handle("/api/v1/", fallback)
 	s.Handle(http.MethodGet, "facets", "facets", s.handleFacets)
@@ -115,7 +122,7 @@ func New(iface *browse.Interface, title string, opts ...Option) *Server {
 	s.Handle(http.MethodGet, "readyz", "readyz", s.handleReadyz)
 	// Method-less like the API fallbacks (a "GET /" pattern would conflict
 	// with them under the mux's precedence rules); handleIndex enforces GET.
-	s.mux.Handle("/", s.httpm.Wrap("index", http.HandlerFunc(s.handleIndex)))
+	s.mux.Handle("/", s.httpm.Wrap("index", s.instrument("index", http.HandlerFunc(s.handleIndex))))
 	return s
 }
 
@@ -177,7 +184,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // the fallback 404/405 envelope and per-route metrics; like
 // EnableIngest, registration must happen before traffic starts.
 func (s *Server) Handle(method, path, route string, h http.HandlerFunc) {
-	wrapped := s.httpm.Wrap(route, h)
+	wrapped := s.httpm.Wrap(route, s.instrument(route, h))
 	s.mux.Handle(method+" /api/v1/"+path, wrapped)
 	s.apiRoutes[path] = append(s.apiRoutes[path], method)
 }
@@ -679,14 +686,37 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ing *inges
 		}
 		docs[i] = &textdb.Document{Title: d.Title, Source: d.Source, Date: date, Text: d.Text}
 	}
-	// SubmitContext blocks on a saturated queue (backpressure) until the
-	// client gives up or the server drains.
+	// Submission is bounded: the fast path fails over a saturated queue
+	// immediately; a request carrying a deadline budget may instead wait
+	// for space until that budget is spent (SubmitContext). Either way a
+	// full queue surfaces as a 429 with Retry-After — producers are told
+	// to slow down rather than piling up in blocked handlers.
 	for i, doc := range docs {
-		if err := ing.SubmitContext(r.Context(), doc); err != nil {
-			WriteError(w, http.StatusServiceUnavailable, ErrCodeUnavailable,
-				fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err))
+		err := ing.Submit(doc)
+		if errors.Is(err, ingest.ErrQueueFull) {
+			if _, ok := r.Context().Deadline(); ok {
+				err = ing.SubmitContext(r.Context(), doc)
+			}
+		}
+		if err != nil {
+			wrapped := fmt.Errorf("accepted %d of %d documents: %w", i, len(docs), err)
+			if errors.Is(err, ingest.ErrQueueFull) || errors.Is(err, context.DeadlineExceeded) {
+				WriteShed(w, http.StatusTooManyRequests, s.ingestRetryAfter(), wrapped)
+				return
+			}
+			WriteError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, wrapped)
 			return
 		}
 	}
 	WriteJSON(w, IngestResponse{Accepted: len(docs)})
+}
+
+// ingestRetryAfter picks the Retry-After for a saturated intake queue:
+// the write class's drain estimate under admission control, one second
+// otherwise.
+func (s *Server) ingestRetryAfter() int {
+	if s.gov != nil {
+		return s.gov.RetryAfterSeconds(overload.ClassWrite)
+	}
+	return 1
 }

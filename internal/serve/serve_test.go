@@ -13,7 +13,7 @@ import (
 	"repro/internal/textdb"
 )
 
-func testServer(t *testing.T) *Server {
+func testServer(t *testing.T, opts ...Option) *Server {
 	t.Helper()
 	corpus := textdb.NewCorpus()
 	base := time.Date(2005, 11, 1, 0, 0, 0, 0, time.UTC)
@@ -44,7 +44,7 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(iface, "Test Archive")
+	return New(iface, "Test Archive", opts...)
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
