@@ -1,0 +1,76 @@
+package facet
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestBenchAblationSchema smoke-parses BENCH_ablation.json when present
+// (CI regenerates it with `experiments -run resourceablation` and then
+// runs this). Beyond schema shape, it pins the report's two load-bearing
+// claims: the "none" subset yields no candidates (context is what the
+// pipeline runs on), and the corpus-only distributional mode achieves
+// nonzero facet precision AND recall against the ground-truth ontology —
+// the acceptance bar for the resource-free extraction path.
+func TestBenchAblationSchema(t *testing.T) {
+	data, err := os.ReadFile("BENCH_ablation.json")
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("BENCH_ablation.json not present (run `experiments -run resourceablation` to produce it)")
+		}
+		t.Fatal(err)
+	}
+	var got eval.AblationBench
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("BENCH_ablation.json does not parse: %v", err)
+	}
+	if got.Benchmark != "resourceablation" {
+		t.Fatalf("benchmark = %q, want resourceablation", got.Benchmark)
+	}
+	if got.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d", got.GOMAXPROCS)
+	}
+	if got.Docs <= 0 || got.TopK <= 0 {
+		t.Fatalf("docs = %d, top_k = %d", got.Docs, got.TopK)
+	}
+	rows := map[string]eval.AblationPoint{}
+	for _, p := range got.Points {
+		if p.Subset == "" {
+			t.Fatalf("point with empty subset: %+v", p)
+		}
+		if _, dup := rows[p.Subset]; dup {
+			t.Fatalf("duplicate subset %q", p.Subset)
+		}
+		rows[p.Subset] = p
+		if p.Candidates < 0 || p.Millis < 0 {
+			t.Fatalf("malformed point %+v", p)
+		}
+		for _, v := range []float64{p.UsefulAtK, p.TermRecall, p.FacetPrecision, p.FacetRecall, p.OrphanRate} {
+			if v < 0 || v > 1 {
+				t.Fatalf("rate outside [0,1] in point %+v", p)
+			}
+		}
+	}
+	for _, want := range []string{"none", "corpus-only", "external-only", "mixed"} {
+		if _, ok := rows[want]; !ok {
+			t.Fatalf("subset %q missing from trajectory", want)
+		}
+	}
+	if none := rows["none"]; none.Candidates != 0 || len(none.Resources) != 0 {
+		t.Fatalf("the context-free row should yield nothing: %+v", none)
+	}
+	co := rows["corpus-only"]
+	if len(co.Resources) != 1 {
+		t.Fatalf("corpus-only row ran with resources %v, want exactly the distributional model", co.Resources)
+	}
+	if co.Candidates == 0 {
+		t.Fatalf("corpus-only row produced no candidates: %+v", co)
+	}
+	if co.FacetPrecision <= 0 || co.FacetRecall <= 0 {
+		t.Fatalf("corpus-only mode must score nonzero facet precision AND recall, got prec=%v rec=%v",
+			co.FacetPrecision, co.FacetRecall)
+	}
+}

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|hierarchybakeoff|faultreport|overloadreport]
-//	            [-full] [-docs N] [-seed N] [-workers N] [-hierarchy NAME] [-out FILE]
+//	experiments [-run all|table1|figure4|figure5|table2..table7|sensitivity|efficiency|userstudy|ablation|stagereport|hierarchy|hierarchybakeoff|faultreport|overloadreport|resourceablation]
+//	            [-full] [-docs N] [-seed N] [-workers N] [-hierarchy NAME] [-resources ...] [-out FILE]
 //
 // By default the datasets are scaled down (SNYT 1000 / SNB 3000 / MNYT
 // 5000 documents) so a full regeneration finishes in minutes on a laptop;
@@ -33,13 +33,15 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, hierarchybakeoff, faultreport, overloadreport)")
+	run := flag.String("run", "all", "experiment to run (all, table1, figure4, figure5, table2..table7, sensitivity, efficiency, userstudy, ablation, stagereport, hierarchy, hierarchybakeoff, faultreport, overloadreport, resourceablation)")
 	full := flag.Bool("full", false, "use the paper's full dataset sizes (17k/30k documents)")
 	docs := flag.Int("docs", 0, "force every dataset profile to this many documents (0 = profile defaults; used by the CI bake-off smoke)")
 	seed := flag.Uint64("seed", 42, "master seed")
 	workers := flag.Int("workers", 0, "pipeline worker pool size for the stage report and hierarchy builders (0 = GOMAXPROCS)")
 	hierarchyName := flag.String("hierarchy", "", "hierarchy builder for the stage report (registry name; \"\" = subsumption)")
 	bench := flag.String("hierarchy-bench", "BENCH_hierarchy.json", "where hierarchybakeoff writes its bench trajectory (\"\" disables)")
+	ablationBench := flag.String("ablation-bench", "BENCH_ablation.json", "where resourceablation writes its bench trajectory (\"\" disables)")
+	resources := flag.String("resources", "", "context resource subset for the stage report (comma-separated; \"corpus\" selects the corpus-only distributional mode)")
 	out := flag.String("out", "", "also write output to this file")
 	csvDir := flag.String("csvdir", "", "also write each recall/precision table as CSV into this directory")
 	flag.Parse()
@@ -54,14 +56,16 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	cfg := runConfig{
-		which:     *run,
-		full:      *full,
-		docs:      *docs,
-		seed:      *seed,
-		workers:   *workers,
-		hierarchy: *hierarchyName,
-		benchPath: *bench,
-		csvDir:    *csvDir,
+		which:         *run,
+		full:          *full,
+		docs:          *docs,
+		seed:          *seed,
+		workers:       *workers,
+		hierarchy:     *hierarchyName,
+		benchPath:     *bench,
+		ablationBench: *ablationBench,
+		resources:     *resources,
+		csvDir:        *csvDir,
 	}
 	if err := runAll(w, cfg); err != nil {
 		log.Fatalf("experiments: %v", err)
@@ -70,14 +74,16 @@ func main() {
 
 // runConfig carries the command-line knobs into runAll.
 type runConfig struct {
-	which     string
-	full      bool
-	docs      int
-	seed      uint64
-	workers   int
-	hierarchy string
-	benchPath string
-	csvDir    string
+	which         string
+	full          bool
+	docs          int
+	seed          uint64
+	workers       int
+	hierarchy     string
+	benchPath     string
+	ablationBench string
+	resources     string
+	csvDir        string
 }
 
 // writeCSV stores a table as CSV under dir (no-op when dir is empty).
@@ -248,7 +254,7 @@ func runAll(w io.Writer, cfg runConfig) error {
 	}
 	if want("stagereport") {
 		section("Stage report — runtime per-stage timing (StageReport)")
-		if err := stageReport(w, seed, workers, cfg.hierarchy); err != nil {
+		if err := stageReport(w, seed, workers, cfg.hierarchy, cfg.resources); err != nil {
 			return err
 		}
 	}
@@ -286,6 +292,28 @@ func runAll(w io.Writer, cfg runConfig) error {
 			fmt.Fprintf(w, "(bench trajectory written to %s)\n", cfg.benchPath)
 		}
 	}
+	if want("resourceablation") {
+		dr, err := runFor("SNYT")
+		if err != nil {
+			return err
+		}
+		section("Resource ablation — what each context resource buys (corpus-only vs. external)")
+		res, err := eval.ResourceAblation(context.Background(), dr, 100, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, res.Format())
+		if cfg.ablationBench != "" {
+			data, err := json.MarshalIndent(res.Bench(), "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.ablationBench, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "(bench trajectory written to %s)\n", cfg.ablationBench)
+		}
+	}
 	if want("faultreport") {
 		section("Fault report — injected error rate vs. output stability and retry cost")
 		if err := faultReport(w, seed, workers); err != nil {
@@ -309,7 +337,7 @@ func runAll(w io.Writer, cfg runConfig) error {
 // pipeline runs twice, sequentially (Workers=1) and sharded across the
 // requested worker pool, and the report includes the per-stage parallel
 // speedup; the two runs produce identical facets by construction.
-func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder string) error {
+func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder, resources string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -322,7 +350,11 @@ func stageReport(w io.Writer, seed uint64, workers int, hierarchyBuilder string)
 		return err
 	}
 	runOnce := func(workers int) ([]facet.StageTiming, *obsv.Registry, error) {
-		sys, err := facet.NewSystem(env, facet.Options{Workers: workers, HierarchyBuilder: hierarchyBuilder})
+		opts := facet.Options{Workers: workers, HierarchyBuilder: hierarchyBuilder}
+		if resources != "" {
+			opts.Resources = strings.Split(resources, ",")
+		}
+		sys, err := facet.NewSystem(env, opts)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -25,7 +25,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "seed")
 	workers := flag.Int("workers", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = sequential; output is identical)")
 	extractors := flag.String("extractors", "", "comma-separated extractor subset (default: all)")
-	resources := flag.String("resources", "", "comma-separated resource subset (default: all)")
+	resources := flag.String("resources", "", "comma-separated resource subset (default: all external; \"corpus\" selects the corpus-only distributional mode)")
+	corpusFallback := flag.Bool("corpus-fallback", false, "fall back to corpus-only distributional context when every resource fails a lookup")
 	hierarchyBuilder := flag.String("hierarchy", "", "hierarchy builder registry name (default: subsumption)")
 	dotOut := flag.String("dot", "", "write the hierarchy as Graphviz DOT to this file")
 	jsonOut := flag.String("json", "", "write the hierarchy as JSON to this file")
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := facet.Options{TopK: *topK, Workers: *workers, HierarchyBuilder: *hierarchyBuilder}
+	opts := facet.Options{TopK: *topK, Workers: *workers, HierarchyBuilder: *hierarchyBuilder, CorpusFallback: *corpusFallback}
 	if *extractors != "" {
 		opts.Extractors = strings.Split(*extractors, ",")
 	}

@@ -101,6 +101,8 @@ func main() {
 	profile := flag.String("profile", "SNYT", "dataset profile")
 	seed := flag.Uint64("seed", 42, "seed")
 	topK := flag.Int("topk", 120, "facet terms to extract")
+	resources := flag.String("resources", "", "comma-separated context resources (Google, WordNet Hypernyms, Wikipedia Synonyms, Wikipedia Graph, Distributional; alias corpus = corpus-only mode); empty = the four external ones")
+	corpusFallback := flag.Bool("corpus-fallback", false, "degraded-fallback: when every external resource fails a lookup, fall back to a corpus-only distributional model instead of running context-free")
 	hierarchyBuilder := flag.String("hierarchy", "", "hierarchy builder registry name (subsumption, evidence, treemin, agglomerative; \"\" = subsumption); live mode rebuilds every epoch with it")
 	live := flag.Bool("live", false, "enable streaming ingestion (POST /api/v1/ingest) with incremental rebuilds")
 	storeDir := flag.String("store", "", "segment store directory for durable intake (live mode; empty = in-memory only)")
@@ -234,7 +236,11 @@ func main() {
 		}
 	}
 
-	sys, err := facet.NewSystem(env, facet.Options{TopK: *topK, HierarchyBuilder: *hierarchyBuilder})
+	opts := facet.Options{TopK: *topK, HierarchyBuilder: *hierarchyBuilder, CorpusFallback: *corpusFallback}
+	if *resources != "" {
+		opts.Resources = strings.Split(*resources, ",")
+	}
+	sys, err := facet.NewSystem(env, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -251,6 +257,7 @@ func main() {
 	ing, err := ingest.New(ingest.Config{
 		Extractors:       sys.CoreExtractors(),
 		Resources:        sys.CoreResources(),
+		Fallback:         sys.CoreFallback(),
 		TopK:             *topK,
 		HierarchyBuilder: *hierarchyBuilder,
 		QueueSize:        *queueSize,

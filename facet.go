@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/browse"
 	"repro/internal/core"
+	"repro/internal/distctx"
 	"repro/internal/hierarchy"
 	"repro/internal/ner"
 	"repro/internal/newsgen"
@@ -158,10 +159,20 @@ type Options struct {
 	// Extractors selects term extractors by name: "NE", "Yahoo",
 	// "Wikipedia". Empty selects all three.
 	Extractors []string
-	// Resources selects external resources by name: "Google",
-	// "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph".
-	// Empty selects all four.
+	// Resources selects context resources by name: "Google",
+	// "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph", and
+	// "Distributional" (alias "corpus") — the corpus-only co-occurrence
+	// model that needs no external service at all (README "Corpus-only
+	// mode"). Empty selects the four external ones.
 	Resources []string
+	// CorpusFallback arms the degraded-fallback path: a distributional
+	// model is built over the indexed corpus and consulted for exactly
+	// those (document, term) expansions where EVERY configured resource
+	// failed (retries exhausted, circuits open). Healthy runs are
+	// byte-identical with or without it; a run whose external resources
+	// are all dark degrades to corpus-only context instead of running
+	// context-free. Result.FallbackLookups counts the rescues.
+	CorpusFallback bool
 	// SubsumptionThreshold is θ for hierarchy construction (default 0.8).
 	SubsumptionThreshold float64
 	// HierarchyBuilder selects the hierarchy-construction strategy by
@@ -219,7 +230,8 @@ func NewSystem(env *Environment, opts Options) (*System, error) {
 	}
 	for _, r := range opts.Resources {
 		switch r {
-		case "Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph":
+		case "Google", "WordNet Hypernyms", "Wikipedia Synonyms", "Wikipedia Graph",
+			"Distributional", "corpus":
 		default:
 			return nil, fmt.Errorf("facet: unknown resource %q", r)
 		}
@@ -291,12 +303,42 @@ func (s *System) buildResources() []core.Resource {
 			out = append(out, wiki.NewSynonymResource(s.env.wiki))
 		case "Wikipedia Graph":
 			out = append(out, wiki.NewGraphResource(s.env.wiki, 50))
+		case "Distributional", "corpus":
+			out = append(out, s.buildDistributional())
 		}
 	}
 	for _, r := range s.opts.ExtraResources {
 		out = append(out, r)
 	}
 	return out
+}
+
+// buildDistributional builds the corpus-only context resource over the
+// currently indexed documents: Step 1 runs once with the configured
+// extractors to collect per-document important terms, and distctx.Build
+// turns their co-occurrence structure into top-N neighbor vectors. The
+// extraction cost is paid again when the pipeline proper runs — the
+// model has to exist before Step 2 starts, and Step 1 is the cheap stage
+// (see StageReport). An empty corpus yields an inert model that answers
+// nil for every term.
+func (s *System) buildDistributional() core.Resource {
+	important, err := core.IdentifyImportantWorkers(context.Background(), s.corpus, s.buildExtractors(), 0, s.opts.Workers)
+	if err != nil {
+		important = nil
+	}
+	// Log-likelihood weighting, not PPMI: the resource ablation
+	// (experiments -run resourceablation) shows LLR's preference for
+	// evidence mass pulls the high-frequency general terms into the
+	// neighbor lists, which is what the subsumption builder needs to
+	// recover ancestor structure; PPMI's lift favors rare correlates and
+	// leaves the hierarchy flat.
+	m, err := distctx.Build(context.Background(), important, distctx.Config{Weight: distctx.WeightLLR, Workers: s.opts.Workers})
+	if err != nil {
+		// Unreachable with a background context and the default knobs;
+		// degrade to an empty model rather than poison the resource list.
+		m, _ = distctx.Build(context.Background(), nil, distctx.Config{})
+	}
+	return m
 }
 
 // CoreExtractors assembles the configured term extractors over the
@@ -310,6 +352,17 @@ func (s *System) CoreExtractors() []core.Extractor { return s.buildExtractors() 
 // CoreResources assembles the configured context-expansion resources; see
 // CoreExtractors for the intended consumers.
 func (s *System) CoreResources() []core.Resource { return s.buildResources() }
+
+// CoreFallback assembles the corpus-only fallback resource when
+// Options.CorpusFallback is set, and returns nil otherwise; the live
+// ingestion subsystem passes it through ingest.Config.Fallback so
+// streamed documents survive a total external-resource outage too.
+func (s *System) CoreFallback() core.Resource {
+	if !s.opts.CorpusFallback {
+		return nil
+	}
+	return s.buildDistributional()
+}
 
 // FacetTerm is one extracted facet term with its statistical evidence.
 type FacetTerm struct {
@@ -350,9 +403,14 @@ type Result struct {
 	// lookup. A non-empty list means the facets were computed from the
 	// surviving dependencies only.
 	Degradations []Degradation
-	sys          *System
-	inner        *core.Result
-	stages       *obsv.StageTimer
+	// FallbackLookups counts the (document, term) expansions answered by
+	// the corpus-only distributional model because every configured
+	// resource failed (only possible with Options.CorpusFallback). 0 on a
+	// healthy run.
+	FallbackLookups int
+	sys             *System
+	inner           *core.Result
+	stages          *obsv.StageTimer
 }
 
 // ExtractFacets runs the three pipeline steps over the indexed documents.
@@ -369,13 +427,17 @@ func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 	if s.corpus.Len() == 0 {
 		return nil, fmt.Errorf("facet: no documents added")
 	}
-	p, err := core.New(core.Config{
+	cfg := core.Config{
 		Extractors: s.buildExtractors(),
 		Resources:  s.buildResources(),
 		TopK:       s.opts.TopK,
 		Workers:    s.opts.Workers,
 		Metrics:    s.metrics,
-	})
+	}
+	if s.opts.CorpusFallback {
+		cfg.Fallback = s.buildDistributional()
+	}
+	p, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -399,6 +461,7 @@ func (s *System) ExtractFacetsContext(ctx context.Context) (*Result, error) {
 			Docs: d.Docs, LastErr: d.LastErr,
 		})
 	}
+	res.FallbackLookups = inner.FallbackLookups
 	return res, nil
 }
 

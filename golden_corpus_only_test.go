@@ -1,0 +1,165 @@
+package facet
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/browse"
+	"repro/internal/hierarchy"
+)
+
+// The corpus-only golden harness pins the observable output of the
+// resource-free mode — the same corpus as the main golden fixture, but
+// expanded through the distributional context model alone (Options.
+// Resources = ["corpus"]), with no external resource consulted. Like the
+// main harness, regenerate with `go test -run Golden -update` and review
+// the testdata/golden diff before committing.
+
+type corpusOnlyState struct {
+	res    *Result
+	hier   *Hierarchy
+	iface  *browse.Interface
+	outErr error
+}
+
+var (
+	corpusOnlyOnce sync.Once
+	corpusOnly     corpusOnlyState
+)
+
+func corpusOnlyFixture(t *testing.T) *corpusOnlyState {
+	t.Helper()
+	corpusOnlyOnce.Do(func() {
+		env, err := NewSimulatedEnvironment(EnvConfig{Seed: 42})
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		docs, err := env.GenerateNewsCorpus("SNYT", 60, 7)
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		sys, err := NewSystem(env, Options{TopK: 80, Resources: []string{"corpus"}})
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		for _, d := range docs {
+			sys.Add(d)
+		}
+		res, err := sys.ExtractFacets()
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		hier, err := res.BuildHierarchy()
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		iface, err := res.BrowseEngine(hier)
+		if err != nil {
+			corpusOnly.outErr = err
+			return
+		}
+		corpusOnly = corpusOnlyState{res: res, hier: hier, iface: iface}
+	})
+	if corpusOnly.outErr != nil {
+		t.Fatal(corpusOnly.outErr)
+	}
+	return &corpusOnly
+}
+
+// TestGoldenCorpusOnlyRanking pins the corpus-only candidate ranking with
+// its full statistical evidence.
+func TestGoldenCorpusOnlyRanking(t *testing.T) {
+	g := corpusOnlyFixture(t)
+	if len(g.res.Facets) == 0 {
+		t.Fatal("corpus-only run extracted no facet terms")
+	}
+	var sb strings.Builder
+	sb.WriteString("rank\tterm\tdf\tdfc\tshift_f\tshift_r\tscore\n")
+	for i, f := range g.res.Facets {
+		fmt.Fprintf(&sb, "%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			i+1, f.Term, f.DF, f.DFC, f.ShiftF, f.ShiftR,
+			strconv.FormatFloat(f.Score, 'g', 17, 64))
+	}
+	compareGolden(t, "corpus_only_ranking.tsv", []byte(sb.String()))
+}
+
+// TestGoldenCorpusOnlyHierarchy pins the rendered corpus-only hierarchy.
+func TestGoldenCorpusOnlyHierarchy(t *testing.T) {
+	g := corpusOnlyFixture(t)
+	compareGolden(t, "corpus_only_hierarchy.txt", []byte(hierarchy.FormatTree(g.hier.forest)))
+}
+
+// TestGoldenCorpusOnlyBrowseQueries pins end-to-end browse answers over
+// the corpus-only hierarchy.
+func TestGoldenCorpusOnlyBrowseQueries(t *testing.T) {
+	g := corpusOnlyFixture(t)
+	roots := g.iface.Children("", browse.Selection{})
+	if len(roots) < 2 {
+		t.Fatalf("corpus-only hierarchy has %d root facets; need at least 2", len(roots))
+	}
+	r0, r1 := roots[0].Term, roots[1].Term
+	sels := []struct {
+		label string
+		sel   browse.Selection
+	}{
+		{"everything", browse.Selection{}},
+		{"first root", browse.Selection{Terms: []string{r0}}},
+		{"second root", browse.Selection{Terms: []string{r1}}},
+		{"two-facet conjunction", browse.Selection{Terms: []string{r0, r1}}},
+		{"keyword", browse.Selection{Query: "minister"}},
+		{"facet plus keyword", browse.Selection{Terms: []string{r0}, Query: "minister"}},
+	}
+	out := make([]goldenQuery, 0, len(sels))
+	for _, c := range sels {
+		q := goldenQuery{
+			Label: c.label, Terms: c.sel.Terms, Query: c.sel.Query,
+			Count:    g.iface.MatchCount(c.sel),
+			Docs:     []int{},
+			RootMenu: g.iface.Children("", c.sel),
+		}
+		for _, id := range g.iface.Docs(c.sel) {
+			q.Docs = append(q.Docs, int(id))
+		}
+		out = append(out, q)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "corpus_only_browse.json", append(data, '\n'))
+}
+
+// TestGoldenCorpusOnlyAnswersMatchNaiveScan cross-checks the corpus-only
+// browse answers against the naive full-scan path, so the pinned files
+// cannot encode an indexed-path bug.
+func TestGoldenCorpusOnlyAnswersMatchNaiveScan(t *testing.T) {
+	g := corpusOnlyFixture(t)
+	roots := g.iface.Children("", browse.Selection{})
+	if len(roots) == 0 {
+		t.Fatal("no root facets")
+	}
+	for _, sel := range []browse.Selection{
+		{Terms: []string{roots[0].Term}},
+		{Query: "minister"},
+	} {
+		naive := g.iface.ScanDocs(sel)
+		indexed := g.iface.Docs(sel)
+		if len(naive) != len(indexed) {
+			t.Fatalf("sel %+v: indexed %v != naive %v", sel, indexed, naive)
+		}
+		for i := range naive {
+			if naive[i] != indexed[i] {
+				t.Fatalf("sel %+v: indexed %v != naive %v", sel, indexed, naive)
+			}
+		}
+	}
+}

@@ -93,7 +93,7 @@ func TestMultiProcessSmoke(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("coordinator never reported degradation after shard kill: %s", body)
 		}
-		time.Sleep(200 * time.Millisecond)
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -151,12 +151,18 @@ func (p *nodeProc) stop() {
 
 func httpGet(t *testing.T, url string) (int, string) {
 	t.Helper()
+	// Deadline-bounded retry rather than a fixed attempt count: a slow
+	// runner gets the full window, a healthy one pays ~one round trip.
+	deadline := time.Now().Add(10 * time.Second)
 	var lastErr error
-	for i := 0; i < 3; i++ {
+	for {
 		resp, err := http.Get(url)
 		if err != nil {
 			lastErr = err
-			time.Sleep(100 * time.Millisecond)
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
 			continue
 		}
 		body, err := io.ReadAll(resp.Body)

@@ -112,6 +112,16 @@ type Config struct {
 	// MaxImportantPerDoc caps important terms per document (0 = no cap);
 	// extractors already bound their own output, so this is a safety net.
 	MaxImportantPerDoc int
+	// Fallback, when set, is a last-resort context resource consulted for
+	// an important term only when EVERY configured resource failed for
+	// that (document, term) lookup — retries exhausted or circuit open.
+	// With the distributional model (internal/distctx) here, a run whose
+	// external resources are all dark degrades to corpus-only context
+	// instead of running context-free. Healthy runs never touch it, so
+	// the fault-free output is byte-identical with or without a Fallback.
+	// Fallback is NOT added to Result.Resources: downstream vote-based
+	// document assignment keeps using the primary resources only.
+	Fallback Resource
 	// Metrics, when set, additionally records each stage's duration into
 	// the registry as core.stage.<name> histograms, so long-running
 	// servers see pipeline cost continuously, not just per run.
@@ -192,6 +202,11 @@ type Result struct {
 	// Stages reports each pipeline stage's wall-clock cost in execution
 	// order — the per-run counterpart of the Section V-D efficiency table.
 	Stages []obsv.StageSample
+	// FallbackLookups counts the (document, term) expansions answered by
+	// Config.Fallback because every primary resource failed. 0 on a
+	// healthy run; alongside Degradations it quantifies how much of the
+	// context came from the corpus-only safety net.
+	FallbackLookups int
 	// Degradations reports, per external dependency, the lookups the run
 	// completed WITHOUT because the dependency failed permanently (after
 	// the resilience layer's retries, or with its circuit open). An empty
@@ -295,7 +310,7 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 	observe("identify_important", time.Since(start))
 
 	start = time.Now()
-	contextTerms, resourceDegs, err := DeriveContextReport(ctx, important, p.cfg.Resources, p.cache, p.cfg.Workers)
+	contextTerms, resourceDegs, fallbackLookups, err := DeriveContextFallbackReport(ctx, important, p.cfg.Resources, p.cfg.Fallback, p.cache, p.cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -313,9 +328,13 @@ func (p *Pipeline) RunContext(ctx context.Context, corpus *textdb.Corpus) (*Resu
 	res.Resources = p.cfg.Resources
 	res.Stages = timer.Report()
 	res.Degradations = append(extractorDegs, resourceDegs...)
+	res.FallbackLookups = fallbackLookups
 	if p.cfg.Metrics != nil {
 		for _, d := range res.Degradations {
 			p.cfg.Metrics.Counter("core.degraded_lookups." + d.Name).Add(int64(d.Failures))
+		}
+		if fallbackLookups > 0 {
+			p.cfg.Metrics.Counter("core.fallback_lookups").Add(int64(fallbackLookups))
 		}
 	}
 	return res, nil
@@ -433,6 +452,20 @@ func DeriveContextWorkers(ctx context.Context, important [][]string, resources [
 // is quantified in the returned Degradations. Failed lookups are never
 // cached, so a recovering resource starts answering again immediately.
 func DeriveContextReport(ctx context.Context, important [][]string, resources []Resource, cache *ResourceCache, workers int) ([][]string, []Degradation, error) {
+	out, degs, _, err := DeriveContextFallbackReport(ctx, important, resources, nil, cache, workers)
+	return out, degs, err
+}
+
+// DeriveContextFallbackReport is DeriveContextReport with a last-resort
+// resource: when fallback is non-nil and EVERY primary resource's lookup
+// failed for a (document, term) pair, the fallback is consulted for that
+// term (through the same cache) and its context merged in; the number of
+// such rescues is returned. When no resource fails — or fallback is nil —
+// the output is exactly DeriveContextReport's, so configuring a fallback
+// never perturbs healthy runs. A failing fallback (it can implement
+// ResourceErr too) is recorded in the degradation report like any
+// resource; the pair then completes context-free as before.
+func DeriveContextFallbackReport(ctx context.Context, important [][]string, resources []Resource, fallback Resource, cache *ResourceCache, workers int) ([][]string, []Degradation, int, error) {
 	if cache == nil {
 		cache = NewResourceCache()
 	}
@@ -440,17 +473,32 @@ func DeriveContextReport(ctx context.Context, important [][]string, resources []
 	for i, r := range resources {
 		fallible[i] = AsResourceErr(r)
 	}
+	var fallbackErr ResourceErr
+	if fallback != nil {
+		fallbackErr = AsResourceErr(fallback)
+	}
 	nw := parallel.Workers(workers)
 	degs := make([]map[string]*degAccum, nw)
 	for w := range degs {
 		degs[w] = map[string]*degAccum{}
 	}
+	rescues := make([]int, nw)
 	out := make([][]string, len(important))
 	err := parallel.For(ctx, len(important), nw, func(w, i int) {
 		seen := map[string]bool{}
 		failedDoc := map[string]bool{} // resources that already failed for this document
 		var ctxTerms []string
+		merge := func(terms []string) {
+			for _, c := range terms {
+				if c == "" || seen[c] {
+					continue
+				}
+				seen[c] = true
+				ctxTerms = append(ctxTerms, c)
+			}
+		}
 		for _, t := range important[i] {
+			failed := 0
 			for _, r := range fallible {
 				terms, lerr := cache.LookupErr(ctx, r, t)
 				if lerr != nil {
@@ -460,23 +508,36 @@ func DeriveContextReport(ctx context.Context, important [][]string, resources []
 					name := r.Name()
 					recordDeg(degs[w], name, !failedDoc[name], lerr)
 					failedDoc[name] = true
+					failed++
 					continue
 				}
-				for _, c := range terms {
-					if c == "" || seen[c] {
-						continue
+				merge(terms)
+			}
+			if fallbackErr != nil && len(fallible) > 0 && failed == len(fallible) {
+				terms, lerr := cache.LookupErr(ctx, fallbackErr, t)
+				if lerr != nil {
+					if ctx.Err() != nil {
+						return
 					}
-					seen[c] = true
-					ctxTerms = append(ctxTerms, c)
+					name := fallbackErr.Name()
+					recordDeg(degs[w], name, !failedDoc[name], lerr)
+					failedDoc[name] = true
+					continue
 				}
+				rescues[w]++
+				merge(terms)
 			}
 		}
 		out[i] = ctxTerms
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return out, mergeDegradations("resource", degs), nil
+	total := 0
+	for _, r := range rescues {
+		total += r
+	}
+	return out, mergeDegradations("resource", degs), total, nil
 }
 
 // AnalyzeOptions selects variants of Step 3 for ablation studies. The

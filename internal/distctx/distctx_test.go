@@ -1,0 +1,242 @@
+package distctx
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// docsFixture is a tiny corpus with a planted association: "jazz" and
+// "saxophone" co-occur in 3 of 6 documents, while "weather" floats free.
+func docsFixture() [][]string {
+	return [][]string{
+		{"jazz", "saxophone", "club"},
+		{"jazz", "saxophone", "weather"},
+		{"jazz", "saxophone"},
+		{"jazz", "radio"},
+		{"weather", "radio"},
+		{"club", "radio", "weather"},
+	}
+}
+
+func TestBuildAssociatesCooccurringTerms(t *testing.T) {
+	m, err := Build(context.Background(), docsFixture(), Config{TopN: 2, MinDF: 2, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	got := m.Context("jazz")
+	if len(got) == 0 || got[0] != "saxophone" {
+		t.Fatalf("Context(jazz) = %v, want saxophone first", got)
+	}
+	if sax := m.Context("saxophone"); len(sax) == 0 || sax[0] != "jazz" {
+		t.Fatalf("Context(saxophone) = %v, want jazz first", sax)
+	}
+	if m.Name() != DefaultName {
+		t.Fatalf("Name = %q, want %q", m.Name(), DefaultName)
+	}
+}
+
+func TestBuildPPMIHandComputed(t *testing.T) {
+	// jazz df=4, saxophone df=3, co=3, n=6:
+	// PPMI = log(3·6 / (4·3)) = log(1.5).
+	m, err := Build(context.Background(), docsFixture(), Config{MinDF: 2, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	want := math.Log(1.5)
+	if got := stats.PPMI(3, 4, 3, 6); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PPMI(3,4,3,6) = %v, want %v", got, want)
+	}
+	// The pair must survive into the model under that weight.
+	if got := m.Context("jazz"); len(got) == 0 {
+		t.Fatalf("Context(jazz) empty, want saxophone scored at %v", want)
+	}
+}
+
+func TestPPMIClipsBelowChance(t *testing.T) {
+	// co=1, dfX=5, dfY=5, n=6: observed 1/6 < expected (5/6)(5/6) → PMI < 0 → 0.
+	if got := stats.PPMI(1, 5, 5, 6); got != 0 {
+		t.Fatalf("PPMI below chance = %v, want 0", got)
+	}
+	for _, bad := range [][4]int{{0, 1, 1, 1}, {2, 1, 2, 4}, {1, 0, 1, 4}, {1, 1, 1, 0}} {
+		if got := stats.PPMI(bad[0], bad[1], bad[2], bad[3]); got != 0 {
+			t.Fatalf("PPMI(%v) = %v, want 0", bad, got)
+		}
+	}
+}
+
+func TestAssocLLRRewardsEvidenceMass(t *testing.T) {
+	// Same lift, 10× the evidence: LLR must grow, PPMI must not.
+	small := stats.AssocLLR(2, 4, 4, 16)
+	large := stats.AssocLLR(20, 40, 40, 160)
+	if !(large > small && small > 0) {
+		t.Fatalf("AssocLLR evidence scaling: small=%v large=%v", small, large)
+	}
+	if p1, p2 := stats.PPMI(2, 4, 4, 16), stats.PPMI(20, 40, 40, 160); math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("PPMI should be lift-only: %v vs %v", p1, p2)
+	}
+	for _, bad := range [][4]int{{0, 1, 1, 1}, {2, 1, 2, 4}, {1, 2, 1, 1}} {
+		if got := stats.AssocLLR(bad[0], bad[1], bad[2], bad[3]); got != 0 {
+			t.Fatalf("AssocLLR(%v) = %v, want 0", bad, got)
+		}
+	}
+}
+
+func TestBuildLLRWeighting(t *testing.T) {
+	m, err := Build(context.Background(), docsFixture(), Config{Weight: WeightLLR, MinDF: 2, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build(llr): %v", err)
+	}
+	if got := m.Context("jazz"); len(got) == 0 || got[0] != "saxophone" {
+		t.Fatalf("LLR Context(jazz) = %v, want saxophone first", got)
+	}
+}
+
+func TestBuildRejectsBadConfig(t *testing.T) {
+	if _, err := Build(context.Background(), nil, Config{Weight: "cosine"}); err == nil {
+		t.Fatal("unknown weight accepted")
+	}
+	if _, err := Build(context.Background(), nil, Config{TopN: -1}); err == nil {
+		t.Fatal("negative TopN accepted")
+	}
+}
+
+func TestBuildTopNBound(t *testing.T) {
+	// A clique of 12 terms all pairwise co-occurring: every term has 11
+	// candidates, TopN=3 must cap each context at 3.
+	var doc []string
+	for i := 0; i < 12; i++ {
+		doc = append(doc, fmt.Sprintf("t%02d", i))
+	}
+	corpus := [][]string{doc, doc, append([]string{"solo"}, doc[:2]...)}
+	m, err := Build(context.Background(), corpus, Config{TopN: 3, MinDF: 1, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if got := m.Context(fmt.Sprintf("t%02d", i)); len(got) > 3 {
+			t.Fatalf("Context(t%02d) has %d neighbors, want <= 3", i, len(got))
+		}
+	}
+}
+
+func TestBuildMinDFAndMinCoGates(t *testing.T) {
+	corpus := [][]string{
+		{"common", "rare"},
+		{"common", "other"},
+		{"common", "other"},
+		{"pad1", "pad2"},
+	}
+	m, err := Build(context.Background(), corpus, Config{MinDF: 2, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := m.Context("rare"); got != nil {
+		t.Fatalf("Context(rare) = %v, want nil (df=1 < MinDF)", got)
+	}
+	if got := m.Context("common"); len(got) != 1 || got[0] != "other" {
+		t.Fatalf("Context(common) = %v, want [other]", got)
+	}
+}
+
+func TestBuildWindowRestrictsPairs(t *testing.T) {
+	// With Window=1 only adjacent terms pair: "a"–"c" are 2 apart and
+	// must not associate even though they share three documents. The
+	// padding document keeps df < n so PPMI stays positive.
+	corpus := [][]string{
+		{"a", "b", "c"},
+		{"a", "b", "c"},
+		{"a", "b", "c"},
+		{"pad1", "pad2"},
+	}
+	whole, err := Build(context.Background(), corpus, Config{MinDF: 1, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build(whole-doc): %v", err)
+	}
+	if got := whole.Context("a"); len(got) != 2 {
+		t.Fatalf("whole-doc Context(a) = %v, want both b and c", got)
+	}
+	win, err := Build(context.Background(), corpus, Config{Window: 1, MinDF: 1, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build(window): %v", err)
+	}
+	if got := win.Context("a"); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("window Context(a) = %v, want [b]", got)
+	}
+}
+
+func TestBuildDeduplicatesWithinDocument(t *testing.T) {
+	// Repeating a pair inside one document must not inflate co beyond
+	// document-frequency semantics: PPMI's co <= min(dfX, dfY) guard
+	// zeroes any over-counted pair, so the edge only survives if the
+	// per-document dedupe kept co at 2.
+	corpus := [][]string{
+		{"x", "y", "x", "y", "x"},
+		{"x", "y"},
+		{"pad1", "pad2"},
+	}
+	m, err := Build(context.Background(), corpus, Config{MinDF: 2, MinCo: 2})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := m.Context("x"); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Fatalf("Context(x) = %v, want [y] (co deduped to 2)", got)
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("term%02d", i)
+	}
+	corpus := make([][]string, 300)
+	for d := range corpus {
+		k := 2 + rng.Intn(6)
+		doc := make([]string, k)
+		for i := range doc {
+			doc[i] = vocab[rng.Intn(len(vocab))]
+		}
+		corpus[d] = doc
+	}
+	base, err := Build(context.Background(), corpus, Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("Build(workers=1): %v", err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		m, err := Build(context.Background(), corpus, Config{Workers: w})
+		if err != nil {
+			t.Fatalf("Build(workers=%d): %v", w, err)
+		}
+		if !reflect.DeepEqual(m.neighbors, base.neighbors) {
+			t.Fatalf("workers=%d model differs from sequential", w)
+		}
+	}
+}
+
+func TestBuildCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, docsFixture(), Config{Workers: 1}); err == nil {
+		t.Fatal("Build with canceled context succeeded")
+	}
+}
+
+func TestModelNilAndEmpty(t *testing.T) {
+	var m *Model
+	if m.Context("x") != nil || m.Len() != 0 {
+		t.Fatal("nil model must be inert")
+	}
+	built, err := Build(context.Background(), nil, Config{})
+	if err != nil {
+		t.Fatalf("Build(empty): %v", err)
+	}
+	if built.Len() != 0 || built.Context("x") != nil {
+		t.Fatal("empty corpus must yield empty model")
+	}
+}

@@ -1,0 +1,64 @@
+package distctx
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDistctxContext feeds arbitrary corpora (docs separated by '\n',
+// terms by ' ') through Build with fuzzer-chosen knobs and checks the
+// invariants the rest of the pipeline depends on: no panics, output
+// deterministic across worker counts, every neighbor list bounded by
+// TopN and free of self-references, and Context stable across calls.
+func FuzzDistctxContext(f *testing.F) {
+	f.Add("jazz saxophone club\njazz saxophone\njazz radio\nweather radio", uint8(3), uint8(2), uint8(0), false)
+	f.Add("a b c\na b c\na b\nd e", uint8(1), uint8(1), uint8(1), true)
+	f.Add("", uint8(0), uint8(0), uint8(0), false)
+	f.Add("x x x\nx y x y\ny y", uint8(5), uint8(2), uint8(2), true)
+	f.Fuzz(func(t *testing.T, corpus string, topN, minCo, window uint8, llr bool) {
+		var docs [][]string
+		for _, line := range strings.Split(corpus, "\n") {
+			docs = append(docs, strings.Fields(line))
+		}
+		cfg := Config{
+			TopN:   int(topN%16) + 1,
+			MinDF:  1,
+			MinCo:  int(minCo%4) + 1,
+			Window: int(window % 8),
+		}
+		if llr {
+			cfg.Weight = WeightLLR
+		}
+		base, err := Build(context.Background(), docs, withWorkers(cfg, 1))
+		if err != nil {
+			t.Fatalf("Build(workers=1): %v", err)
+		}
+		again, err := Build(context.Background(), docs, withWorkers(cfg, 4))
+		if err != nil {
+			t.Fatalf("Build(workers=4): %v", err)
+		}
+		if !reflect.DeepEqual(base.neighbors, again.neighbors) {
+			t.Fatalf("workers=4 model differs from sequential:\n%v\nvs\n%v", again.neighbors, base.neighbors)
+		}
+		for term, ns := range base.neighbors {
+			if len(ns) > cfg.TopN {
+				t.Fatalf("Context(%q) has %d neighbors, TopN=%d", term, len(ns), cfg.TopN)
+			}
+			for _, n := range ns {
+				if n == term {
+					t.Fatalf("Context(%q) contains itself", term)
+				}
+			}
+			if got := base.Context(term); !reflect.DeepEqual(got, ns) {
+				t.Fatalf("Context(%q) unstable across calls", term)
+			}
+		}
+	})
+}
+
+func withWorkers(cfg Config, w int) Config {
+	cfg.Workers = w
+	return cfg
+}

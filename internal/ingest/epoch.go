@@ -186,6 +186,7 @@ type Stats struct {
 	DeadLetters         int     `json:"dead_letters"`            // documents awaiting retry in the DLQ
 	DeadLetterDropped   int64   `json:"dead_letter_dropped"`     // DLQ entries evicted by the bound
 	AnalysisFailures    int64   `json:"analysis_failures"`       // failed document analyses (incl. retries)
+	FallbackLookups     int64   `json:"fallback_lookups"`        // term expansions rescued by Config.Fallback
 }
 
 // Stats returns a consistent snapshot of the counters.
@@ -206,6 +207,7 @@ func (ing *Ingester) Stats() Stats {
 		PersistedSegments: ing.persistedSegments.Load(),
 		DeadLetterDropped: ing.dlqDropped.Load(),
 		AnalysisFailures:  ing.analysisFailures.Load(),
+		FallbackLookups:   ing.fallbackLookups.Load(),
 	}
 	ing.dlqMu.Lock()
 	s.DeadLetters = len(ing.dlq)

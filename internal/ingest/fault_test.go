@@ -187,8 +187,10 @@ func TestDrainUnderLoad(t *testing.T) {
 		}(p)
 	}
 
-	// Close while producers are mid-flight.
-	time.Sleep(5 * time.Millisecond)
+	// Close while producers are mid-flight: wait for real submissions to
+	// be in progress instead of a blind sleep, so the race-window this
+	// test exercises exists on slow CI runners too.
+	waitFor(t, "producers in flight", func() bool { return accepted.Load()+rejected.Load() > 0 })
 	if err := ing.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,16 @@ type Config struct {
 	Extractors []core.Extractor
 	Resources  []core.Resource
 
+	// Fallback, when set, is a last-resort context resource (normally the
+	// corpus-only distributional model, facet.CoreFallback) consulted for
+	// an important term only when EVERY configured resource failed its
+	// lookup. Without it, any resource failure dead-letters the document
+	// (never half-ingest); with it, a document caught in a TOTAL resource
+	// outage is admitted with distributional context instead — complete
+	// under the degraded-mode definition — while a partial outage still
+	// dead-letters (a partial expansion would skew the DF tables).
+	Fallback core.Resource
+
 	// TopK bounds the number of facet terms per rebuild (0 = 200, the
 	// paper's working value).
 	TopK int
@@ -128,6 +138,7 @@ type Ingester struct {
 	// the per-document hot path skips the interface-upgrade assertions.
 	extractors []core.ExtractorErr
 	resources  []core.ResourceErr
+	fallback   core.ResourceErr // nil unless Config.Fallback set
 
 	// Dead-letter queue: documents whose analysis failed permanently.
 	dlqMu      sync.Mutex
@@ -177,6 +188,7 @@ type Ingester struct {
 	persistedSegments atomic.Int64
 	analysisFailures  atomic.Int64
 	queueRejections   atomic.Int64
+	fallbackLookups   atomic.Int64
 }
 
 // New validates the configuration and returns an idle ingester. Call
@@ -230,6 +242,9 @@ func New(cfg Config) (*Ingester, error) {
 	for i, r := range cfg.Resources {
 		ing.resources[i] = core.AsResourceErr(r)
 	}
+	if cfg.Fallback != nil {
+		ing.fallback = core.AsResourceErr(cfg.Fallback)
+	}
 	if cfg.Store != nil {
 		ing.persistedDocs.Store(int64(cfg.Store.Docs()))
 		ing.persistedSegments.Store(int64(cfg.Store.Segments()))
@@ -270,6 +285,7 @@ func (ing *Ingester) RegisterMetrics(reg *obsv.Registry) {
 	reg.GaugeFunc("ingest.dead_letter_dropped", ing.dlqDropped.Load)
 	reg.GaugeFunc("ingest.analysis_failures", ing.analysisFailures.Load)
 	reg.GaugeFunc("ingest.queue_rejections", ing.queueRejections.Load)
+	reg.GaugeFunc("ingest.fallback_lookups", ing.fallbackLookups.Load)
 }
 
 // analysis is the lock-free part of processing one document.
@@ -313,11 +329,7 @@ func (ing *Ingester) analyze(ctx context.Context, doc *textdb.Document) (analysi
 	seenCtx := map[string]bool{}
 	for _, t := range terms {
 		seenTerm := map[string]bool{}
-		for _, r := range ing.resources {
-			lookedUp, err := ing.cache.LookupErr(ctx, r, t)
-			if err != nil {
-				return analysis{}, fmt.Errorf("resource %s(%q): %w", r.Name(), t, err)
-			}
+		merge := func(lookedUp []string) {
 			for _, c := range lookedUp {
 				if c == "" {
 					continue
@@ -331,6 +343,39 @@ func (ing *Ingester) analyze(ctx context.Context, doc *textdb.Document) (analysi
 					a.ctx = append(a.ctx, c)
 				}
 			}
+		}
+		failed := 0
+		var firstErr error
+		for _, r := range ing.resources {
+			lookedUp, err := ing.cache.LookupErr(ctx, r, t)
+			if err != nil {
+				err = fmt.Errorf("resource %s(%q): %w", r.Name(), t, err)
+				if ing.fallback == nil {
+					return analysis{}, err
+				}
+				// With a fallback configured, keep trying the remaining
+				// resources: only a TOTAL failure for this term is
+				// rescuable, and we need to know which case this is.
+				failed++
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			merge(lookedUp)
+		}
+		if failed > 0 {
+			if failed < len(ing.resources) {
+				// Partial outage: some resource answered, so admitting now
+				// would half-expand the document. Dead-letter and retry.
+				return analysis{}, firstErr
+			}
+			lookedUp, err := ing.cache.LookupErr(ctx, ing.fallback, t)
+			if err != nil {
+				return analysis{}, fmt.Errorf("fallback %s(%q): %w", ing.fallback.Name(), t, err)
+			}
+			ing.fallbackLookups.Add(1)
+			merge(lookedUp)
 		}
 	}
 	return a, nil

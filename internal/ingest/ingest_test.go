@@ -229,16 +229,7 @@ func TestMaxStalenessTrigger(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if ing.Stats().DocsPublished == 3 {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	if got := ing.Stats().DocsPublished; got != 3 {
-		t.Fatalf("staleness timer never published: %d docs visible", got)
-	}
+	waitFor(t, "staleness timer publish", func() bool { return ing.Stats().DocsPublished == 3 })
 	drain(t, ing)
 }
 

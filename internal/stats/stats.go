@@ -79,6 +79,58 @@ func ChiSquare(df, dfC, n int) float64 {
 	return chi
 }
 
+// PPMI computes the positive pointwise mutual information between two
+// terms from document counts: co documents contain both, dfX contain the
+// first, dfY the second, out of n documents. PMI compares the observed
+// co-occurrence probability with the independence expectation,
+//
+//	PMI = log( (co/n) / ((dfX/n)·(dfY/n)) ) = log( co·n / (dfX·dfY) ),
+//
+// and PPMI clips the negative range to zero: terms co-occurring LESS
+// than chance carry no associative signal for context derivation
+// (Church & Hanks 1990; the standard weighting for distributional
+// vectors). Degenerate inputs (any count <= 0, co > dfX or dfY) return 0.
+func PPMI(co, dfX, dfY, n int) float64 {
+	if co <= 0 || dfX <= 0 || dfY <= 0 || n <= 0 || co > dfX || co > dfY {
+		return 0
+	}
+	v := math.Log(float64(co) * float64(n) / (float64(dfX) * float64(dfY)))
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// AssocLLR computes Dunning's log-likelihood association statistic
+// between two terms from the same document counts PPMI takes: it
+// contrasts the rate of the second term among the dfX documents that
+// contain the first (co/dfX) with its rate in the remaining n−dfX
+// documents ((dfY−co)/(n−dfX)). Like LogLikelihood, the value is ≥ 0
+// and grows with the significance of the dependence — but unlike PPMI it
+// rewards evidence mass, so a pair seen in 40 of 400 documents outranks
+// one seen in 1 of 10 at the same lift. Degenerate inputs return 0.
+func AssocLLR(co, dfX, dfY, n int) float64 {
+	if co <= 0 || dfX <= 0 || dfY <= 0 || n <= 0 || co > dfX || co > dfY || dfX > n || dfY > n {
+		return 0
+	}
+	k1, n1 := co, dfX
+	k2, n2 := dfY-co, n-dfX
+	p1 := float64(k1) / float64(n1)
+	p := float64(dfY) / float64(n)
+	var p2 float64
+	if n2 > 0 {
+		p2 = float64(k2) / float64(n2)
+	}
+	v := LogL(p1, k1, n1) - LogL(p, k1, n1)
+	if n2 > 0 {
+		v += LogL(p2, k2, n2) - LogL(p, k2, n2)
+	}
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
